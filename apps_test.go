@@ -1,0 +1,141 @@
+package ssr
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/weblog"
+	"repro/internal/workload"
+)
+
+func TestFromAccessLog(t *testing.T) {
+	// Emit a synthetic log with known structure, parse it back, index it,
+	// and retrieve the planted near-duplicate clients.
+	clients := []string{"1.1.1.1", "2.2.2.2", "3.3.3.3", "4.4.4.4"}
+	pages := [][]string{
+		{"/a", "/b", "/c", "/d"},
+		{"/a", "/b", "/c", "/d"}, // duplicate of client 0
+		{"/a", "/x", "/y"},
+		{"/p", "/q", "/r"},
+	}
+	var buf bytes.Buffer
+	if err := weblog.EmitSynthetic(&buf, clients, pages); err != nil {
+		t.Fatal(err)
+	}
+	c, gotClients, err := FromAccessLog(&buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotClients) != 4 || c.Len() != 4 {
+		t.Fatalf("clients = %v, len = %d", gotClients, c.Len())
+	}
+	// Pad so the optimizer has a distribution, then index.
+	for i := 0; i < 60; i++ {
+		c.Add("/filler-"+string(rune('a'+i%26)), "/filler2-"+string(rune('a'+(i*3)%26)), "/f3-"+string(rune('a'+(i*7)%26)))
+	}
+	ix, err := Build(c, Options{Budget: 16, MinHashes: 48, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches, _, err := ix.QuerySID(0, 0.99, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range matches {
+		if m.SID == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("duplicate client not retrieved: %v", matches)
+	}
+}
+
+func TestFromAccessLogEmpty(t *testing.T) {
+	if _, _, err := FromAccessLog(strings.NewReader("garbage\n"), 1); err == nil {
+		t.Error("garbage log accepted")
+	}
+}
+
+func TestSimilarPairs(t *testing.T) {
+	sets, err := workload.Generate(workload.Set1Params(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCollection()
+	for _, s := range sets {
+		c.AddIDs(s.Elems()...)
+	}
+	ix, err := Build(c, Options{Budget: 30, MinHashes: 64, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := ix.SimilarPairs(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pairs {
+		if p.A >= p.B {
+			t.Fatalf("unordered pair %+v", p)
+		}
+		if got := sets[p.A].Jaccard(sets[p.B]); got != p.Similarity || got < 0.8 {
+			t.Fatalf("pair %+v: true similarity %g", p, got)
+		}
+	}
+	if len(pairs) == 0 {
+		t.Error("no pairs found in a mirrored workload")
+	}
+}
+
+func TestClustersPublic(t *testing.T) {
+	sets, err := workload.Generate(workload.Set1Params(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCollection()
+	for _, s := range sets {
+		c.AddIDs(s.Elems()...)
+	}
+	ix, err := Build(c, Options{Budget: 30, MinHashes: 64, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters, err := ix.Clusters(0.5, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) == 0 {
+		t.Fatal("no clusters in a clustered workload")
+	}
+	seen := map[int]bool{}
+	for _, cl := range clusters {
+		if len(cl.Members) < 2 {
+			t.Errorf("undersized cluster %+v", cl)
+		}
+		for _, m := range cl.Members {
+			if seen[m] {
+				t.Fatalf("sid %d in two clusters", m)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+func TestBulkOpsRejectDeletedIndex(t *testing.T) {
+	c := bookstore()
+	ix, err := Build(c, Options{Budget: 16, MinHashes: 32, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.SimilarPairs(0.8); err == nil {
+		t.Error("SimilarPairs on deleted-from index accepted")
+	}
+	if _, err := ix.Clusters(0.5, 1); err == nil {
+		t.Error("Clusters on deleted-from index accepted")
+	}
+}

@@ -1,0 +1,485 @@
+package ssr
+
+// Benchmarks: one per paper artifact (Figure 6a/6b, Figure 7a/7b, the
+// Figure 3 filter curves, and the Theorem 1 embedding validation) plus
+// micro-benchmarks of every substrate on the query path. The figure
+// benchmarks time one index query per iteration over the paper's workload
+// and report measured recall, precision, and the simulated I/O microseconds
+// per query as custom metrics; `cmd/ssrbench` prints the same data as full
+// tables. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure benchmarks use laptop-scale collections (see internal/experiments
+// for the scaling flags of the full harness).
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/btree"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/embed"
+	"repro/internal/eval"
+	"repro/internal/experiments"
+	"repro/internal/hashtable"
+	"repro/internal/join"
+	"repro/internal/lsh"
+	"repro/internal/minhash"
+	"repro/internal/optimize"
+	"repro/internal/scan"
+	"repro/internal/set"
+	"repro/internal/simdist"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// fixture is a built index plus its workload, shared across benchmark
+// iterations.
+type fixture struct {
+	ix      *core.Index
+	sets    []set.Set
+	queries []workload.Query
+	model   storage.CostModel
+}
+
+var (
+	fixtures   = map[string]*fixture{}
+	fixturesMu sync.Mutex
+)
+
+// benchFixture builds (once) an index over a Set1-like collection with the
+// given table budget.
+func benchFixture(b *testing.B, name string, params workload.Params, budget int) *fixture {
+	b.Helper()
+	fixturesMu.Lock()
+	defer fixturesMu.Unlock()
+	if f, ok := fixtures[name]; ok {
+		return f
+	}
+	sets, err := workload.Generate(params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := core.Build(sets, core.Options{
+		Embed:          embed.Options{K: 64, Bits: 8, Seed: 1},
+		Plan:           optimize.Options{Budget: budget, RecallTarget: 0.75},
+		PayloadPerElem: 110,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs, err := workload.Queries(len(sets), workload.QueryParams{Count: 256, Seed: 31})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := &fixture{ix: ix, sets: sets, queries: qs, model: storage.DefaultCostModel()}
+	fixtures[name] = f
+	return f
+}
+
+// benchFig6 times index queries and reports measured recall/precision —
+// the quantities Figure 6 plots per bucket.
+func benchFig6(b *testing.B, budget int) {
+	f := benchFixture(b, benchName("fig6", budget), workload.Set1Params(2000), budget)
+	runner := eval.NewRunner(f.ix, f.sets)
+	var recall, precision float64
+	counted := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := f.queries[i%len(f.queries)]
+		matches, stats, err := f.ix.Query(f.sets[q.SID], q.Lo, q.Hi)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = matches
+		_ = stats
+	}
+	b.StopTimer()
+	// Measure quality on a fixed sample (independent of b.N) so the
+	// reported metrics are stable.
+	outcomes, err := runner.Run(f.queries[:64])
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, o := range outcomes {
+		if o.Truth > 0 {
+			recall += o.Recall
+			counted++
+		}
+		precision += o.Precision
+	}
+	if counted > 0 {
+		b.ReportMetric(recall/float64(counted), "recall")
+	}
+	b.ReportMetric(precision/float64(len(outcomes)), "precision")
+}
+
+func benchName(prefix string, budget int) string {
+	return prefix + "-" + string(rune('0'+budget/500))
+}
+
+// BenchmarkFig6a regenerates Figure 6(a): query quality at a 500-table
+// budget.
+func BenchmarkFig6a(b *testing.B) { benchFig6(b, 500) }
+
+// BenchmarkFig6b regenerates Figure 6(b): query quality at a 1000-table
+// budget.
+func BenchmarkFig6b(b *testing.B) { benchFig6(b, 1000) }
+
+// benchFig7 times the two Figure 7 contenders and reports their simulated
+// I/O per query.
+func benchFig7(b *testing.B, params workload.Params, name string) {
+	f := benchFixture(b, name, params, 500)
+	var indexIO, scanIO int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := f.queries[i%len(f.queries)]
+		_, stats, err := f.ix.Query(f.sets[q.SID], q.Lo, q.Hi)
+		if err != nil {
+			b.Fatal(err)
+		}
+		indexIO += int64(stats.SimIOTime(f.model))
+	}
+	b.StopTimer()
+	// One representative scan for the baseline I/O metric.
+	_, sstats, err := scan.Query(f.ix.Store(), f.sets[f.queries[0].SID], f.queries[0].Lo, f.queries[0].Hi)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scanIO = int64(sstats.SimIOTime(f.model))
+	b.ReportMetric(float64(indexIO)/float64(b.N)/1e3, "index-io-µs/query")
+	b.ReportMetric(float64(scanIO)/1e3, "scan-io-µs/query")
+}
+
+// BenchmarkFig7a regenerates Figure 7(a): Set1 response time, index vs scan.
+func BenchmarkFig7a(b *testing.B) { benchFig7(b, workload.Set1Params(2000), "fig7a") }
+
+// BenchmarkFig7b regenerates Figure 7(b): Set2 response time, index vs scan.
+func BenchmarkFig7b(b *testing.B) { benchFig7(b, workload.Set2Params(2000), "fig7b") }
+
+// BenchmarkScanBaseline times the sequential-scan comparator on its own.
+func BenchmarkScanBaseline(b *testing.B) {
+	f := benchFixture(b, "scanbase", workload.Set1Params(2000), 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := f.queries[i%len(f.queries)]
+		if _, _, err := scan.Query(f.ix.Store(), f.sets[q.SID], q.Lo, q.Hi); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFilterCurve regenerates the Figure 3 curve computation.
+func BenchmarkFilterCurve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.FilterCurve(io.Discard, 0.8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEmbeddingValidation regenerates the Theorem 1 table.
+func BenchmarkEmbeddingValidation(b *testing.B) {
+	cfg := experiments.Config{MinHashes: 32}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Embedding(io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkJaccard measures exact similarity of two 100-element sets.
+func BenchmarkJaccard(b *testing.B) {
+	x := make([]set.Elem, 100)
+	y := make([]set.Elem, 100)
+	for i := range x {
+		x[i] = set.Elem(i * 3)
+		y[i] = set.Elem(i * 4)
+	}
+	sa, sb := set.New(x...), set.New(y...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sa.Jaccard(sb)
+	}
+}
+
+// BenchmarkMinhashSign measures signing a 100-element set with k=100.
+func BenchmarkMinhashSign(b *testing.B) {
+	fam, err := minhash.NewFamily(100, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	elems := make([]set.Elem, 100)
+	for i := range elems {
+		elems[i] = set.Elem(i * 7)
+	}
+	s := set.New(elems...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = fam.Sign(s)
+	}
+}
+
+// BenchmarkEmbedFull measures the full S → H materialization (k=100, b=8:
+// a 25600-bit vector).
+func BenchmarkEmbedFull(b *testing.B) {
+	e, err := embed.New(embed.Options{K: 100, Bits: 8, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	elems := make([]set.Elem, 100)
+	for i := range elems {
+		elems[i] = set.Elem(i * 7)
+	}
+	s := set.New(elems...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.Embed(s)
+	}
+}
+
+// BenchmarkLazyKeyExtraction measures the lazy bucket-key path used at
+// query time (r=16 bits straight from the signature, no materialization).
+func BenchmarkLazyKeyExtraction(b *testing.B) {
+	e, err := embed.New(embed.Options{K: 100, Bits: 8, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	elems := make([]set.Elem, 100)
+	for i := range elems {
+		elems[i] = set.Elem(i * 7)
+	}
+	sig := e.Sign(set.New(elems...))
+	positions := make([]int, 16)
+	for i := range positions {
+		positions[i] = i * 997 % e.Dimension()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.ExtractKey(sig, positions)
+	}
+}
+
+// BenchmarkGroupInsert measures inserting a vector into an l=20 table
+// group.
+func BenchmarkGroupInsert(b *testing.B) {
+	e, err := embed.New(embed.Options{K: 64, Bits: 8, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := lsh.NewGroup(storage.NewPager(0), lsh.GroupOptions{
+		Dim: e.Dimension(), R: 12, L: 20, Seed: 2, ExpectedEntries: 1 << 20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	elems := make([]set.Elem, 60)
+	for i := range elems {
+		elems[i] = set.Elem(i * 5)
+	}
+	src := e.Bits(e.Sign(set.New(elems...)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Insert(src, storage.SID(i))
+	}
+}
+
+// BenchmarkBTree measures sid lookups in a 100k-key tree.
+func BenchmarkBTree(b *testing.B) {
+	pager := storage.NewPager(0)
+	tree, err := btree.New(pager)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 100000
+	for i := uint64(0); i < n; i++ {
+		if err := tree.Insert(i, btree.Value{Offset: i * 64, Length: 64}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tree.Lookup(uint64(i)%n, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildIndex measures full index construction for 500 sets.
+func BenchmarkBuildIndex(b *testing.B) {
+	sets, err := workload.Generate(workload.Set1Params(500))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := core.Build(sets, core.Options{
+			Embed: embed.Options{K: 32, Bits: 8, Seed: 1},
+			Plan:  optimize.Options{Budget: 60, RecallTarget: 0.75},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPublicAPIQuery measures an end-to-end query through the public
+// ssr API.
+func BenchmarkPublicAPIQuery(b *testing.B) {
+	sets, err := workload.Generate(workload.Set1Params(1000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := NewCollection()
+	for _, s := range sets {
+		c.AddIDs(s.Elems()...)
+	}
+	ix, err := Build(c, Options{Budget: 100, RecallTarget: 0.75, MinHashes: 64, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ix.QuerySID(i%1000, 0.7, 1.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMinhashEstimate measures signature-agreement similarity
+// estimation (k=100).
+func BenchmarkMinhashEstimate(b *testing.B) {
+	fam, err := minhash.NewFamily(100, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]set.Elem, 80)
+	y := make([]set.Elem, 80)
+	for i := range x {
+		x[i] = set.Elem(i)
+		y[i] = set.Elem(i + 20)
+	}
+	a, c := fam.Sign(set.New(x...)), fam.Sign(set.New(y...))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := minhash.Estimate(a, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHashtableProbe measures one bucket probe in a loaded table.
+func BenchmarkHashtableProbe(b *testing.B) {
+	tab, err := hashtable.New(storage.NewPager(0), hashtable.Options{ExpectedEntries: 1 << 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 1<<16; i++ {
+		tab.Insert(uint64(i%997), storage.SID(i))
+	}
+	var dst []storage.SID
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = tab.Probe(uint64(i%997), nil, dst[:0])
+	}
+}
+
+// BenchmarkSelfJoin measures the filter-powered similarity self-join over
+// 1000 sets at threshold 0.8.
+func BenchmarkSelfJoin(b *testing.B) {
+	sets, err := workload.Generate(workload.Set1Params(1000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := join.SelfJoin(sets, join.Options{Threshold: 0.8, Tables: 16, MinHashes: 64, Seed: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExactJoin is the quadratic comparator for BenchmarkSelfJoin.
+func BenchmarkExactJoin(b *testing.B) {
+	sets, err := workload.Generate(workload.Set1Params(1000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = join.Exact(sets, 0.8)
+	}
+}
+
+// BenchmarkClusterLeaders measures leader clustering over the benchmark
+// fixture.
+func BenchmarkClusterLeaders(b *testing.B) {
+	f := benchFixture(b, "cluster", workload.Set1Params(1000), 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.Leaders(f.ix, f.sets, cluster.Options{Lo: 0.5, Hi: 0.95}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotSave measures serializing the benchmark fixture.
+func BenchmarkSnapshotSave(b *testing.B) {
+	f := benchFixture(b, "snap", workload.Set1Params(1000), 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := f.ix.Save(&buf); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(buf.Len()))
+	}
+}
+
+// BenchmarkSnapshotLoad measures the deterministic rebuild from a snapshot
+// (signatures cached, signing skipped).
+func BenchmarkSnapshotLoad(b *testing.B) {
+	f := benchFixture(b, "snapload", workload.Set1Params(1000), 100)
+	var buf bytes.Buffer
+	if err := f.ix.Save(&buf); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Load(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTopK measures nearest-neighbour retrieval.
+func BenchmarkTopK(b *testing.B) {
+	f := benchFixture(b, "topk", workload.Set1Params(1000), 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := f.ix.TopK(f.sets[i%len(f.sets)], 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSampleDistribution measures the Lemma 1 one-pass pair sampler.
+func BenchmarkSampleDistribution(b *testing.B) {
+	sets, err := workload.Generate(workload.Set1Params(2000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := simdist.SamplePairs(sets, 20000, 0, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

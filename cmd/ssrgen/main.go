@@ -1,0 +1,64 @@
+// Command ssrgen generates a synthetic web-log-like set collection (the
+// substitute for the paper's proprietary HTTP logs — see DESIGN.md) and
+// writes it as text: one set per line, elements space-separated.
+//
+// Usage:
+//
+//	ssrgen -n 200000 -preset set1 > set1.txt
+//	ssrgen -n 1000 -preset set2 -o set2.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/textio"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 10000, "number of sets")
+		preset = flag.String("preset", "set1", "workload preset: set1 or set2")
+		seed   = flag.Int64("seed", 0, "seed override (0 = preset default)")
+		out    = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var params workload.Params
+	switch *preset {
+	case "set1":
+		params = workload.Set1Params(*n)
+	case "set2":
+		params = workload.Set2Params(*n)
+	default:
+		fmt.Fprintf(os.Stderr, "ssrgen: unknown preset %q (have: set1, set2)\n", *preset)
+		os.Exit(1)
+	}
+	if *seed != 0 {
+		params.Seed = *seed
+	}
+
+	sets, err := workload.Generate(params)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ssrgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ssrgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := textio.WriteSets(w, sets); err != nil {
+		fmt.Fprintf(os.Stderr, "ssrgen: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,148 @@
+// Command ssrindex builds a similar-set index over a text collection (one
+// set per line, elements whitespace-separated — the ssrgen format) and
+// answers range queries against it.
+//
+// Usage:
+//
+//	ssrgen -n 5000 -o sets.txt
+//	ssrindex -data sets.txt -budget 200 -query 17 -lo 0.8 -hi 1.0
+//	ssrindex -data sets.txt -budget 200 -plan        # just show the layout
+//
+// The query set is referenced by line number (-query) so the tool stays
+// format-agnostic; library users would pass their own sets through the
+// public API.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	ssr "repro"
+	"repro/internal/textio"
+)
+
+func main() {
+	var (
+		data     = flag.String("data", "", "collection file (required; one set per line)")
+		budget   = flag.Int("budget", 200, "hash-table budget")
+		recall   = flag.Float64("recall", 0.9, "optimizer recall target")
+		k        = flag.Int("k", 100, "min-hash signature length")
+		seed     = flag.Int64("seed", 1, "build seed")
+		queryIdx = flag.Int("query", -1, "line number of the query set (0-based)")
+		lo       = flag.Float64("lo", 0.8, "lower similarity bound")
+		hi       = flag.Float64("hi", 1.0, "upper similarity bound")
+		plan     = flag.Bool("plan", false, "print the optimizer's plan and exit")
+		limit    = flag.Int("limit", 20, "max matches to print")
+		save     = flag.String("save", "", "write an index snapshot to this file after building")
+		load     = flag.String("load", "", "load the index from a snapshot instead of building")
+	)
+	flag.Parse()
+	if *data == "" && *load == "" {
+		fmt.Fprintln(os.Stderr, "ssrindex: -data or -load is required")
+		os.Exit(1)
+	}
+	if err := run(*data, *budget, *recall, *k, *seed, *queryIdx, *lo, *hi, *plan, *limit, *save, *load); err != nil {
+		fmt.Fprintf(os.Stderr, "ssrindex: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, budget int, recall float64, k int, seed int64, queryIdx int, lo, hi float64, planOnly bool, limit int, savePath, loadPath string) error {
+	var ix *ssr.Index
+	if loadPath != "" {
+		f, err := os.Open(loadPath)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		ix, err = ssr.Load(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded snapshot %s (%d sets) in %v\n", loadPath, ix.Internal().Len(), time.Since(start).Round(time.Millisecond))
+	} else {
+		coll, err := loadCollection(path)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded %d sets from %s\n", coll.Len(), path)
+
+		start := time.Now()
+		ix, err = ssr.Build(coll, ssr.Options{
+			Budget:       budget,
+			RecallTarget: recall,
+			MinHashes:    k,
+			Seed:         seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("built index in %v\n", time.Since(start).Round(time.Millisecond))
+	}
+	if savePath != "" {
+		f, err := os.Create(savePath)
+		if err != nil {
+			return err
+		}
+		if err := ix.Save(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		st, _ := os.Stat(savePath)
+		fmt.Printf("snapshot written to %s (%d bytes)\n", savePath, st.Size())
+	}
+
+	p := ix.Plan()
+	fmt.Printf("plan: delta=%.3f cuts=%v expectedWorstRecall=%.3f recallMet=%v\n",
+		p.Delta, p.Cuts, p.ExpectedWorstRecall, p.RecallMet)
+	for _, fi := range p.FilterIndexes {
+		fmt.Printf("  %s at %.3f: l=%d tables, r=%d sampled bits\n", fi.Kind, fi.Point, fi.Tables, fi.SampledBits)
+	}
+	if planOnly {
+		return nil
+	}
+	if queryIdx < 0 {
+		return fmt.Errorf("pass -query <line> to run a query, or -plan to stop here")
+	}
+
+	matches, stats, err := ix.QuerySID(queryIdx, lo, hi)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("query set %d, range [%.2f, %.2f]: %d matches (%d candidates, %d random + %d sequential page reads, simulated I/O %v, CPU %v)\n",
+		queryIdx, lo, hi, len(matches), stats.Candidates,
+		stats.RandomPageReads, stats.SequentialPageReads,
+		stats.SimulatedIOTime.Round(time.Microsecond), stats.CPUTime.Round(time.Microsecond))
+	for i, m := range matches {
+		if i >= limit {
+			fmt.Printf("  ... and %d more\n", len(matches)-limit)
+			break
+		}
+		fmt.Printf("  set %-8d similarity %.4f\n", m.SID, m.Similarity)
+	}
+	return nil
+}
+
+// loadCollection reads the one-set-per-line format via internal/textio.
+func loadCollection(path string) (*ssr.Collection, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sets, err := textio.ReadSets(f, path)
+	if err != nil {
+		return nil, err
+	}
+	coll := ssr.NewCollection()
+	for _, s := range sets {
+		coll.AddIDs(s.Elems()...)
+	}
+	return coll, nil
+}

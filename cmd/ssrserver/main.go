@@ -1,0 +1,97 @@
+// Command ssrserver serves a similar-set index over HTTP/JSON (see
+// internal/server for the endpoint reference).
+//
+// Usage:
+//
+//	ssrgen -n 5000 -o sets.txt
+//	ssrserver -data sets.txt -budget 200 -addr :8080
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/query/sid -d '{"sid":7,"lo":0.8,"hi":1.0}'
+//
+// A previously saved snapshot (see ssrindex -save) can be served directly
+// with -snapshot, skipping the build.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	ssr "repro"
+	"repro/internal/server"
+	"repro/internal/textio"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		data     = flag.String("data", "", "collection file (one set per line)")
+		snapshot = flag.String("snapshot", "", "index snapshot to serve (skips build)")
+		budget   = flag.Int("budget", 200, "hash-table budget")
+		recall   = flag.Float64("recall", 0.85, "optimizer recall target")
+		k        = flag.Int("k", 100, "min-hash signature length")
+		seed     = flag.Int64("seed", 1, "build seed")
+	)
+	flag.Parse()
+
+	ix, err := buildOrLoad(*data, *snapshot, *budget, *recall, *k, *seed)
+	if err != nil {
+		log.Fatalf("ssrserver: %v", err)
+	}
+	log.Printf("serving %d sets on %s", ix.Internal().Len(), *addr)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(ix),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Fatal(srv.ListenAndServe())
+}
+
+func buildOrLoad(data, snapshot string, budget int, recall float64, k int, seed int64) (*ssr.Index, error) {
+	switch {
+	case snapshot != "":
+		f, err := os.Open(snapshot)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return ssr.Load(f)
+	case data != "":
+		coll, err := loadCollection(data)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		ix, err := ssr.Build(coll, ssr.Options{
+			Budget: budget, RecallTarget: recall, MinHashes: k, Seed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("built index over %d sets in %v", coll.Len(), time.Since(start).Round(time.Millisecond))
+		return ix, nil
+	default:
+		return nil, fmt.Errorf("pass -data <file> or -snapshot <file>")
+	}
+}
+
+// loadCollection reads the one-set-per-line format via internal/textio.
+func loadCollection(path string) (*ssr.Collection, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sets, err := textio.ReadSets(f, path)
+	if err != nil {
+		return nil, err
+	}
+	coll := ssr.NewCollection()
+	for _, s := range sets {
+		coll.AddIDs(s.Elems()...)
+	}
+	return coll, nil
+}

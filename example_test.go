@@ -1,0 +1,86 @@
+package ssr_test
+
+import (
+	"fmt"
+
+	ssr "repro"
+)
+
+// Example demonstrates the basic build-and-query flow.
+func Example() {
+	c := ssr.NewCollection()
+	c.Add("dune", "foundation", "hyperion", "neuromancer") // sid 0
+	c.Add("dune", "foundation", "hyperion", "neuromancer") // sid 1: duplicate
+	c.Add("dune", "foundation", "ubik")                    // sid 2
+	c.Add("cookbook", "gardening")                         // sid 3
+	for i := 0; i < 40; i++ {
+		c.Add(fmt.Sprintf("filler-%d", i), fmt.Sprintf("filler-%d", i+1))
+	}
+
+	ix, err := ssr.Build(c, ssr.Options{Budget: 16, MinHashes: 48, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	matches, _, err := ix.Query([]string{"dune", "foundation", "hyperion", "neuromancer"}, 0.9, 1.0)
+	if err != nil {
+		panic(err)
+	}
+	for _, m := range matches {
+		fmt.Printf("set %d at similarity %.2f\n", m.SID, m.Similarity)
+	}
+	// Output:
+	// set 0 at similarity 1.00
+	// set 1 at similarity 1.00
+}
+
+// ExampleIndex_TopK finds nearest neighbours instead of a fixed range.
+func ExampleIndex_TopK() {
+	c := ssr.NewCollection()
+	c.Add("a", "b", "c", "d", "e", "f", "g", "h") // sid 0
+	c.Add("a", "b", "c", "d", "e", "f", "g", "x") // sid 1: sim 7/9 with 0
+	c.Add("a", "b", "y", "z")                     // sid 2: far
+	c.Add("p", "q")                               // sid 3: disjoint
+	for i := 0; i < 40; i++ {
+		c.Add(fmt.Sprintf("f%d", i), fmt.Sprintf("f%d", i+1))
+	}
+	ix, err := ssr.Build(c, ssr.Options{Budget: 32, MinHashes: 128, Seed: 2})
+	if err != nil {
+		panic(err)
+	}
+	top, _, err := ix.TopKSID(0, 2)
+	if err != nil {
+		panic(err)
+	}
+	for _, m := range top {
+		fmt.Printf("set %d at similarity %.2f\n", m.SID, m.Similarity)
+	}
+	// Output:
+	// set 0 at similarity 1.00
+	// set 1 at similarity 0.78
+}
+
+// ExampleIndex_Plan inspects the layout the optimizer chose.
+func ExampleIndex_Plan() {
+	c := ssr.NewCollection()
+	for i := 0; i < 60; i++ {
+		c.Add(fmt.Sprintf("p%d", i), fmt.Sprintf("p%d", i+1), fmt.Sprintf("p%d", i+2))
+	}
+	ix, err := ssr.Build(c, ssr.Options{Budget: 12, MinHashes: 32, Seed: 3})
+	if err != nil {
+		panic(err)
+	}
+	plan := ix.Plan()
+	fmt.Printf("budget spent: %v\n", spent(plan))
+	fmt.Printf("delta in range: %v\n", plan.Delta > 0 && plan.Delta < 1)
+	// Output:
+	// budget spent: 12
+	// delta in range: true
+}
+
+func spent(p ssr.PlanSummary) int {
+	total := 0
+	for _, fi := range p.FilterIndexes {
+		total += fi.Tables
+	}
+	return total
+}

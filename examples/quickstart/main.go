@@ -1,0 +1,88 @@
+// Quickstart: build a similar-set index over a handful of shopping baskets
+// and run the three query shapes from the paper's introduction — highly
+// similar, a mid-similarity band, and highly dissimilar.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ssr "repro"
+)
+
+func main() {
+	// 1. Collect sets. Elements are plain strings; the universe is never
+	// declared up front.
+	c := ssr.NewCollection()
+	baskets := map[string][]string{
+		"ada":   {"dune", "foundation", "hyperion", "neuromancer", "snow crash"},
+		"brin":  {"dune", "foundation", "hyperion", "neuromancer", "excession"},
+		"cho":   {"dune", "foundation", "ubik", "solaris", "roadside picnic"},
+		"dia":   {"cookbook", "gardening", "woodworking", "knots"},
+		"evan":  {"dune", "cookbook", "gardening"},
+		"filip": {"dune", "foundation", "hyperion", "neuromancer", "snow crash"}, // same as ada
+	}
+	names := make([]string, 0, len(baskets))
+	for name := range baskets {
+		names = append(names, name)
+	}
+	// Insert in a stable order so sids are reproducible.
+	for _, name := range []string{"ada", "brin", "cho", "dia", "evan", "filip"} {
+		c.Add(baskets[name]...)
+	}
+	_ = names
+
+	// Pad the collection so the optimizer has a real distribution to
+	// work with (tiny collections are fine too, just less interesting).
+	for i := 0; i < 200; i++ {
+		c.Add(fmt.Sprintf("zine-%d", i), fmt.Sprintf("zine-%d", i+1), fmt.Sprintf("zine-%d", i+2))
+	}
+
+	// 2. Build. The only required knob is the space budget (hash tables);
+	// the optimizer chooses the filter-index layout for the recall target.
+	ix, err := ssr.Build(c, ssr.Options{Budget: 40, RecallTarget: 0.9, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan := ix.Plan()
+	cuts := make([]string, len(plan.Cuts))
+	for i, c := range plan.Cuts {
+		cuts[i] = fmt.Sprintf("%.3f", c)
+	}
+	fmt.Printf("index built: %d filter indexes at cuts %v (delta %.3f)\n\n",
+		len(plan.FilterIndexes), cuts, plan.Delta)
+
+	// 3. Query: who bought books most similar to ada's basket?
+	show := func(title string, matches []ssr.Match, stats ssr.Stats) {
+		fmt.Printf("%s\n", title)
+		for _, m := range matches {
+			fmt.Printf("  set %-3d similarity %.2f\n", m.SID, m.Similarity)
+		}
+		fmt.Printf("  (%d candidates fetched, %d page reads, simulated I/O %v)\n\n",
+			stats.Candidates, stats.RandomPageReads+stats.SequentialPageReads, stats.SimulatedIOTime)
+	}
+
+	matches, stats, err := ix.Query(baskets["ada"], 0.9, 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("highly similar to ada (>= 0.9):", matches, stats)
+
+	// The sale-targeting query from the paper's introduction: users who
+	// own between 40% and 70% of a themed bundle.
+	bundle := []string{"dune", "foundation", "hyperion", "ubik", "solaris"}
+	matches, stats, err = ix.Query(bundle, 0.4, 0.7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("own 40-70% of the sci-fi bundle:", matches, stats)
+
+	// Highly dissimilar profiles (served by the Dissimilarity Filter
+	// Indices).
+	matches, stats, err = ix.Query(baskets["ada"], 0.0, 0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("highly dissimilar to ada (<= 0.1): %d sets\n", len(matches))
+	fmt.Printf("  (%d candidates fetched)\n", stats.Candidates)
+}

@@ -1,0 +1,120 @@
+package ssr
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestGoldenDeterminism pins end-to-end determinism: two indexes built
+// from the same collection with the same options must choose identical
+// plans and answer identical results for every query. This is the
+// regression guard for seed plumbing across minhash, bit sampling,
+// distribution sampling, and the optimizer.
+func TestGoldenDeterminism(t *testing.T) {
+	build := func() *Index {
+		c := NewCollection()
+		for i := 0; i < 150; i++ {
+			c.Add(
+				fmt.Sprintf("page-%d", i%40),
+				fmt.Sprintf("page-%d", (i+1)%40),
+				fmt.Sprintf("page-%d", (i*7)%40),
+				fmt.Sprintf("user-%d-private", i),
+			)
+		}
+		ix, err := Build(c, Options{Budget: 30, MinHashes: 48, Seed: 12345})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ix
+	}
+	a, b := build(), build()
+
+	pa, pb := a.Plan(), b.Plan()
+	if len(pa.Cuts) != len(pb.Cuts) {
+		t.Fatalf("plans differ: %v vs %v", pa.Cuts, pb.Cuts)
+	}
+	for i := range pa.Cuts {
+		if pa.Cuts[i] != pb.Cuts[i] {
+			t.Fatalf("cut %d differs: %g vs %g", i, pa.Cuts[i], pb.Cuts[i])
+		}
+	}
+	if len(pa.FilterIndexes) != len(pb.FilterIndexes) {
+		t.Fatalf("FI counts differ")
+	}
+	for i := range pa.FilterIndexes {
+		if pa.FilterIndexes[i] != pb.FilterIndexes[i] {
+			t.Fatalf("FI %d differs: %+v vs %+v", i, pa.FilterIndexes[i], pb.FilterIndexes[i])
+		}
+	}
+
+	for _, r := range [][2]float64{{0.9, 1}, {0.4, 0.7}, {0, 0.1}, {0, 1}} {
+		for sid := 0; sid < 20; sid++ {
+			ma, sa, err := a.QuerySID(sid, r[0], r[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			mb, sb, err := b.QuerySID(sid, r[0], r[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ma) != len(mb) {
+				t.Fatalf("sid %d range %v: %d vs %d results", sid, r, len(ma), len(mb))
+			}
+			for i := range ma {
+				if ma[i] != mb[i] {
+					t.Fatalf("sid %d range %v: result %d differs", sid, r, i)
+				}
+			}
+			if sa.Candidates != sb.Candidates {
+				t.Fatalf("sid %d range %v: candidates %d vs %d", sid, r, sa.Candidates, sb.Candidates)
+			}
+			if sa.RandomPageReads != sb.RandomPageReads || sa.SequentialPageReads != sb.SequentialPageReads {
+				t.Fatalf("sid %d range %v: I/O accounting differs", sid, r)
+			}
+		}
+	}
+}
+
+// TestGoldenKnownAnswers pins exact behaviour on a crafted collection where
+// every answer is known by construction and must be found regardless of
+// randomness (identical vectors always collide; the disjoint set can never
+// verify into a positive range).
+func TestGoldenKnownAnswers(t *testing.T) {
+	c := NewCollection()
+	c.Add("a", "b", "c", "d", "e") // 0
+	c.Add("a", "b", "c", "d", "e") // 1 = dup of 0
+	c.Add("a", "b", "c", "d", "e") // 2 = dup of 0
+	c.Add("v", "w", "x", "y", "z") // 3 disjoint island
+	c.Add("v", "w", "x", "y", "z") // 4 = dup of 3
+	for i := 0; i < 100; i++ {
+		c.Add(fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", i+1), fmt.Sprintf("n%d", i+2))
+	}
+	ix, err := Build(c, Options{Budget: 20, MinHashes: 64, Seed: 777})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		sid  int
+		want map[int]bool
+	}{
+		{0, map[int]bool{0: true, 1: true, 2: true}},
+		{1, map[int]bool{0: true, 1: true, 2: true}},
+		{3, map[int]bool{3: true, 4: true}},
+	} {
+		matches, _, err := ix.QuerySID(tc.sid, 0.999, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(matches) != len(tc.want) {
+			t.Fatalf("sid %d: got %v, want %v", tc.sid, matches, tc.want)
+		}
+		for _, m := range matches {
+			if !tc.want[m.SID] {
+				t.Fatalf("sid %d: unexpected match %d", tc.sid, m.SID)
+			}
+			if m.Similarity != 1 {
+				t.Fatalf("sid %d: similarity %g", tc.sid, m.Similarity)
+			}
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// Package bitvec implements dense binary vectors in Hamming space.
+//
+// The paper embeds every set into a D-dimensional Hamming space (Section 3.2)
+// and then reasons about Hamming distance and Hamming similarity
+// (Definitions 3 and 4) of those vectors. Vector is that representation:
+// a fixed-length bit string packed into 64-bit words with constant-time bit
+// access and word-at-a-time popcount distance.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Vector is a fixed-dimension binary vector. The zero value is a
+// zero-dimension vector; use New to create one of a given dimension.
+type Vector struct {
+	bits []uint64
+	n    int // dimension in bits
+}
+
+// New returns an all-zero vector of dimension n bits.
+func New(n int) Vector {
+	if n < 0 {
+		panic("bitvec: negative dimension")
+	}
+	return Vector{bits: make([]uint64, (n+63)/64), n: n}
+}
+
+// FromBits builds a vector from a bool slice, bit i = b[i].
+func FromBits(b []bool) Vector {
+	v := New(len(b))
+	for i, set := range b {
+		if set {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+// Len returns the dimension (number of bits) of the vector.
+func (v Vector) Len() int { return v.n }
+
+// Words exposes the packed words backing the vector. Bits beyond Len are
+// always zero. The caller must not modify the slice.
+func (v Vector) Words() []uint64 { return v.bits }
+
+// Get returns bit i as a bool.
+func (v Vector) Get(i int) bool {
+	return v.bits[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Bit returns bit i as 0 or 1.
+func (v Vector) Bit(i int) byte {
+	if v.Get(i) {
+		return 1
+	}
+	return 0
+}
+
+// Set sets bit i to 1.
+func (v Vector) Set(i int) { v.bits[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear sets bit i to 0.
+func (v Vector) Clear(i int) { v.bits[i>>6] &^= 1 << (uint(i) & 63) }
+
+// SetTo sets bit i to the given value.
+func (v Vector) SetTo(i int, val bool) {
+	if val {
+		v.Set(i)
+	} else {
+		v.Clear(i)
+	}
+}
+
+// OnesCount returns the number of 1 bits.
+func (v Vector) OnesCount() int {
+	n := 0
+	for _, w := range v.bits {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector {
+	cp := make([]uint64, len(v.bits))
+	copy(cp, v.bits)
+	return Vector{bits: cp, n: v.n}
+}
+
+// Complement returns the bitwise complement of v (every bit flipped), the
+// q̄ vector of Theorem 2 used by the Dissimilarity Filter Index.
+func (v Vector) Complement() Vector {
+	out := New(v.n)
+	for i, w := range v.bits {
+		out.bits[i] = ^w
+	}
+	out.maskTail()
+	return out
+}
+
+// maskTail zeroes the unused bits of the last word so that word-level
+// operations (popcount, equality) stay exact.
+func (v Vector) maskTail() {
+	if r := uint(v.n) & 63; r != 0 && len(v.bits) > 0 {
+		v.bits[len(v.bits)-1] &= (1 << r) - 1
+	}
+}
+
+// Equal reports whether two vectors have the same dimension and bits.
+func (v Vector) Equal(u Vector) bool {
+	if v.n != u.n {
+		return false
+	}
+	for i, w := range v.bits {
+		if u.bits[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// HammingDistance returns d_H(v, u), the number of differing bits
+// (Definition 3). It panics if the dimensions differ.
+func (v Vector) HammingDistance(u Vector) int {
+	if v.n != u.n {
+		panic(fmt.Sprintf("bitvec: dimension mismatch %d vs %d", v.n, u.n))
+	}
+	d := 0
+	for i, w := range v.bits {
+		d += bits.OnesCount64(w ^ u.bits[i])
+	}
+	return d
+}
+
+// HammingSimilarity returns S_H(v, u) = 1 - d_H(v, u)/t, the fraction of
+// agreeing bits (Definition 4). A zero-dimension pair has similarity 1.
+func (v Vector) HammingSimilarity(u Vector) float64 {
+	if v.n == 0 {
+		return 1
+	}
+	return 1 - float64(v.HammingDistance(u))/float64(v.n)
+}
+
+// Extract gathers the bits at the given positions, in order, into a compact
+// key of at most 64 bits. It panics if len(positions) > 64. This is the bit
+// sampling step of the Similarity Filter Index (Section 4.1).
+func (v Vector) Extract(positions []int) uint64 {
+	if len(positions) > 64 {
+		panic("bitvec: Extract supports at most 64 positions; use ExtractWide")
+	}
+	var key uint64
+	for i, p := range positions {
+		if v.Get(p) {
+			key |= 1 << uint(i)
+		}
+	}
+	return key
+}
+
+// ExtractWide gathers the bits at the given positions into a packed word
+// slice, for sample sizes beyond 64 bits.
+func (v Vector) ExtractWide(positions []int) []uint64 {
+	out := make([]uint64, (len(positions)+63)/64)
+	for i, p := range positions {
+		if v.Get(p) {
+			out[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+	return out
+}
+
+// String renders the vector as a 0/1 string, bit 0 first. Intended for tests
+// and debugging of small vectors.
+func (v Vector) String() string {
+	b := make([]byte, v.n)
+	for i := 0; i < v.n; i++ {
+		b[i] = '0' + v.Bit(i)
+	}
+	return string(b)
+}

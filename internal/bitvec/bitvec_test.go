@@ -1,0 +1,248 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroed(t *testing.T) {
+	v := New(130)
+	if v.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", v.Len())
+	}
+	for i := 0; i < 130; i++ {
+		if v.Get(i) {
+			t.Fatalf("bit %d set in fresh vector", i)
+		}
+	}
+	if v.OnesCount() != 0 {
+		t.Errorf("OnesCount = %d", v.OnesCount())
+	}
+}
+
+func TestSetGetClear(t *testing.T) {
+	v := New(200)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 199} {
+		v.Set(i)
+		if !v.Get(i) {
+			t.Errorf("bit %d not set", i)
+		}
+		if v.Bit(i) != 1 {
+			t.Errorf("Bit(%d) != 1", i)
+		}
+	}
+	if v.OnesCount() != 8 {
+		t.Errorf("OnesCount = %d, want 8", v.OnesCount())
+	}
+	v.Clear(63)
+	if v.Get(63) {
+		t.Error("bit 63 still set after Clear")
+	}
+	v.SetTo(63, true)
+	if !v.Get(63) {
+		t.Error("SetTo(true) failed")
+	}
+	v.SetTo(63, false)
+	if v.Get(63) {
+		t.Error("SetTo(false) failed")
+	}
+}
+
+func TestFromBitsAndString(t *testing.T) {
+	v := FromBits([]bool{true, false, true, true})
+	if got := v.String(); got != "1011" {
+		t.Errorf("String = %q, want 1011", got)
+	}
+}
+
+func TestHammingDistanceKnown(t *testing.T) {
+	a := FromBits([]bool{true, false, true, false})
+	b := FromBits([]bool{true, true, false, false})
+	if got := a.HammingDistance(b); got != 2 {
+		t.Errorf("distance = %d, want 2", got)
+	}
+	if got := a.HammingSimilarity(b); got != 0.5 {
+		t.Errorf("similarity = %g, want 0.5", got)
+	}
+	if got := a.HammingDistance(a); got != 0 {
+		t.Errorf("self distance = %d", got)
+	}
+}
+
+func TestHammingDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on dimension mismatch")
+		}
+	}()
+	New(10).HammingDistance(New(11))
+}
+
+func TestComplement(t *testing.T) {
+	// Dimension not a multiple of 64 exercises tail masking.
+	v := New(70)
+	v.Set(0)
+	v.Set(69)
+	c := v.Complement()
+	if c.Get(0) || c.Get(69) {
+		t.Error("complement kept set bits")
+	}
+	if !c.Get(1) || !c.Get(68) {
+		t.Error("complement cleared zero bits")
+	}
+	if got, want := c.OnesCount(), 68; got != want {
+		t.Errorf("OnesCount = %d, want %d (tail mask broken)", got, want)
+	}
+	// d(v, ~v) must be the full dimension.
+	if got := v.HammingDistance(c); got != 70 {
+		t.Errorf("distance to complement = %d, want 70", got)
+	}
+}
+
+func TestComplementSimilarityIdentity(t *testing.T) {
+	// Theorem 2's underpinning: S_H(h, ~q) = 1 - S_H(h, q).
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(300)
+		h, q := randomVec(rng, n), randomVec(rng, n)
+		lhs := h.HammingSimilarity(q.Complement())
+		rhs := 1 - h.HammingSimilarity(q)
+		if diff := lhs - rhs; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("n=%d: S(h,~q)=%g, 1-S(h,q)=%g", n, lhs, rhs)
+		}
+	}
+}
+
+func randomVec(rng *rand.Rand, n int) Vector {
+	v := New(n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 1 {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := New(64)
+	v.Set(5)
+	c := v.Clone()
+	c.Set(6)
+	if v.Get(6) {
+		t.Error("Clone aliases original")
+	}
+	if !c.Get(5) {
+		t.Error("Clone lost bits")
+	}
+	if !v.Equal(v.Clone()) {
+		t.Error("clone not Equal")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := New(65), New(65)
+	if !a.Equal(b) {
+		t.Error("equal zero vectors differ")
+	}
+	b.Set(64)
+	if a.Equal(b) {
+		t.Error("different vectors equal")
+	}
+	if a.Equal(New(66)) {
+		t.Error("different dimensions equal")
+	}
+}
+
+func TestExtract(t *testing.T) {
+	v := New(100)
+	v.Set(3)
+	v.Set(97)
+	key := v.Extract([]int{3, 50, 97})
+	// bit order: positions[0] → key bit 0.
+	if key != 0b101 {
+		t.Errorf("Extract = %b, want 101", key)
+	}
+}
+
+func TestExtractWide(t *testing.T) {
+	v := New(200)
+	positions := make([]int, 100)
+	for i := range positions {
+		positions[i] = i * 2
+		if i%3 == 0 {
+			v.Set(i * 2)
+		}
+	}
+	words := v.ExtractWide(positions)
+	if len(words) != 2 {
+		t.Fatalf("got %d words, want 2", len(words))
+	}
+	for i := range positions {
+		want := i%3 == 0
+		got := words[i/64]&(1<<(uint(i)%64)) != 0
+		if got != want {
+			t.Fatalf("extracted bit %d = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestExtractTooManyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for >64 positions")
+		}
+	}()
+	New(100).Extract(make([]int, 65))
+}
+
+func TestDistanceProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(256)
+		a, b, c := randomVec(rng, n), randomVec(rng, n), randomVec(rng, n)
+		dab, dba := a.HammingDistance(b), b.HammingDistance(a)
+		if dab != dba {
+			return false // symmetry
+		}
+		if dab < 0 || dab > n {
+			return false // range
+		}
+		if a.HammingDistance(a) != 0 {
+			return false // identity
+		}
+		// Triangle inequality.
+		if a.HammingDistance(c) > dab+b.HammingDistance(c) {
+			return false
+		}
+		// Popcount path agrees with bit-by-bit count.
+		naive := 0
+		for i := 0; i < n; i++ {
+			if a.Get(i) != b.Get(i) {
+				naive++
+			}
+		}
+		return naive == dab
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOnesCountMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		v := randomVec(rng, n)
+		naive := 0
+		for i := 0; i < n; i++ {
+			if v.Get(i) {
+				naive++
+			}
+		}
+		return naive == v.OnesCount()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,351 @@
+// Package btree implements a page-oriented B+tree keyed by set identifier.
+//
+// The paper retrieves candidate sets "from disk, using a conventional data
+// structure such as a B-tree supporting queries on set identifier"
+// (Section 6). This tree maps a uint64 sid to the (offset, length) of the
+// serialized set inside the collection heap file. Nodes live on fixed-size
+// pages supplied by a storage.Pager; lookups can charge page reads to a
+// storage.Counter. Internal nodes are assumed cached in memory (the paper
+// charges one random access per candidate set), so by default only leaf
+// reads are charged; CountInternal makes the accounting fully physical.
+package btree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// node page layout
+//
+//	byte 0          : kind (0 leaf, 1 internal)
+//	bytes 1..2      : entry count (uint16, little endian)
+//	leaf:
+//	  bytes 3..6    : next-leaf page id (uint32; ^0 = none)
+//	  entries at 7  : key(8) offset(8) length(4) = 20 bytes each
+//	internal:
+//	  bytes 3..6    : leftmost child page id
+//	  entries at 7  : key(8) child(4) = 12 bytes each; subtree child holds
+//	                  keys >= key
+const (
+	kindLeaf     = 0
+	kindInternal = 1
+	headerSize   = 7
+	leafEntry    = 20
+	innerEntry   = 12
+	noPage       = ^uint32(0)
+)
+
+// Value is what the tree stores per key: the location of a serialized set.
+type Value struct {
+	Offset uint64
+	Length uint32
+}
+
+// ErrNotFound is returned by Lookup for absent keys.
+var ErrNotFound = errors.New("btree: key not found")
+
+// Tree is a B+tree over (key → Value). The zero value is unusable; call New.
+// Tree is not safe for concurrent mutation; concurrent lookups are safe once
+// building is complete.
+type Tree struct {
+	pager *storage.Pager
+	root  storage.PageID
+	// CountInternal, when true, charges internal-node page reads to the
+	// lookup counter as random I/O in addition to the leaf read.
+	CountInternal bool
+	height        int
+	size          int
+}
+
+// New creates an empty tree whose nodes are allocated from pager.
+func New(pager *storage.Pager) (*Tree, error) {
+	if pager.PageSize() < headerSize+2*leafEntry {
+		return nil, fmt.Errorf("btree: page size %d too small", pager.PageSize())
+	}
+	t := &Tree{pager: pager, height: 1}
+	t.root = pager.Alloc()
+	initLeaf(pager.MustPage(t.root))
+	return t, nil
+}
+
+func initLeaf(p []byte) {
+	p[0] = kindLeaf
+	putCount(p, 0)
+	binary.LittleEndian.PutUint32(p[3:], noPage)
+}
+
+func initInternal(p []byte) {
+	p[0] = kindInternal
+	putCount(p, 0)
+	binary.LittleEndian.PutUint32(p[3:], noPage)
+}
+
+func count(p []byte) int       { return int(binary.LittleEndian.Uint16(p[1:])) }
+func putCount(p []byte, n int) { binary.LittleEndian.PutUint16(p[1:], uint16(n)) }
+
+func (t *Tree) leafCap() int  { return (t.pager.PageSize() - headerSize) / leafEntry }
+func (t *Tree) innerCap() int { return (t.pager.PageSize() - headerSize) / innerEntry }
+
+// Size returns the number of stored keys.
+func (t *Tree) Size() int { return t.size }
+
+// Height returns the number of levels (1 = just a leaf root).
+func (t *Tree) Height() int { return t.height }
+
+// leaf entry accessors
+func leafKey(p []byte, i int) uint64 {
+	return binary.LittleEndian.Uint64(p[headerSize+i*leafEntry:])
+}
+
+func leafValue(p []byte, i int) Value {
+	off := headerSize + i*leafEntry
+	return Value{
+		Offset: binary.LittleEndian.Uint64(p[off+8:]),
+		Length: binary.LittleEndian.Uint32(p[off+16:]),
+	}
+}
+
+func putLeafEntry(p []byte, i int, key uint64, v Value) {
+	off := headerSize + i*leafEntry
+	binary.LittleEndian.PutUint64(p[off:], key)
+	binary.LittleEndian.PutUint64(p[off+8:], v.Offset)
+	binary.LittleEndian.PutUint32(p[off+16:], v.Length)
+}
+
+// internal entry accessors
+func innerKey(p []byte, i int) uint64 {
+	return binary.LittleEndian.Uint64(p[headerSize+i*innerEntry:])
+}
+
+func innerChild(p []byte, i int) storage.PageID {
+	// i == -1 addresses the leftmost child stored in the header.
+	if i < 0 {
+		return storage.PageID(binary.LittleEndian.Uint32(p[3:]))
+	}
+	return storage.PageID(binary.LittleEndian.Uint32(p[headerSize+i*innerEntry+8:]))
+}
+
+func putInnerEntry(p []byte, i int, key uint64, child storage.PageID) {
+	off := headerSize + i*innerEntry
+	binary.LittleEndian.PutUint64(p[off:], key)
+	binary.LittleEndian.PutUint32(p[off+8:], uint32(child))
+}
+
+func setLeftmost(p []byte, child storage.PageID) {
+	binary.LittleEndian.PutUint32(p[3:], uint32(child))
+}
+
+// childIndex returns the index of the child to descend into for key:
+// -1 for the leftmost child, otherwise the largest i with innerKey(i) <= key.
+func childIndex(p []byte, key uint64) int {
+	n := count(p)
+	lo, hi := 0, n // find first entry with key' > key
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if innerKey(p, mid) <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
+}
+
+// leafIndex returns the position of key in the leaf, or (insertPos, false).
+func leafIndex(p []byte, key uint64) (int, bool) {
+	n := count(p)
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if leafKey(p, mid) < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < n && leafKey(p, lo) == key
+}
+
+// Insert adds or replaces the value for key.
+func (t *Tree) Insert(key uint64, v Value) error {
+	promoted, newChild, replaced, err := t.insert(t.root, key, v)
+	if err != nil {
+		return err
+	}
+	if newChild != noPage {
+		// Root split: grow the tree by one level.
+		newRoot := t.pager.Alloc()
+		rp := t.pager.MustPage(newRoot)
+		initInternal(rp)
+		setLeftmost(rp, t.root)
+		putInnerEntry(rp, 0, promoted, storage.PageID(newChild))
+		putCount(rp, 1)
+		t.root = newRoot
+		t.height++
+	}
+	if !replaced {
+		t.size++
+	}
+	return nil
+}
+
+// insert descends into page id. If the child splits, it returns the promoted
+// separator key and the new right sibling's page id (noPage when no split).
+func (t *Tree) insert(id storage.PageID, key uint64, v Value) (promoted uint64, newPage uint32, replaced bool, err error) {
+	p, err := t.pager.Page(id)
+	if err != nil {
+		return 0, noPage, false, err
+	}
+	if p[0] == kindLeaf {
+		return t.insertLeaf(p, key, v)
+	}
+	ci := childIndex(p, key)
+	childPromoted, childNew, replaced, err := t.insert(innerChild(p, ci), key, v)
+	if err != nil || childNew == noPage {
+		return 0, noPage, replaced, err
+	}
+	// Insert (childPromoted, childNew) after position ci.
+	n := count(p)
+	pos := ci + 1
+	if n < t.innerCap() {
+		for i := n; i > pos; i-- {
+			putInnerEntry(p, i, innerKey(p, i-1), innerChild(p, i-1))
+		}
+		putInnerEntry(p, pos, childPromoted, storage.PageID(childNew))
+		putCount(p, n+1)
+		return 0, noPage, replaced, nil
+	}
+	// Split the internal node.
+	keys := make([]uint64, 0, n+1)
+	children := make([]storage.PageID, 0, n+1)
+	for i := 0; i < n; i++ {
+		keys = append(keys, innerKey(p, i))
+		children = append(children, innerChild(p, i))
+	}
+	keys = append(keys[:pos], append([]uint64{childPromoted}, keys[pos:]...)...)
+	children = append(children[:pos], append([]storage.PageID{storage.PageID(childNew)}, children[pos:]...)...)
+	mid := len(keys) / 2
+	sep := keys[mid]
+	rightID := t.pager.Alloc()
+	// Re-fetch p: Alloc may have grown the pager's backing slice, and in any
+	// case we hold a reference to page memory, which Alloc never moves —
+	// pages are individually allocated — so p remains valid. Rebuild left.
+	left := keys[:mid]
+	for i, k := range left {
+		putInnerEntry(p, i, k, children[i])
+	}
+	putCount(p, len(left))
+	rp := t.pager.MustPage(rightID)
+	initInternal(rp)
+	setLeftmost(rp, children[mid])
+	right := keys[mid+1:]
+	for i, k := range right {
+		putInnerEntry(rp, i, k, children[mid+1+i])
+	}
+	putCount(rp, len(right))
+	return sep, uint32(rightID), replaced, nil
+}
+
+func (t *Tree) insertLeaf(p []byte, key uint64, v Value) (promoted uint64, newPage uint32, replaced bool, err error) {
+	pos, found := leafIndex(p, key)
+	if found {
+		putLeafEntry(p, pos, key, v)
+		return 0, noPage, true, nil
+	}
+	n := count(p)
+	if n < t.leafCap() {
+		for i := n; i > pos; i-- {
+			putLeafEntry(p, i, leafKey(p, i-1), leafValue(p, i-1))
+		}
+		putLeafEntry(p, pos, key, v)
+		putCount(p, n+1)
+		return 0, noPage, false, nil
+	}
+	// Split the leaf.
+	type kv struct {
+		k uint64
+		v Value
+	}
+	all := make([]kv, 0, n+1)
+	for i := 0; i < n; i++ {
+		all = append(all, kv{leafKey(p, i), leafValue(p, i)})
+	}
+	all = append(all[:pos], append([]kv{{key, v}}, all[pos:]...)...)
+	mid := len(all) / 2
+	rightID := t.pager.Alloc()
+	rp := t.pager.MustPage(rightID)
+	initLeaf(rp)
+	// Chain: right takes over left's next pointer, left points at right.
+	binary.LittleEndian.PutUint32(rp[3:], binary.LittleEndian.Uint32(p[3:]))
+	binary.LittleEndian.PutUint32(p[3:], uint32(rightID))
+	for i, e := range all[:mid] {
+		putLeafEntry(p, i, e.k, e.v)
+	}
+	putCount(p, mid)
+	for i, e := range all[mid:] {
+		putLeafEntry(rp, i, e.k, e.v)
+	}
+	putCount(rp, len(all)-mid)
+	return all[mid].k, uint32(rightID), false, nil
+}
+
+// Lookup returns the value for key, charging page reads to io (which may be
+// nil). By default only the leaf page is charged as one random read;
+// CountInternal adds the internal path.
+func (t *Tree) Lookup(key uint64, io *storage.Counter) (Value, error) {
+	id := t.root
+	for {
+		p, err := t.pager.Page(id)
+		if err != nil {
+			return Value{}, err
+		}
+		if p[0] == kindLeaf {
+			if io != nil {
+				io.RecordRand(1)
+			}
+			pos, found := leafIndex(p, key)
+			if !found {
+				return Value{}, fmt.Errorf("%w: %d", ErrNotFound, key)
+			}
+			return leafValue(p, pos), nil
+		}
+		if io != nil && t.CountInternal {
+			io.RecordRand(1)
+		}
+		id = innerChild(p, childIndex(p, key))
+	}
+}
+
+// Ascend calls fn for every (key, value) pair in ascending key order,
+// stopping early if fn returns false. It walks the leaf chain.
+func (t *Tree) Ascend(fn func(key uint64, v Value) bool) error {
+	// Descend to the leftmost leaf.
+	id := t.root
+	for {
+		p, err := t.pager.Page(id)
+		if err != nil {
+			return err
+		}
+		if p[0] == kindLeaf {
+			break
+		}
+		id = innerChild(p, -1)
+	}
+	for id != storage.PageID(noPage) {
+		p, err := t.pager.Page(id)
+		if err != nil {
+			return err
+		}
+		n := count(p)
+		for i := 0; i < n; i++ {
+			if !fn(leafKey(p, i), leafValue(p, i)) {
+				return nil
+			}
+		}
+		id = storage.PageID(binary.LittleEndian.Uint32(p[3:]))
+	}
+	return nil
+}

@@ -1,0 +1,218 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func newTree(t *testing.T, pageSize int) *Tree {
+	t.Helper()
+	tr, err := New(storage.NewPager(pageSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestInsertLookupSingle(t *testing.T) {
+	tr := newTree(t, 256)
+	want := Value{Offset: 1234, Length: 56}
+	if err := tr.Insert(42, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.Lookup(42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("Lookup = %+v, want %+v", got, want)
+	}
+	if _, err := tr.Lookup(43, nil); err == nil {
+		t.Error("missing key found")
+	}
+	if tr.Size() != 1 {
+		t.Errorf("Size = %d", tr.Size())
+	}
+}
+
+func TestInsertReplace(t *testing.T) {
+	tr := newTree(t, 256)
+	_ = tr.Insert(7, Value{Offset: 1})
+	_ = tr.Insert(7, Value{Offset: 2})
+	got, err := tr.Lookup(7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Offset != 2 {
+		t.Errorf("replace failed: %+v", got)
+	}
+	if tr.Size() != 1 {
+		t.Errorf("Size after replace = %d", tr.Size())
+	}
+}
+
+func TestSequentialInsertManySplits(t *testing.T) {
+	// Small pages force deep trees.
+	tr := newTree(t, 128)
+	const n = 5000
+	for i := uint64(0); i < n; i++ {
+		if err := tr.Insert(i, Value{Offset: i * 10, Length: uint32(i)}); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if tr.Size() != n {
+		t.Fatalf("Size = %d", tr.Size())
+	}
+	if tr.Height() < 3 {
+		t.Errorf("expected a deep tree with 128-byte pages, height = %d", tr.Height())
+	}
+	for i := uint64(0); i < n; i++ {
+		v, err := tr.Lookup(i, nil)
+		if err != nil {
+			t.Fatalf("lookup %d: %v", i, err)
+		}
+		if v.Offset != i*10 || v.Length != uint32(i) {
+			t.Fatalf("lookup %d = %+v", i, v)
+		}
+	}
+}
+
+func TestRandomInsertOrder(t *testing.T) {
+	tr := newTree(t, 256)
+	rng := rand.New(rand.NewSource(3))
+	ref := make(map[uint64]Value)
+	for i := 0; i < 3000; i++ {
+		k := rng.Uint64() % 10000
+		v := Value{Offset: rng.Uint64() % 1e9, Length: rng.Uint32() % 1e6}
+		ref[k] = v
+		if err := tr.Insert(k, v); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	if tr.Size() != len(ref) {
+		t.Fatalf("Size = %d, want %d", tr.Size(), len(ref))
+	}
+	for k, want := range ref {
+		got, err := tr.Lookup(k, nil)
+		if err != nil {
+			t.Fatalf("lookup %d: %v", k, err)
+		}
+		if got != want {
+			t.Fatalf("lookup %d = %+v, want %+v", k, got, want)
+		}
+	}
+	// Absent keys in gaps must fail.
+	misses := 0
+	for i := 0; i < 1000; i++ {
+		k := 10000 + rng.Uint64()%10000
+		if _, err := tr.Lookup(k, nil); err != nil {
+			misses++
+		}
+	}
+	if misses != 1000 {
+		t.Errorf("%d/1000 absent keys found", 1000-misses)
+	}
+}
+
+func TestAscendOrder(t *testing.T) {
+	tr := newTree(t, 128)
+	rng := rand.New(rand.NewSource(9))
+	keys := rng.Perm(2000)
+	for _, k := range keys {
+		_ = tr.Insert(uint64(k), Value{Offset: uint64(k)})
+	}
+	var got []uint64
+	err := tr.Ascend(func(k uint64, v Value) bool {
+		got = append(got, k)
+		if v.Offset != k {
+			t.Fatalf("value mismatch at key %d", k)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2000 {
+		t.Fatalf("Ascend visited %d keys", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("out of order at %d: %d >= %d", i, got[i-1], got[i])
+		}
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := newTree(t, 128)
+	for i := uint64(0); i < 100; i++ {
+		_ = tr.Insert(i, Value{})
+	}
+	count := 0
+	_ = tr.Ascend(func(k uint64, v Value) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Errorf("visited %d", count)
+	}
+}
+
+func TestLookupIOAccounting(t *testing.T) {
+	tr := newTree(t, 128)
+	for i := uint64(0); i < 2000; i++ {
+		_ = tr.Insert(i, Value{Offset: i})
+	}
+	var io storage.Counter
+	if _, err := tr.Lookup(1000, &io); err != nil {
+		t.Fatal(err)
+	}
+	if io.Rand() != 1 {
+		t.Errorf("default accounting charged %d reads, want 1 (leaf only)", io.Rand())
+	}
+	tr.CountInternal = true
+	io.Reset()
+	if _, err := tr.Lookup(1000, &io); err != nil {
+		t.Fatal(err)
+	}
+	if io.Rand() != int64(tr.Height()) {
+		t.Errorf("physical accounting charged %d reads, want height %d", io.Rand(), tr.Height())
+	}
+}
+
+func TestPageTooSmall(t *testing.T) {
+	if _, err := New(storage.NewPager(16)); err == nil {
+		t.Error("16-byte pages accepted")
+	}
+}
+
+func TestBoundaryKeys(t *testing.T) {
+	tr := newTree(t, 256)
+	keys := []uint64{0, 1, ^uint64(0), ^uint64(0) - 1, 1 << 63}
+	for _, k := range keys {
+		if err := tr.Insert(k, Value{Offset: k}); err != nil {
+			t.Fatalf("insert %d: %v", k, err)
+		}
+	}
+	for _, k := range keys {
+		v, err := tr.Lookup(k, nil)
+		if err != nil || v.Offset != k {
+			t.Errorf("lookup %d = %+v, %v", k, v, err)
+		}
+	}
+}
+
+func TestDescendingInsertOrder(t *testing.T) {
+	tr := newTree(t, 128)
+	for i := 3000; i >= 0; i-- {
+		if err := tr.Insert(uint64(i), Value{Offset: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i <= 3000; i++ {
+		if v, err := tr.Lookup(i, nil); err != nil || v.Offset != i {
+			t.Fatalf("lookup %d failed: %+v %v", i, v, err)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestConcurrentQueries exercises the documented guarantee that a built
+// index is safe for concurrent queries (run with -race to check).
+func TestConcurrentQueries(t *testing.T) {
+	ix, sets := buildSmall(t, 300, 40)
+	qs, err := workload.Queries(len(sets), workload.QueryParams{Count: 32, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(qs))
+	for _, q := range qs {
+		wg.Add(1)
+		go func(q workload.Query) {
+			defer wg.Done()
+			if _, _, err := ix.Query(sets[q.SID], q.Lo, q.Hi); err != nil {
+				errs <- err
+			}
+		}(q)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent query: %v", err)
+	}
+}
+
+// TestConcurrentQueriesDeterministic verifies that concurrency does not
+// change results: the same query run concurrently and serially agrees.
+func TestConcurrentQueriesDeterministic(t *testing.T) {
+	ix, sets := buildSmall(t, 200, 30)
+	serial, _, err := ix.Query(sets[0], 0.5, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	results := make([][]Match, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			m, _, err := ix.Query(sets[0], 0.5, 1.0)
+			if err == nil {
+				results[g] = m
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, got := range results {
+		if len(got) != len(serial) {
+			t.Fatalf("goroutine %d: %d results, serial %d", g, len(got), len(serial))
+		}
+		for i := range got {
+			if got[i] != serial[i] {
+				t.Fatalf("goroutine %d: result %d differs", g, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,578 @@
+// Package core assembles the paper's complete indexing scheme: the
+// embedding pipeline (Section 3), a battery of Similarity and Dissimilarity
+// Filter Indices placed and budgeted by the optimizer (Section 5), the
+// four-case range query processor (Section 4.3), and exact verification of
+// candidates against the stored collection.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/btree"
+	"repro/internal/embed"
+	"repro/internal/filter"
+	"repro/internal/minhash"
+	"repro/internal/optimize"
+	"repro/internal/set"
+	"repro/internal/simdist"
+	"repro/internal/storage"
+)
+
+// Options configures Build.
+type Options struct {
+	// Embed configures the S → V → H pipeline. Zero value selects
+	// embed.DefaultOptions (k=100, b=8).
+	Embed embed.Options
+	// Plan configures the Section 5 optimizer. Budget is required.
+	Plan optimize.Options
+	// PageSize is the simulated disk page size (0 = storage default).
+	PageSize int
+	// PayloadPerElem makes the store account I/O as if each element
+	// carried that many extra bytes (its original string form); see
+	// storage.NewSetStoreWithPayload. Zero accounts only the compact
+	// encoding.
+	PayloadPerElem int
+	// DistBins is the similarity-histogram resolution (0 = default).
+	DistBins int
+	// DistSample is the number of pairs sampled to estimate D_S from
+	// signatures (Lemma 1). 0 selects min(100·N, 200000). Negative values
+	// request the exact O(N²) computation from the stored sets.
+	DistSample int
+	// DistSeed seeds distribution sampling and bit-position sampling.
+	DistSeed int64
+	// Distribution, if non-nil, is used directly instead of being
+	// estimated (useful for tests and for reusing a known distribution).
+	Distribution *simdist.Histogram
+	// PlanOverride, if non-nil, is installed verbatim instead of running
+	// the optimizer; the distribution is then neither estimated nor
+	// consulted. Used by snapshot loading to reproduce an index exactly.
+	PlanOverride *optimize.Plan
+	// PrecomputedSignatures, if non-nil, must hold one signature per set
+	// computed under exactly the Embed options given; min-hash signing
+	// (the dominant build cost) is then skipped. Used by snapshot loading.
+	PrecomputedSignatures []minhash.Signature
+	// DisableBTree skips the B+tree and resolves sids from the in-memory
+	// directory (candidate page I/O is still charged identically).
+	DisableBTree bool
+	// CountLocatorIO additionally charges B+tree lookup page reads when
+	// fetching candidates. The default (off) matches the paper's cost
+	// model: one random access per candidate set, sid index cached.
+	CountLocatorIO bool
+}
+
+// Match is one query result: a set identifier and its exact similarity to
+// the query set.
+type Match struct {
+	SID        storage.SID
+	Similarity float64
+}
+
+// QueryStats reports what a query cost and what the filters produced.
+type QueryStats struct {
+	// Candidates is the number of distinct sids the filter combination
+	// produced before verification.
+	Candidates int
+	// Results is the number of candidates that verified into the range.
+	Results int
+	// IndexIO counts bucket-page reads performed by filter probes.
+	IndexIO storage.Counter
+	// FetchIO counts page reads performed fetching candidate sets.
+	FetchIO storage.Counter
+	// CPU is the measured processor time of the query (wall time of the
+	// in-memory work; the simulated disk contributes no wall time).
+	CPU time.Duration
+	// EnclosedLo, EnclosedHi are the partition points used.
+	EnclosedLo, EnclosedHi float64
+}
+
+// SimIOTime returns the simulated I/O time of the query under model m.
+func (st *QueryStats) SimIOTime(m storage.CostModel) time.Duration {
+	return m.Time(st.IndexIO.Seq()+st.FetchIO.Seq(), st.IndexIO.Rand()+st.FetchIO.Rand())
+}
+
+// Index is a built similar-set retrieval index over a fixed collection.
+// It is safe for concurrent queries.
+type Index struct {
+	emb   *embed.Embedder
+	plan  optimize.Plan
+	sfis  map[float64]*filter.Index
+	dfis  map[float64]*filter.Index
+	store *storage.SetStore
+	tree  *btree.Tree
+	hist  *simdist.Histogram
+	sigs  []minhash.Signature
+	n     int
+	// indexPager holds filter-index bucket pages; dataPager holds B+tree
+	// nodes. The set heap lives inside the SetStore.
+	indexPager *storage.Pager
+	dataPager  *storage.Pager
+	// buildOpts records how the index was built, for snapshots. The Embed
+	// options stored are the resolved ones (defaults applied).
+	buildOpts Options
+}
+
+// treeLocator adapts btree.Tree to storage.SetLocator.
+type treeLocator struct {
+	t       *btree.Tree
+	countIO bool
+}
+
+// Locate resolves sid through the B+tree. Lookup I/O is charged only when
+// the index was built with CountLocatorIO; the paper's cost analysis
+// charges one random access per candidate set and treats the sid index as
+// cached (200k entries fit in a few megabytes).
+func (l treeLocator) Locate(sid storage.SID, io *storage.Counter) (uint64, uint32, error) {
+	if !l.countIO {
+		io = nil
+	}
+	v, err := l.t.Lookup(uint64(sid), io)
+	if err != nil {
+		return 0, 0, err
+	}
+	return v.Offset, v.Length, nil
+}
+
+// Build preprocesses the collection per Sections 3 and 5 and returns a
+// ready index. The input slice is not retained.
+func Build(sets []set.Set, opt Options) (*Index, error) {
+	if len(sets) == 0 {
+		return nil, fmt.Errorf("core: empty collection")
+	}
+	eopt := opt.Embed
+	if eopt.K == 0 {
+		eopt = embed.DefaultOptions()
+	}
+	emb, err := embed.New(eopt)
+	if err != nil {
+		return nil, err
+	}
+
+	resolved := opt
+	resolved.Embed = eopt
+	ix := &Index{
+		buildOpts:  resolved,
+		emb:        emb,
+		sfis:       make(map[float64]*filter.Index),
+		dfis:       make(map[float64]*filter.Index),
+		store:      storage.NewSetStoreWithPayload(opt.PageSize, opt.PayloadPerElem),
+		n:          len(sets),
+		indexPager: storage.NewPager(opt.PageSize),
+		dataPager:  storage.NewPager(opt.PageSize),
+	}
+
+	// 1. Persist the collection; sids are dense append order.
+	if !opt.DisableBTree {
+		tree, err := btree.New(ix.dataPager)
+		if err != nil {
+			return nil, err
+		}
+		ix.tree = tree
+	}
+	for _, s := range sets {
+		sid := ix.store.Append(s)
+		if ix.tree != nil {
+			off, length, err := ix.store.Location(sid)
+			if err != nil {
+				return nil, err
+			}
+			if err := ix.tree.Insert(uint64(sid), btree.Value{Offset: off, Length: length}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if ix.tree != nil {
+		ix.store.SetLocator(treeLocator{t: ix.tree, countIO: opt.CountLocatorIO})
+	}
+
+	// 2. Min-hash signatures (the V-space vectors).
+	if opt.PrecomputedSignatures != nil {
+		if len(opt.PrecomputedSignatures) != len(sets) {
+			return nil, fmt.Errorf("core: %d precomputed signatures for %d sets", len(opt.PrecomputedSignatures), len(sets))
+		}
+		for i, sig := range opt.PrecomputedSignatures {
+			if len(sig) != emb.K() {
+				return nil, fmt.Errorf("core: signature %d has %d coordinates, embedding has k=%d", i, len(sig), emb.K())
+			}
+		}
+		ix.sigs = opt.PrecomputedSignatures
+	} else {
+		ix.sigs = make([]minhash.Signature, len(sets))
+		for i, s := range sets {
+			ix.sigs[i] = emb.Sign(s)
+		}
+	}
+
+	// 3. Similarity distribution D_S (skipped under a plan override).
+	ix.hist = opt.Distribution
+	if ix.hist == nil && opt.PlanOverride == nil {
+		switch {
+		case opt.DistSample < 0:
+			ix.hist = simdist.ExactPairs(sets, opt.DistBins)
+		default:
+			sample := opt.DistSample
+			if sample == 0 {
+				sample = 100 * len(sets)
+				if sample > 200000 {
+					sample = 200000
+				}
+			}
+			maxPairs := len(sets) * (len(sets) - 1) / 2
+			if sample > maxPairs {
+				sample = maxPairs
+			}
+			if sample < 1 {
+				sample = 1
+			}
+			h, err := simdist.SampleSignaturePairs(ix.sigs, sample, opt.DistBins, opt.DistSeed+7)
+			if err != nil {
+				return nil, err
+			}
+			ix.hist = h
+		}
+	}
+
+	// 4. Plan: placement, kinds, table budget (Figure 4). The capture
+	// model needs the signature length of the embedding it serves.
+	if opt.PlanOverride != nil {
+		ix.plan = *opt.PlanOverride
+	} else {
+		popt := opt.Plan
+		if popt.SignatureK == 0 {
+			popt.SignatureK = emb.K()
+		}
+		plan, err := optimize.BuildPlan(ix.hist, popt)
+		if err != nil {
+			return nil, err
+		}
+		ix.plan = plan
+	}
+
+	// 5. Materialize the filter indices and insert every signature.
+	for i, fi := range ix.plan.FIs {
+		fidx, err := filter.New(ix.indexPager, filter.Options{
+			Kind:            fi.Kind,
+			Threshold:       embed.HammingFromJaccard(fi.Point),
+			Dim:             emb.Dimension(),
+			Tables:          fi.Tables,
+			Seed:            opt.DistSeed + int64(i)*7919 + 13,
+			ExpectedEntries: len(sets),
+		})
+		if err != nil {
+			return nil, err
+		}
+		if fi.Kind == filter.Dissimilar {
+			ix.dfis[fi.Point] = fidx
+		} else {
+			ix.sfis[fi.Point] = fidx
+		}
+	}
+	for sid, sig := range ix.sigs {
+		src := emb.Bits(sig)
+		for _, f := range ix.sfis {
+			f.Insert(src, storage.SID(sid))
+		}
+		for _, f := range ix.dfis {
+			f.Insert(src, storage.SID(sid))
+		}
+	}
+	return ix, nil
+}
+
+// Sets returns the live collection as in-memory set views, indexed by sid
+// (tombstoned sids are skipped, so after deletions the result is dense but
+// renumbered relative to the original sids).
+func (ix *Index) Sets() ([]set.Set, error) {
+	out := make([]set.Set, 0, ix.n)
+	err := ix.store.Scan(nil, func(sid storage.SID, s set.Set) bool {
+		out = append(out, s)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Plan returns the optimizer's plan for inspection.
+func (ix *Index) Plan() optimize.Plan { return ix.plan }
+
+// Distribution returns the similarity distribution the index was tuned to.
+func (ix *Index) Distribution() *simdist.Histogram { return ix.hist }
+
+// Len returns the collection size.
+func (ix *Index) Len() int { return ix.n }
+
+// Store exposes the underlying set store (for the scan baseline and eval).
+func (ix *Index) Store() *storage.SetStore { return ix.store }
+
+// Embedder exposes the embedding pipeline (queries must use the same one).
+func (ix *Index) Embedder() *embed.Embedder { return ix.emb }
+
+// IndexPages returns the number of pages consumed by filter-index buckets.
+func (ix *Index) IndexPages() int { return ix.indexPager.NumPages() }
+
+// enclose finds the partition points minimally enclosing [a, b] among
+// {0} ∪ cuts ∪ {1}.
+func (ix *Index) enclose(a, b float64) (lo, hi float64) {
+	lo, hi = 0.0, 1.0
+	for _, c := range ix.plan.Cuts {
+		if c <= a && c > lo {
+			lo = c
+		}
+		if c >= b && c < hi {
+			hi = c
+		}
+	}
+	return lo, hi
+}
+
+// sidDiff returns a \ b for sorted sid slices.
+func sidDiff(a, b []storage.SID) []storage.SID {
+	if len(b) == 0 {
+		return a
+	}
+	out := a[:0:0]
+	i, j := 0, 0
+	for i < len(a) {
+		switch {
+		case j >= len(b) || a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] == b[j]:
+			i++
+			j++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// sidUnion returns a ∪ b for sorted sid slices.
+func sidUnion(a, b []storage.SID) []storage.SID {
+	out := make([]storage.SID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		default:
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// Candidates runs only the filter stage for the range [s1, s2], returning
+// the deduplicated candidate sids (the paper's answer set A before
+// verification). Index I/O is charged to stats.
+func (ix *Index) Candidates(q set.Set, s1, s2 float64, stats *QueryStats) ([]storage.SID, error) {
+	if s1 > s2 {
+		return nil, fmt.Errorf("core: invalid range [%g, %g]", s1, s2)
+	}
+	sig := ix.emb.Sign(q)
+	return ix.candidatesFromSignature(sig, s1, s2, stats)
+}
+
+func (ix *Index) candidatesFromSignature(sig minhash.Signature, s1, s2 float64, stats *QueryStats) ([]storage.SID, error) {
+	src := ix.emb.Bits(sig)
+	lo, hi := ix.enclose(s1, s2)
+	stats.EnclosedLo, stats.EnclosedHi = lo, hi
+
+	dissim := func(p float64) []storage.SID {
+		f, ok := ix.dfis[p]
+		if !ok {
+			return nil
+		}
+		return f.Vector(src, &stats.IndexIO)
+	}
+	sim := func(p float64) []storage.SID {
+		f, ok := ix.sfis[p]
+		if !ok {
+			return nil
+		}
+		return f.Vector(src, &stats.IndexIO)
+	}
+
+	_, hiIsDFI := ix.dfis[hi]
+	_, loIsSFI := ix.sfis[lo]
+	var a []storage.SID
+	switch {
+	case hiIsDFI:
+		// lo = r_i, up = r_j: A = DissimVector(up) \ DissimVector(lo);
+		// DissimVector(0) is empty.
+		a = sidDiff(dissim(hi), dissim(lo))
+	case loIsSFI:
+		// lo = t_i, up = t_j: A = SimVector(lo) \ SimVector(up);
+		// SimVector(1) is empty.
+		var upper []storage.SID
+		if hi < 1 {
+			upper = sim(hi)
+		}
+		a = sidDiff(sim(lo), upper)
+	default:
+		// Mixed: combine around the δ point carrying both kinds
+		// (Section 4.3 third case).
+		dPoint, ok := ix.bothKindsPoint()
+		if !ok {
+			return nil, fmt.Errorf("core: no usable filter indices for range [%g, %g]", s1, s2)
+		}
+		var loVec []storage.SID
+		if lo > 0 {
+			loVec = dissim(lo)
+		}
+		var hiVec []storage.SID
+		if hi < 1 {
+			hiVec = sim(hi)
+		}
+		a = sidUnion(
+			sidDiff(dissim(dPoint), loVec),
+			sidDiff(sim(dPoint), hiVec),
+		)
+	}
+	stats.Candidates = len(a)
+	return a, nil
+}
+
+func (ix *Index) bothKindsPoint() (float64, bool) {
+	for p := range ix.dfis {
+		if _, ok := ix.sfis[p]; ok {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// Query answers the set similarity range query (q, [s1, s2]) of
+// Definition 2: filter, fetch, verify. Results are sorted by descending
+// similarity, ties by ascending sid.
+func (ix *Index) Query(q set.Set, s1, s2 float64) ([]Match, QueryStats, error) {
+	var stats QueryStats
+	start := time.Now()
+	cands, err := ix.Candidates(q, s1, s2, &stats)
+	if err != nil {
+		return nil, stats, err
+	}
+	matches := make([]Match, 0, len(cands)/4+1)
+	for _, sid := range cands {
+		s, err := ix.store.Fetch(sid, &stats.FetchIO)
+		if err != nil {
+			return nil, stats, fmt.Errorf("core: fetching candidate %d: %w", sid, err)
+		}
+		sim := q.Jaccard(s)
+		if sim >= s1 && sim <= s2 {
+			matches = append(matches, Match{SID: sid, Similarity: sim})
+		}
+	}
+	sort.Slice(matches, func(i, j int) bool {
+		if matches[i].Similarity != matches[j].Similarity {
+			return matches[i].Similarity > matches[j].Similarity
+		}
+		return matches[i].SID < matches[j].SID
+	})
+	stats.Results = len(matches)
+	stats.CPU = time.Since(start)
+	return matches, stats, nil
+}
+
+// Insert adds a new set to the collection and all filter indices, returning
+// its sid — the dynamic maintenance the paper notes hash indices support.
+// The optimizer's plan is not re-derived; for drastic distribution shifts,
+// rebuild.
+func (ix *Index) Insert(s set.Set) (storage.SID, error) {
+	sid := ix.store.Append(s)
+	if ix.tree != nil {
+		off, length, err := ix.store.Location(sid)
+		if err != nil {
+			return 0, err
+		}
+		if err := ix.tree.Insert(uint64(sid), btree.Value{Offset: off, Length: length}); err != nil {
+			return 0, err
+		}
+	}
+	sig := ix.emb.Sign(s)
+	ix.sigs = append(ix.sigs, sig)
+	src := ix.emb.Bits(sig)
+	for _, f := range ix.sfis {
+		f.Insert(src, sid)
+	}
+	for _, f := range ix.dfis {
+		f.Insert(src, sid)
+	}
+	ix.n++
+	return sid, nil
+}
+
+// Delete removes sid from every filter index and tombstones its record —
+// the deletion side of the paper's "fully dynamic" claim. The sid stays
+// allocated (queries simply never return it); heap compaction is out of
+// scope.
+func (ix *Index) Delete(sid storage.SID) error {
+	if int(sid) >= len(ix.sigs) {
+		return fmt.Errorf("core: sid %d out of range", sid)
+	}
+	if ix.sigs[sid] == nil {
+		return fmt.Errorf("core: sid %d already deleted", sid)
+	}
+	if err := ix.store.Delete(sid); err != nil {
+		return err
+	}
+	src := ix.emb.Bits(ix.sigs[sid])
+	for _, f := range ix.sfis {
+		f.Delete(src, sid)
+	}
+	for _, f := range ix.dfis {
+		f.Delete(src, sid)
+	}
+	ix.sigs[sid] = nil
+	ix.n--
+	return nil
+}
+
+// FilterIndexes reports the built structures as (point, kind, tables, r)
+// rows for inspection, ascending by point with DFIs first.
+func (ix *Index) FilterIndexes() []optimize.FI {
+	out := make([]optimize.FI, 0, len(ix.sfis)+len(ix.dfis))
+	for p, f := range ix.dfis {
+		out = append(out, optimize.FI{Point: p, Kind: filter.Dissimilar, Tables: f.Tables(), R: f.SampledBits()})
+	}
+	for p, f := range ix.sfis {
+		out = append(out, optimize.FI{Point: p, Kind: filter.Similar, Tables: f.Tables(), R: f.SampledBits()})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Point != out[j].Point {
+			return out[i].Point < out[j].Point
+		}
+		return out[i].Kind == filter.Dissimilar && out[j].Kind == filter.Similar
+	})
+	return out
+}
+
+// EstimateSimilarity returns the min-hash estimate of sim(q, sid) without
+// touching storage, together with the 95%-confidence Chernoff half-width
+// for the index's signature length.
+func (ix *Index) EstimateSimilarity(q set.Set, sid storage.SID) (est float64, epsAt95 float64, err error) {
+	if int(sid) >= len(ix.sigs) {
+		return 0, 0, fmt.Errorf("core: sid %d out of range", sid)
+	}
+	qs := ix.emb.Sign(q)
+	est, err = minhash.Estimate(qs, ix.sigs[sid])
+	if err != nil {
+		return 0, 0, err
+	}
+	// Solve 2·exp(-2k·eps²) = 0.05 for eps.
+	k := float64(ix.emb.K())
+	eps := math.Sqrt(math.Log(2/0.05) / (2 * k))
+	return est, eps, nil
+}

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/embed"
+	"repro/internal/optimize"
+	"repro/internal/set"
+	"repro/internal/workload"
+)
+
+// buildSmall builds a small but realistic index for integration tests.
+func buildSmall(t *testing.T, n, budget int) (*Index, []set.Set) {
+	t.Helper()
+	sets, err := workload.Generate(workload.Set1Params(n))
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	ix, err := Build(sets, Options{
+		Embed: embed.Options{K: 64, Bits: 8, Seed: 42},
+		Plan:  optimize.Options{Budget: budget, RecallTarget: 0.9},
+	})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return ix, sets
+}
+
+func exactAnswer(sets []set.Set, q set.Set, lo, hi float64) map[uint32]struct{} {
+	out := make(map[uint32]struct{})
+	for i, s := range sets {
+		sim := q.Jaccard(s)
+		if sim >= lo && sim <= hi {
+			out[uint32(i)] = struct{}{}
+		}
+	}
+	return out
+}
+
+func TestQueryNoFalsePositives(t *testing.T) {
+	ix, sets := buildSmall(t, 500, 60)
+	qs, err := workload.Queries(len(sets), workload.QueryParams{Count: 20, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		matches, _, err := ix.Query(sets[q.SID], q.Lo, q.Hi)
+		if err != nil {
+			t.Fatalf("query: %v", err)
+		}
+		truth := exactAnswer(sets, sets[q.SID], q.Lo, q.Hi)
+		for _, m := range matches {
+			if _, ok := truth[m.SID]; !ok {
+				t.Errorf("false positive sid %d sim %g for range [%g,%g]", m.SID, m.Similarity, q.Lo, q.Hi)
+			}
+			if m.Similarity < q.Lo || m.Similarity > q.Hi {
+				t.Errorf("similarity %g outside [%g,%g]", m.Similarity, q.Lo, q.Hi)
+			}
+		}
+	}
+}
+
+func TestQueryRecallHighSimilarity(t *testing.T) {
+	ix, sets := buildSmall(t, 800, 80)
+	// High-similarity queries: the regime the index is strongest in.
+	totTruth, totHit := 0, 0
+	for sid := 0; sid < 100; sid++ {
+		matches, _, err := ix.Query(sets[sid], 0.8, 1.0)
+		if err != nil {
+			t.Fatalf("query: %v", err)
+		}
+		truth := exactAnswer(sets, sets[sid], 0.8, 1.0)
+		totTruth += len(truth)
+		totHit += len(matches)
+	}
+	if totTruth == 0 {
+		t.Fatal("workload produced no high-similarity pairs; generator regression")
+	}
+	recall := float64(totHit) / float64(totTruth)
+	if recall < 0.8 {
+		t.Errorf("aggregate recall %.3f too low (hits %d / truth %d)", recall, totHit, totTruth)
+	}
+}
+
+func TestQuerySelfRetrieval(t *testing.T) {
+	ix, sets := buildSmall(t, 300, 40)
+	missed := 0
+	for sid := 0; sid < 50; sid++ {
+		matches, _, err := ix.Query(sets[sid], 0.95, 1.0)
+		if err != nil {
+			t.Fatalf("query: %v", err)
+		}
+		found := false
+		for _, m := range matches {
+			if int(m.SID) == sid {
+				found = true
+				if m.Similarity != 1 {
+					t.Errorf("self similarity = %g, want 1", m.Similarity)
+				}
+			}
+		}
+		if !found {
+			missed++
+		}
+	}
+	// Identical vectors collide in every table with probability 1, so a
+	// query set that is in the collection must always retrieve itself.
+	if missed > 0 {
+		t.Errorf("%d/50 self-retrievals missed; identical vectors must always collide", missed)
+	}
+}
+
+func TestQueryStatsAccounting(t *testing.T) {
+	ix, sets := buildSmall(t, 300, 40)
+	_, stats, err := ix.Query(sets[0], 0.7, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Candidates < stats.Results {
+		t.Errorf("candidates %d < results %d", stats.Candidates, stats.Results)
+	}
+	if stats.IndexIO.Rand() == 0 {
+		t.Error("no index I/O recorded")
+	}
+	if stats.Candidates > 0 && stats.FetchIO.Rand() == 0 {
+		t.Error("candidates fetched without random I/O")
+	}
+	if stats.EnclosedLo > 0.7 || stats.EnclosedHi < 1.0 {
+		t.Errorf("enclosing points [%g,%g] do not cover [0.7,1]", stats.EnclosedLo, stats.EnclosedHi)
+	}
+}
+
+func TestLowSimilarityRangeUsesDFIs(t *testing.T) {
+	ix, sets := buildSmall(t, 500, 60)
+	// A range well below delta must be answered by the DFI combination.
+	var stats QueryStats
+	_, err := ix.Candidates(sets[0], 0.0, ix.Plan().Delta/2, &stats)
+	if err != nil {
+		t.Fatalf("candidates: %v", err)
+	}
+	if stats.EnclosedHi > ix.Plan().Delta+1e-9 {
+		t.Errorf("enclosing hi %g beyond delta %g", stats.EnclosedHi, ix.Plan().Delta)
+	}
+}
+
+func TestInsertThenQuery(t *testing.T) {
+	ix, sets := buildSmall(t, 300, 40)
+	// Insert a near-duplicate of set 0 and expect to find it at high sim.
+	elems := append([]set.Elem(nil), sets[0].Elems()...)
+	dup := set.New(elems...)
+	sid, err := ix.Insert(dup)
+	if err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	matches, _, err := ix.Query(sets[0], 0.99, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range matches {
+		if m.SID == sid {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("inserted duplicate (sid %d) not retrieved at similarity 1", sid)
+	}
+	if ix.Len() != 301 {
+		t.Errorf("Len = %d, want 301", ix.Len())
+	}
+}
+
+func TestEstimateSimilarity(t *testing.T) {
+	ix, sets := buildSmall(t, 200, 40)
+	est, eps, err := ix.EstimateSimilarity(sets[3], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != 1 {
+		t.Errorf("self estimate = %g, want 1", est)
+	}
+	if eps <= 0 || eps >= 1 {
+		t.Errorf("eps = %g out of (0,1)", eps)
+	}
+	// A random other set should estimate near its true similarity.
+	truth := sets[3].Jaccard(sets[77])
+	est2, _, err := ix.EstimateSimilarity(sets[3], 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est2-truth) > 0.35 {
+		t.Errorf("estimate %g too far from truth %g", est2, truth)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, Options{}); err == nil {
+		t.Error("empty collection accepted")
+	}
+	sets, _ := workload.Generate(workload.Set1Params(10))
+	if _, err := Build(sets, Options{Plan: optimize.Options{Budget: 0}}); err == nil {
+		t.Error("zero budget accepted")
+	}
+}
+
+func TestQueryInvalidRange(t *testing.T) {
+	ix, sets := buildSmall(t, 100, 30)
+	if _, _, err := ix.Query(sets[0], 0.9, 0.1); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+func TestSidSetOps(t *testing.T) {
+	a := []uint32{1, 2, 3, 5, 8}
+	b := []uint32{2, 3, 4, 8}
+	d := sidDiff(a, b)
+	want := []uint32{1, 5}
+	if len(d) != len(want) {
+		t.Fatalf("diff = %v, want %v", d, want)
+	}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("diff = %v, want %v", d, want)
+		}
+	}
+	u := sidUnion(a, b)
+	wantU := []uint32{1, 2, 3, 4, 5, 8}
+	if len(u) != len(wantU) {
+		t.Fatalf("union = %v, want %v", u, wantU)
+	}
+	for i := range wantU {
+		if u[i] != wantU[i] {
+			t.Fatalf("union = %v, want %v", u, wantU)
+		}
+	}
+	if got := sidDiff(nil, b); len(got) != 0 {
+		t.Errorf("diff(nil, b) = %v", got)
+	}
+	if got := sidUnion(nil, nil); len(got) != 0 {
+		t.Errorf("union(nil, nil) = %v", got)
+	}
+}
+
+func TestSidOpsProperties(t *testing.T) {
+	// Model-based check of the sorted-sid set algebra against maps.
+	f := func(rawA, rawB []uint16) bool {
+		mkSorted := func(raw []uint16) []uint32 {
+			m := map[uint32]bool{}
+			for _, v := range raw {
+				m[uint32(v%64)] = true
+			}
+			out := make([]uint32, 0, len(m))
+			for v := range m {
+				out = append(out, v)
+			}
+			sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+			return out
+		}
+		a, b := mkSorted(rawA), mkSorted(rawB)
+		inB := map[uint32]bool{}
+		for _, v := range b {
+			inB[v] = true
+		}
+		diff := sidDiff(append([]uint32(nil), a...), b)
+		for _, v := range diff {
+			if inB[v] {
+				return false
+			}
+		}
+		union := sidUnion(a, b)
+		if len(union) < len(a) || len(union) < len(b) {
+			return false
+		}
+		for i := 1; i < len(union); i++ {
+			if union[i-1] >= union[i] {
+				return false
+			}
+		}
+		// |A| = |A\B| + |A∩B| and |A∪B| = |A| + |B| - |A∩B|.
+		inter := 0
+		for _, v := range a {
+			if inB[v] {
+				inter++
+			}
+		}
+		return len(diff) == len(a)-inter && len(union) == len(a)+len(b)-inter
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

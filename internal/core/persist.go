@@ -1,0 +1,120 @@
+package core
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/embed"
+	"repro/internal/minhash"
+	"repro/internal/optimize"
+	"repro/internal/set"
+	"repro/internal/storage"
+)
+
+// snapshotMagic guards the persistence format.
+const snapshotMagic = "SSRIDX1\n"
+
+// snapshot is the durable form of an index: everything needed to rebuild
+// it exactly. Filter-index contents are not stored — they are a pure
+// function of (sets, embedding seed, plan, per-FI seeds) and are rebuilt
+// deterministically on load. Signatures ARE stored (k uint64s per set), so
+// loading skips min-hash signing, the dominant build cost.
+type snapshot struct {
+	// Embedding parameters. Only the default Hadamard code is supported;
+	// custom ecc.Code values are not serializable.
+	EmbedK    int
+	EmbedBits int
+	EmbedSeed int64
+	// Storage parameters.
+	PageSize       int
+	PayloadPerElem int
+	DistSeed       int64
+	DisableBTree   bool
+	CountLocatorIO bool
+	// Plan is installed verbatim (the optimizer is not re-run).
+	Plan optimize.Plan
+	// Sets is the live collection; deleted sids are compacted out, so
+	// loading a snapshot of an index with deletions renumbers sids.
+	Sets [][]uint64
+	// Sigs caches the per-set min-hash signatures, aligned with Sets.
+	Sigs [][]uint64
+}
+
+// Save writes the index to w. See Load.
+func (ix *Index) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return fmt.Errorf("core: writing snapshot header: %w", err)
+	}
+	snap := snapshot{
+		EmbedK:         ix.buildOpts.Embed.K,
+		EmbedBits:      ix.buildOpts.Embed.Bits,
+		EmbedSeed:      ix.buildOpts.Embed.Seed,
+		PageSize:       ix.buildOpts.PageSize,
+		PayloadPerElem: ix.buildOpts.PayloadPerElem,
+		DistSeed:       ix.buildOpts.DistSeed,
+		DisableBTree:   ix.buildOpts.DisableBTree,
+		CountLocatorIO: ix.buildOpts.CountLocatorIO,
+		Plan:           ix.plan,
+	}
+	err := ix.store.Scan(nil, func(sid storage.SID, s set.Set) bool {
+		elems := make([]uint64, s.Len())
+		copy(elems, s.Elems())
+		snap.Sets = append(snap.Sets, elems)
+		snap.Sigs = append(snap.Sigs, ix.sigs[sid])
+		return true
+	})
+	if err != nil {
+		return fmt.Errorf("core: scanning collection for snapshot: %w", err)
+	}
+	if err := gob.NewEncoder(bw).Encode(&snap); err != nil {
+		return fmt.Errorf("core: encoding snapshot: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Load reconstructs an index from a snapshot written by Save. The rebuild
+// is deterministic: the same embedding family, sampled bit positions and
+// plan are restored, so query results match the saved index exactly
+// (modulo sid renumbering if the saved index had deletions).
+func Load(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("core: reading snapshot header: %w", err)
+	}
+	if string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("core: not an index snapshot (bad magic %q)", magic)
+	}
+	var snap snapshot
+	if err := gob.NewDecoder(br).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
+	}
+	if len(snap.Sets) == 0 {
+		return nil, fmt.Errorf("core: snapshot holds no sets")
+	}
+	sets := make([]set.Set, len(snap.Sets))
+	for i, elems := range snap.Sets {
+		sets[i] = set.New(elems...)
+	}
+	var sigs []minhash.Signature
+	if len(snap.Sigs) == len(snap.Sets) {
+		sigs = make([]minhash.Signature, len(snap.Sigs))
+		for i, sig := range snap.Sigs {
+			sigs[i] = minhash.Signature(sig)
+		}
+	}
+	plan := snap.Plan
+	return Build(sets, Options{
+		Embed:                 embed.Options{K: snap.EmbedK, Bits: snap.EmbedBits, Seed: snap.EmbedSeed},
+		PageSize:              snap.PageSize,
+		PayloadPerElem:        snap.PayloadPerElem,
+		DistSeed:              snap.DistSeed,
+		DisableBTree:          snap.DisableBTree,
+		CountLocatorIO:        snap.CountLocatorIO,
+		PlanOverride:          &plan,
+		PrecomputedSignatures: sigs,
+	})
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/embed"
+	"repro/internal/optimize"
+	"repro/internal/workload"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ix, sets := buildSmall(t, 400, 50)
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if loaded.Len() != ix.Len() {
+		t.Fatalf("loaded %d sets, want %d", loaded.Len(), ix.Len())
+	}
+	// The rebuild is deterministic: identical plans and identical query
+	// results.
+	if got, want := loaded.Plan().Cuts, ix.Plan().Cuts; len(got) != len(want) {
+		t.Fatalf("cuts differ: %v vs %v", got, want)
+	}
+	qs, err := workload.Queries(len(sets), workload.QueryParams{Count: 10, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		a, _, err := ix.Query(sets[q.SID], q.Lo, q.Hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := loaded.Query(sets[q.SID], q.Lo, q.Hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("query %v: %d vs %d results after reload", q, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("query %v: result %d differs: %+v vs %+v", q, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a snapshot")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Load(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Load(strings.NewReader("SSRIDX1\ncorrupt-gob-payload")); err == nil {
+		t.Error("corrupt payload accepted")
+	}
+}
+
+func TestSaveLoadAfterDelete(t *testing.T) {
+	ix, sets := buildSmall(t, 200, 40)
+	if err := ix.Delete(5); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != len(sets)-1 {
+		t.Errorf("loaded %d sets, want %d (deleted sets compacted)", loaded.Len(), len(sets)-1)
+	}
+}
+
+func TestSaveLoadPreservesEmbedding(t *testing.T) {
+	sets, err := workload.Generate(workload.Set1Params(150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(sets, Options{
+		Embed: embed.Options{K: 48, Bits: 6, Seed: 99},
+		Plan:  optimize.Options{Budget: 30, RecallTarget: 0.7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Embedder().K() != 48 {
+		t.Errorf("K = %d after reload", loaded.Embedder().K())
+	}
+	if loaded.Embedder().Dimension() != 48*64 {
+		t.Errorf("dimension = %d after reload", loaded.Embedder().Dimension())
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/set"
+	"repro/internal/storage"
+)
+
+// TopK returns the k sets most similar to q, best first. It is the
+// nearest-neighbour application of the filter indices (Section 7 relates
+// the same machinery to Indyk's NN reductions): Similarity Filter Indices
+// are probed from the highest partition point downward, candidates are
+// verified exactly, and the walk stops as soon as k verified results sit
+// at or above the next partition point — nothing below that point can
+// improve the answer. Like range queries, the result is one-sided
+// approximate: returned similarities are exact, but a true neighbour can
+// be missed with the filter's false-negative probability at its level.
+//
+// Ties break by ascending sid. If the filters surface fewer than k sets
+// even at the lowest partition point, fewer are returned; a scan fallback
+// is deliberately not performed (use scan.Query for exact answers).
+func (ix *Index) TopK(q set.Set, k int) ([]Match, QueryStats, error) {
+	var stats QueryStats
+	if k <= 0 {
+		return nil, stats, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	start := time.Now()
+	sig := ix.emb.Sign(q)
+	src := ix.emb.Bits(sig)
+
+	// SFI points, descending; then the δ-point DFI as the final, loosest
+	// stage (it captures the low-similarity remainder).
+	points := make([]float64, 0, len(ix.sfis))
+	for p := range ix.sfis {
+		points = append(points, p)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(points)))
+
+	seen := make(map[storage.SID]struct{})
+	var results []Match
+	verify := func(sids []storage.SID) error {
+		for _, sid := range sids {
+			if _, dup := seen[sid]; dup {
+				continue
+			}
+			seen[sid] = struct{}{}
+			stats.Candidates++
+			s, err := ix.store.Fetch(sid, &stats.FetchIO)
+			if err != nil {
+				return fmt.Errorf("core: fetching candidate %d: %w", sid, err)
+			}
+			results = append(results, Match{SID: sid, Similarity: q.Jaccard(s)})
+		}
+		return nil
+	}
+	done := func(floor float64) bool {
+		if len(results) < k {
+			return false
+		}
+		sort.Slice(results, func(i, j int) bool {
+			if results[i].Similarity != results[j].Similarity {
+				return results[i].Similarity > results[j].Similarity
+			}
+			return results[i].SID < results[j].SID
+		})
+		return results[k-1].Similarity >= floor
+	}
+
+	for i, p := range points {
+		if err := verify(ix.sfis[p].Vector(src, &stats.IndexIO)); err != nil {
+			return nil, stats, err
+		}
+		floor := 0.0
+		if i+1 < len(points) {
+			floor = points[i+1]
+		}
+		if done(floor) {
+			break
+		}
+	}
+	if len(results) < k {
+		// Last resort below the lowest SFI: the δ-point DFI covers the
+		// dissimilar remainder.
+		if dp, ok := ix.bothKindsPoint(); ok {
+			if err := verify(ix.dfis[dp].Vector(src, &stats.IndexIO)); err != nil {
+				return nil, stats, err
+			}
+		}
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Similarity != results[j].Similarity {
+			return results[i].Similarity > results[j].Similarity
+		}
+		return results[i].SID < results[j].SID
+	})
+	if len(results) > k {
+		results = results[:k]
+	}
+	stats.Results = len(results)
+	stats.CPU = time.Since(start)
+	return results, stats, nil
+}

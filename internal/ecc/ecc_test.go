@@ -1,0 +1,155 @@
+package ecc
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+)
+
+func TestHadamardEquidistance(t *testing.T) {
+	// The load-bearing property (Theorem 1's requirement): every pair of
+	// distinct codewords is at distance exactly m/2.
+	for _, b := range []int{1, 2, 3, 4, 6} {
+		code, err := NewHadamard(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := code.Length()
+		if m != 1<<uint(b) {
+			t.Fatalf("b=%d: length %d, want %d", b, m, 1<<uint(b))
+		}
+		n := uint64(1) << uint(b)
+		words := make([]bitvec.Vector, n)
+		for v := uint64(0); v < n; v++ {
+			words[v] = Encode(code, v)
+		}
+		for u := uint64(0); u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				d := words[u].HammingDistance(words[v])
+				if d != m/2 {
+					t.Fatalf("b=%d: d(C(%d), C(%d)) = %d, want %d", b, u, v, d, m/2)
+				}
+			}
+		}
+	}
+}
+
+func TestSimplexEquidistance(t *testing.T) {
+	for _, b := range []int{1, 2, 3, 4, 6} {
+		code, err := NewSimplex(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if code.Length() != 1<<uint(b)-1 {
+			t.Fatalf("b=%d: length %d", b, code.Length())
+		}
+		n := uint64(1) << uint(b)
+		want := 1 << uint(b-1)
+		for u := uint64(0); u < n; u++ {
+			cu := Encode(code, u)
+			for v := u + 1; v < n; v++ {
+				if d := cu.HammingDistance(Encode(code, v)); d != want {
+					t.Fatalf("b=%d: d(C(%d), C(%d)) = %d, want %d", b, u, v, d, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBitMatchesAppendCodeword(t *testing.T) {
+	codes := []Code{}
+	if h, err := NewHadamard(5); err == nil {
+		codes = append(codes, h)
+	}
+	if s, err := NewSimplex(5); err == nil {
+		codes = append(codes, s)
+	}
+	if id, err := NewIdentity(5); err == nil {
+		codes = append(codes, id)
+	}
+	for _, code := range codes {
+		for v := uint64(0); v < 32; v++ {
+			full := Encode(code, v)
+			for pos := 0; pos < code.Length(); pos++ {
+				if got, want := code.Bit(v, pos), full.Bit(pos); got != want {
+					t.Fatalf("%T v=%d pos=%d: Bit=%d, codeword=%d", code, v, pos, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestHadamardMasksHighBits(t *testing.T) {
+	code, _ := NewHadamard(4)
+	// Bits above b must be ignored.
+	a := Encode(code, 0x5)
+	b := Encode(code, 0xF5) // same low 4 bits
+	if !a.Equal(b) {
+		t.Error("high message bits leaked into the codeword")
+	}
+}
+
+func TestIdentityIsBroken(t *testing.T) {
+	// Example 1 of the paper: under the identity embedding, distinct
+	// values still share bits, so the distance is NOT a fixed fraction.
+	code, _ := NewIdentity(3)
+	d12 := Encode(code, 1).HammingDistance(Encode(code, 2)) // 001 vs 010 → 2
+	d13 := Encode(code, 1).HammingDistance(Encode(code, 3)) // 001 vs 011 → 1
+	if d12 == d13 {
+		t.Error("expected unequal pairwise distances for identity code")
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewHadamard(0); err == nil {
+		t.Error("Hadamard(0) accepted")
+	}
+	if _, err := NewHadamard(21); err == nil {
+		t.Error("Hadamard(21) accepted")
+	}
+	if _, err := NewSimplex(0); err == nil {
+		t.Error("Simplex(0) accepted")
+	}
+	if _, err := NewIdentity(65); err == nil {
+		t.Error("Identity(65) accepted")
+	}
+}
+
+func TestDistanceAccessors(t *testing.T) {
+	h, _ := NewHadamard(8)
+	if h.Distance() != 128 || h.Length() != 256 || h.MessageBits() != 8 {
+		t.Errorf("hadamard(8) = (%d,%d,%d)", h.MessageBits(), h.Length(), h.Distance())
+	}
+	s, _ := NewSimplex(8)
+	if s.Distance() != 128 || s.Length() != 255 {
+		t.Errorf("simplex(8) = (%d,%d)", s.Length(), s.Distance())
+	}
+	id, _ := NewIdentity(8)
+	if id.Length() != 8 || id.Distance() != 1 {
+		t.Errorf("identity(8) = (%d,%d)", id.Length(), id.Distance())
+	}
+}
+
+func TestAppendCodewordOffset(t *testing.T) {
+	code, _ := NewHadamard(3)
+	dst := bitvec.New(3 * code.Length())
+	code.AppendCodeword(dst, 0, 5)
+	code.AppendCodeword(dst, code.Length(), 5)
+	code.AppendCodeword(dst, 2*code.Length(), 2)
+	// First two codewords identical, third differs in exactly m/2 bits.
+	m := code.Length()
+	for i := 0; i < m; i++ {
+		if dst.Bit(i) != dst.Bit(m+i) {
+			t.Fatalf("offset copy differs at bit %d", i)
+		}
+	}
+	diff := 0
+	for i := 0; i < m; i++ {
+		if dst.Bit(i) != dst.Bit(2*m+i) {
+			diff++
+		}
+	}
+	if diff != m/2 {
+		t.Errorf("offset codeword distance = %d, want %d", diff, m/2)
+	}
+}

@@ -1,0 +1,283 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// tinyCfg keeps experiment tests fast.
+func tinyCfg() Config {
+	return Config{N: 600, Queries: 40, MinHashes: 32, Seed: 1, RecallTarget: 0.7}
+}
+
+func TestFig6ProducesRows(t *testing.T) {
+	var sb strings.Builder
+	rows, err := Fig6(&sb, 60, tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	sawSet1, sawSet2 := false, false
+	for _, r := range rows {
+		switch r.Dataset {
+		case "Set1":
+			sawSet1 = true
+		case "Set2":
+			sawSet2 = true
+		default:
+			t.Errorf("unknown dataset %q", r.Dataset)
+		}
+		if r.Recall < 0 || r.Recall > 1 || r.Precision < 0 || r.Precision > 1 {
+			t.Errorf("row %+v out of range", r)
+		}
+	}
+	if !sawSet1 || !sawSet2 {
+		t.Error("missing a dataset")
+	}
+	if !strings.Contains(sb.String(), "recall") {
+		t.Error("missing header in rendered table")
+	}
+}
+
+func TestFig6RecallNearTarget(t *testing.T) {
+	cfg := tinyCfg()
+	rows, err := Fig6(io.Discard, 60, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bucket-average recall should sit at or above roughly the optimizer
+	// target minus model slack.
+	totalQ, weighted := 0, 0.0
+	for _, r := range rows {
+		totalQ += r.Count
+		weighted += float64(r.Count) * r.Recall
+	}
+	if totalQ == 0 {
+		t.Fatal("no queries bucketed")
+	}
+	if avg := weighted / float64(totalQ); avg < cfg.RecallTarget-0.15 {
+		t.Errorf("average measured recall %.3f far below target %.2f", avg, cfg.RecallTarget)
+	}
+}
+
+func TestFig7ProducesRows(t *testing.T) {
+	rows, err := Fig7(io.Discard, "Set1", 60, tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r.ScanIO <= 0 {
+			t.Errorf("bucket %s: no scan I/O", r.Bucket)
+		}
+		if r.IndexIO <= 0 {
+			t.Errorf("bucket %s: no index I/O", r.Bucket)
+		}
+	}
+}
+
+func TestFig7UnknownDataset(t *testing.T) {
+	if _, err := Fig7(io.Discard, "nope", 60, tinyCfg()); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestFilterCurve(t *testing.T) {
+	curves, err := FilterCurve(io.Discard, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) == 0 {
+		t.Fatal("no curves")
+	}
+	for _, c := range curves {
+		// Each curve is an S-shape: nondecreasing from ~0 to 1.
+		prev := -1.0
+		for _, pt := range c.Points {
+			if pt.P < prev-1e-9 {
+				t.Fatalf("curve (r=%d,l=%d) decreasing at s=%g", c.R, c.L, pt.S)
+			}
+			prev = pt.P
+		}
+		if c.Points[0].P > 0.01 {
+			t.Errorf("curve (r=%d,l=%d) starts at %g", c.R, c.L, c.Points[0].P)
+		}
+		if last := c.Points[len(c.Points)-1].P; last < 0.99 {
+			t.Errorf("curve (r=%d,l=%d) ends at %g", c.R, c.L, last)
+		}
+	}
+	if _, err := FilterCurve(io.Discard, 1.5); err == nil {
+		t.Error("invalid sStar accepted")
+	}
+}
+
+func TestRLTradeoff(t *testing.T) {
+	rows, err := RLTradeoff(io.Discard, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Width must shrink (curves sharpen) as l grows — the Section 5
+	// trade-off.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Width10To90 > rows[i-1].Width10To90+1e-9 {
+			t.Errorf("width grew from %.4f to %.4f at l=%d",
+				rows[i-1].Width10To90, rows[i].Width10To90, rows[i].L)
+		}
+		if rows[i].R < rows[i-1].R {
+			t.Errorf("r shrank as l grew at l=%d", rows[i].L)
+		}
+	}
+	if _, err := RLTradeoff(io.Discard, 0); err == nil {
+		t.Error("invalid sStar accepted")
+	}
+}
+
+func TestPlacementAblation(t *testing.T) {
+	rows, err := Placement(io.Discard, tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	var eq, un PlanCompareRow
+	for _, r := range rows {
+		switch r.Strategy {
+		case "equidepth":
+			eq = r
+		case "uniform":
+			un = r
+		}
+	}
+	// Lemma 4: equidepth at least matches uniform on worst-case precision.
+	if eq.WorstPrecision < un.WorstPrecision-1e-9 {
+		t.Errorf("equidepth precision %.4f below uniform %.4f", eq.WorstPrecision, un.WorstPrecision)
+	}
+}
+
+func TestAllocationAblation(t *testing.T) {
+	rows, err := Allocation(io.Discard, tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	var greedy, uniform PlanCompareRow
+	for _, r := range rows {
+		switch r.Strategy {
+		case "greedy":
+			greedy = r
+		case "uniform":
+			uniform = r
+		}
+	}
+	// Lemma 6: greedy at least roughly matches uniform on worst recall.
+	if greedy.WorstRecall < uniform.WorstRecall-0.1 {
+		t.Errorf("greedy worst recall %.3f well below uniform %.3f", greedy.WorstRecall, uniform.WorstRecall)
+	}
+}
+
+func TestIntervalsSweep(t *testing.T) {
+	rows, err := Intervals(io.Discard, tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Lemma 5 shape: precision with the most cuts beats precision with one
+	// cut.
+	if last, first := rows[len(rows)-1], rows[0]; last.WorstPrecision <= first.WorstPrecision {
+		t.Errorf("precision did not improve with intervals: %.4f (1) vs %.4f (%d)",
+			first.WorstPrecision, last.WorstPrecision, last.Cuts)
+	}
+}
+
+func TestDFIGain(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.Queries = 20
+	rows, err := DFIGain(io.Discard, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// Section 4.2's motivation: for every low range, the DFI combination
+	// materializes fewer sids than the SFI-only one.
+	for _, r := range rows {
+		if r.DFIFetched > r.SFIOnlyFetched {
+			t.Errorf("range [%.2f,%.2f]: DFI fetched %.1f > SFI-only %.1f",
+				r.Lo, r.Hi, r.DFIFetched, r.SFIOnlyFetched)
+		}
+	}
+}
+
+func TestEmbedding(t *testing.T) {
+	rows, err := Embedding(io.Discard, Config{MinHashes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Theorem 1: the Hadamard embedding tracks (1-s)/2 on average...
+		if diff := r.Hadamard - r.Expected; diff > 0.08 || diff < -0.08 {
+			t.Errorf("sim %.2f: hadamard %.3f vs expected %.3f", r.Similarity, r.Hadamard, r.Expected)
+		}
+		// ...and exactly per codeword: disagreeing codewords are at
+		// exactly m/2, so the spread is zero.
+		if r.HadamardSpread > 1e-12 {
+			t.Errorf("sim %.2f: hadamard per-codeword spread %.4f, want 0", r.Similarity, r.HadamardSpread)
+		}
+	}
+	// The identity embedding is right only in expectation (Example 1):
+	// at similarity 0 its per-codeword distances scatter widely.
+	last := rows[len(rows)-1]
+	if last.Similarity != 0 {
+		t.Fatalf("last row similarity = %g, want 0", last.Similarity)
+	}
+	if last.IdentitySpread < 0.05 {
+		t.Errorf("identity per-codeword spread %.4f unexpectedly tight at s=0", last.IdentitySpread)
+	}
+}
+
+func TestProfile(t *testing.T) {
+	res, err := Profile(io.Discard, tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bins) != 20 {
+		t.Fatalf("bins = %d", len(res.Bins))
+	}
+	sum := 0.0
+	for _, m := range res.Bins {
+		if m < 0 {
+			t.Fatal("negative mass")
+		}
+		sum += m
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Errorf("bins sum to %g", sum)
+	}
+	if res.Delta <= 0 || res.Delta >= 1 {
+		t.Errorf("delta = %g", res.Delta)
+	}
+	for k, cuts := range res.Cuts {
+		if len(cuts) != k-1 {
+			t.Errorf("k=%d: %d cuts", k, len(cuts))
+		}
+	}
+	if len(res.Plans) != 3 {
+		t.Fatalf("plans = %d", len(res.Plans))
+	}
+	for _, p := range res.Plans {
+		if p.TableSpend != p.Budget {
+			t.Errorf("budget %d: spent %d", p.Budget, p.TableSpend)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/optimize"
+	"repro/internal/simdist"
+	"repro/internal/workload"
+)
+
+// ProfileResult summarizes a collection the way the Section 5 optimizer
+// sees it.
+type ProfileResult struct {
+	// Bins is the normalized similarity histogram (coarsened to 20 bins).
+	Bins []float64
+	// Delta is the equal-mass SFI/DFI split point.
+	Delta float64
+	// Cuts maps interval counts to their equidepth cut positions.
+	Cuts map[int][]float64
+	// Plans holds the optimizer's outcome per budget.
+	Plans []ProfilePlan
+}
+
+// ProfilePlan is one budget's plan summary.
+type ProfilePlan struct {
+	Budget     int
+	CutCount   int
+	AvgRecall  float64
+	RecallMet  bool
+	TableSpend int
+}
+
+// Profile renders everything a deployment would inspect before committing
+// space: the similarity distribution (ASCII histogram), δ, equidepth cut
+// positions at several granularities, and what the Figure 4 optimizer does
+// with growing budgets.
+func Profile(w io.Writer, cfg Config) (*ProfileResult, error) {
+	cfg = cfg.withDefaults()
+	sets, err := workload.Generate(workload.Set1Params(cfg.N))
+	if err != nil {
+		return nil, err
+	}
+	sample := 50 * cfg.N
+	if maxPairs := cfg.N * (cfg.N - 1) / 2; sample > maxPairs {
+		sample = maxPairs
+	}
+	hist, err := simdist.SamplePairs(sets, sample, 0, cfg.Seed+5)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ProfileResult{Delta: hist.Delta(), Cuts: map[int][]float64{}}
+	fmt.Fprintf(w, "Collection profile (Set1-like, N=%d, %d sampled pairs)\n\n", cfg.N, sample)
+	fmt.Fprintf(w, "similarity distribution D_S (normalized mass per 0.05 band):\n")
+	const bins = 20
+	total := hist.Total()
+	maxMass := 0.0
+	masses := make([]float64, bins)
+	for i := 0; i < bins; i++ {
+		m := hist.Mass(float64(i)/bins, float64(i+1)/bins)
+		if total > 0 {
+			m /= total
+		}
+		masses[i] = m
+		if m > maxMass {
+			maxMass = m
+		}
+	}
+	res.Bins = masses
+	for i, m := range masses {
+		bar := 0
+		if maxMass > 0 {
+			bar = int(m / maxMass * 50)
+		}
+		fmt.Fprintf(w, "  [%.2f,%.2f) %6.3f %s\n", float64(i)/bins, float64(i+1)/bins, m, strings.Repeat("#", bar))
+	}
+	fmt.Fprintf(w, "\nδ (equal-mass split, Eq. 15): %.3f\n", res.Delta)
+
+	for _, k := range []int{2, 4, 8} {
+		cuts, err := hist.Equidepth(k)
+		if err != nil {
+			return nil, err
+		}
+		res.Cuts[k] = cuts
+		fmt.Fprintf(w, "equidepth cuts (k=%d): %s\n", k, fmtFloats(cuts))
+	}
+
+	fmt.Fprintf(w, "\noptimizer outcomes (recall target %.2f):\n", cfg.RecallTarget)
+	fmt.Fprintf(w, "%8s %6s %10s %10s\n", "budget", "cuts", "avgRecall", "met")
+	for _, budget := range []int{50, 200, 800} {
+		plan, err := optimize.BuildPlan(hist, optimize.Options{
+			Budget: budget, RecallTarget: cfg.RecallTarget, SignatureK: cfg.MinHashes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		spend := 0
+		for _, fi := range plan.FIs {
+			spend += fi.Tables
+		}
+		pp := ProfilePlan{
+			Budget: budget, CutCount: len(plan.Cuts),
+			AvgRecall: plan.AvgRecall, RecallMet: plan.RecallMet, TableSpend: spend,
+		}
+		res.Plans = append(res.Plans, pp)
+		fmt.Fprintf(w, "%8d %6d %10.3f %10v\n", pp.Budget, pp.CutCount, pp.AvgRecall, pp.RecallMet)
+	}
+	return res, nil
+}
+
+func fmtFloats(v []float64) string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprintf("%.3f", x)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

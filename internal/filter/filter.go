@@ -1,0 +1,145 @@
+// Package filter implements the two hash-based data structure primitives of
+// Section 4: the Similarity Filter Index (SFI) and the Dissimilarity Filter
+// Index (DFI). Both operate on embedded vectors in Hamming space, with
+// thresholds expressed as Hamming similarities.
+//
+// SFI(s*) retrieves, with high probability, the sids of all vectors at
+// Hamming similarity >= s* to a query vector: l hash tables each keyed on r
+// sampled bits, r chosen so the collision curve p_{r,l} turns at s*.
+//
+// DFI(s*) retrieves the sids at Hamming similarity <= s*. By Theorem 2,
+// s_H(h, q̄) = 1 - s_H(h, q), so a DFI is an SFI tuned to 1 - s* and probed
+// with the complemented query vector. Data vectors are inserted unchanged.
+package filter
+
+import (
+	"fmt"
+
+	"repro/internal/hashtable"
+	"repro/internal/lsh"
+	"repro/internal/storage"
+)
+
+// Kind distinguishes the two filter index primitives.
+type Kind int
+
+const (
+	// Similar marks an SFI.
+	Similar Kind = iota
+	// Dissimilar marks a DFI.
+	Dissimilar
+)
+
+// String returns "SFI" or "DFI".
+func (k Kind) String() string {
+	if k == Dissimilar {
+		return "DFI"
+	}
+	return "SFI"
+}
+
+// Options configures an Index.
+type Options struct {
+	// Kind selects SFI or DFI behaviour.
+	Kind Kind
+	// Threshold is s*, the Hamming-similarity turning point, in (0, 1).
+	Threshold float64
+	// Dim is the Hamming dimensionality D.
+	Dim int
+	// Tables is l, the number of hash tables allocated to this index.
+	Tables int
+	// Seed reproduces the sampled bit positions.
+	Seed int64
+	// ExpectedEntries sizes each table's bucket directory.
+	ExpectedEntries int
+	// Mode selects bucket probe semantics: the default ExactKey matches
+	// the p_{r,l} analysis; WholeBucket is the paper's literal
+	// description (a probe returns everything in the bucket).
+	Mode hashtable.Mode
+}
+
+// Index is one filter index: an SFI or DFI at a fixed Hamming-similarity
+// threshold. Build with New, populate with Insert, probe with Vector.
+type Index struct {
+	kind      Kind
+	threshold float64 // the user-facing s*
+	group     *lsh.Group
+	r         int
+}
+
+// New creates an empty filter index. For a DFI the internal group is tuned
+// to the complementary threshold 1 - s*.
+func New(pager *storage.Pager, opt Options) (*Index, error) {
+	if opt.Threshold <= 0 || opt.Threshold >= 1 {
+		return nil, fmt.Errorf("filter: threshold must be in (0,1), got %g", opt.Threshold)
+	}
+	turning := opt.Threshold
+	if opt.Kind == Dissimilar {
+		turning = 1 - opt.Threshold
+	}
+	r, err := lsh.SolveR(opt.Tables, turning)
+	if err != nil {
+		return nil, fmt.Errorf("filter: %w", err)
+	}
+	if r > opt.Dim {
+		r = opt.Dim
+	}
+	group, err := lsh.NewGroup(pager, lsh.GroupOptions{
+		Dim:             opt.Dim,
+		R:               r,
+		L:               opt.Tables,
+		Seed:            opt.Seed,
+		ExpectedEntries: opt.ExpectedEntries,
+		Mode:            opt.Mode,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("filter: %w", err)
+	}
+	return &Index{kind: opt.Kind, threshold: opt.Threshold, group: group, r: r}, nil
+}
+
+// Kind returns whether this is an SFI or DFI.
+func (ix *Index) Kind() Kind { return ix.kind }
+
+// Threshold returns the user-facing Hamming-similarity threshold s*.
+func (ix *Index) Threshold() float64 { return ix.threshold }
+
+// Tables returns l, the number of hash tables.
+func (ix *Index) Tables() int { return ix.group.L() }
+
+// SampledBits returns r, the bits sampled per table.
+func (ix *Index) SampledBits() int { return ix.r }
+
+// Insert adds a data vector (unchanged, for both kinds) under sid.
+func (ix *Index) Insert(src lsh.BitSource, sid storage.SID) {
+	ix.group.Insert(src, sid)
+}
+
+// Delete removes a previously inserted data vector. The same BitSource
+// view (same signature) used for Insert must be supplied.
+func (ix *Index) Delete(src lsh.BitSource, sid storage.SID) int {
+	return ix.group.Delete(src, sid)
+}
+
+// Vector returns SimVector(s*, q) for an SFI or DissimVector(s*, q) for a
+// DFI: the deduplicated sids the filter identifies for query vector q.
+// Bucket page reads are charged to io (which may be nil).
+func (ix *Index) Vector(q lsh.BitSource, io *storage.Counter) []storage.SID {
+	if ix.kind == Dissimilar {
+		return ix.group.Query(lsh.Complement{Src: q}, io)
+	}
+	return ix.group.Query(q, io)
+}
+
+// CaptureProb returns the probability that a vector at Hamming similarity
+// sH to the query is returned by this index: p_{r,l}(sH) for an SFI,
+// p_{r,l}(1-sH) for a DFI.
+func (ix *Index) CaptureProb(sH float64) float64 {
+	if ix.kind == Dissimilar {
+		sH = 1 - sH
+	}
+	return lsh.CollisionProb(sH, ix.r, ix.group.L())
+}
+
+// Entries returns the total number of stored entries across tables.
+func (ix *Index) Entries() int { return ix.group.Entries() }

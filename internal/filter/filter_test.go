@@ -1,0 +1,253 @@
+package filter
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/hashtable"
+	"repro/internal/lsh"
+	"repro/internal/storage"
+)
+
+func randomVec(rng *rand.Rand, n int) bitvec.Vector {
+	v := bitvec.New(n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 1 {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+func corrupt(rng *rand.Rand, v bitvec.Vector, flips int) bitvec.Vector {
+	out := v.Clone()
+	for i := 0; i < flips; i++ {
+		p := rng.Intn(v.Len())
+		out.SetTo(p, !out.Get(p))
+	}
+	return out
+}
+
+func newFI(t *testing.T, kind Kind, threshold float64, dim, tables int) *Index {
+	t.Helper()
+	ix, err := New(storage.NewPager(0), Options{
+		Kind: kind, Threshold: threshold, Dim: dim, Tables: tables,
+		Seed: 11, ExpectedEntries: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestNewValidation(t *testing.T) {
+	pager := storage.NewPager(0)
+	if _, err := New(pager, Options{Threshold: 0, Dim: 100, Tables: 2}); err == nil {
+		t.Error("threshold 0 accepted")
+	}
+	if _, err := New(pager, Options{Threshold: 1, Dim: 100, Tables: 2}); err == nil {
+		t.Error("threshold 1 accepted")
+	}
+	if _, err := New(pager, Options{Threshold: 0.5, Dim: 100, Tables: 0}); err == nil {
+		t.Error("0 tables accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Similar.String() != "SFI" || Dissimilar.String() != "DFI" {
+		t.Error("kind strings wrong")
+	}
+}
+
+func TestSFIRetrievesSimilar(t *testing.T) {
+	const dim = 2048
+	sfi := newFI(t, Similar, 0.85, dim, 12)
+	rng := rand.New(rand.NewSource(1))
+	q := randomVec(rng, dim)
+	near := corrupt(rng, q, dim/20) // similarity 0.95 > threshold
+	far := randomVec(rng, dim)      // similarity ~0.5 < threshold
+	sfi.Insert(near, 1)
+	sfi.Insert(far, 2)
+	got := sfi.Vector(q, nil)
+	hasNear, hasFar := false, false
+	for _, sid := range got {
+		if sid == 1 {
+			hasNear = true
+		}
+		if sid == 2 {
+			hasFar = true
+		}
+	}
+	if !hasNear {
+		t.Error("similar vector not in SimVector")
+	}
+	if hasFar {
+		t.Error("dissimilar vector in SimVector")
+	}
+}
+
+func TestDFIRetrievesDissimilar(t *testing.T) {
+	const dim = 2048
+	// DFI at Hamming threshold 0.6: retrieve vectors at similarity <= 0.6.
+	dfi := newFI(t, Dissimilar, 0.6, dim, 12)
+	rng := rand.New(rand.NewSource(2))
+	q := randomVec(rng, dim)
+	near := corrupt(rng, q, dim/20) // similarity 0.95: should NOT be returned
+	far := q.Complement()           // similarity 0: strongly dissimilar
+	dfi.Insert(near, 1)
+	dfi.Insert(far, 2)
+	got := dfi.Vector(q, nil)
+	hasNear, hasFar := false, false
+	for _, sid := range got {
+		if sid == 1 {
+			hasNear = true
+		}
+		if sid == 2 {
+			hasFar = true
+		}
+	}
+	if !hasFar {
+		t.Error("dissimilar vector not in DissimVector")
+	}
+	if hasNear {
+		t.Error("similar vector in DissimVector")
+	}
+}
+
+// TestTheorem2Duality: a DFI(s*) must behave exactly like an SFI(1-s*)
+// probed with the complemented query. We verify the structural equivalence
+// by comparing capture probabilities.
+func TestTheorem2Duality(t *testing.T) {
+	dfi := newFI(t, Dissimilar, 0.3, 512, 8)
+	sfiDual := newFI(t, Similar, 0.7, 512, 8)
+	for _, s := range []float64{0.1, 0.3, 0.5, 0.9} {
+		// DFI capture at similarity s equals SFI capture at 1-s.
+		if got, want := dfi.CaptureProb(s), sfiDual.CaptureProb(1-s); math.Abs(got-want) > 1e-12 {
+			t.Errorf("s=%g: DFI %g vs dual SFI %g", s, got, want)
+		}
+	}
+}
+
+func TestCaptureProbMonotonic(t *testing.T) {
+	sfi := newFI(t, Similar, 0.8, 1024, 10)
+	prev := -1.0
+	for s := 0.0; s <= 1.0; s += 0.05 {
+		p := sfi.CaptureProb(s)
+		if p < prev-1e-12 {
+			t.Fatalf("SFI capture decreasing at %g", s)
+		}
+		prev = p
+	}
+	dfi := newFI(t, Dissimilar, 0.4, 1024, 10)
+	prev = 2.0
+	for s := 0.0; s <= 1.0; s += 0.05 {
+		p := dfi.CaptureProb(s)
+		if p > prev+1e-12 {
+			t.Fatalf("DFI capture increasing at %g", s)
+		}
+		prev = p
+	}
+}
+
+func TestCaptureProbAtThreshold(t *testing.T) {
+	// By construction p(s*) ≈ 1/2 (up to integer rounding of r).
+	for _, th := range []float64{0.6, 0.75, 0.9} {
+		sfi := newFI(t, Similar, th, 4096, 20)
+		p := sfi.CaptureProb(th)
+		if p < 0.25 || p > 0.75 {
+			t.Errorf("SFI(%g) capture at threshold = %g, want ≈ 0.5", th, p)
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	sfi := newFI(t, Similar, 0.8, 256, 6)
+	if sfi.Kind() != Similar {
+		t.Error("Kind wrong")
+	}
+	if sfi.Threshold() != 0.8 {
+		t.Error("Threshold wrong")
+	}
+	if sfi.Tables() != 6 {
+		t.Errorf("Tables = %d", sfi.Tables())
+	}
+	if sfi.SampledBits() < 1 {
+		t.Errorf("SampledBits = %d", sfi.SampledBits())
+	}
+	rng := rand.New(rand.NewSource(5))
+	sfi.Insert(randomVec(rng, 256), 1)
+	if sfi.Entries() != 6 {
+		t.Errorf("Entries = %d, want one per table", sfi.Entries())
+	}
+}
+
+func TestRClampedToDim(t *testing.T) {
+	// A very tight threshold with many tables can push r beyond dim; the
+	// index must clamp rather than fail.
+	ix, err := New(storage.NewPager(0), Options{
+		Kind: Similar, Threshold: 0.99, Dim: 16, Tables: 64,
+		Seed: 1, ExpectedEntries: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.SampledBits() > 16 {
+		t.Errorf("r = %d exceeds dimension", ix.SampledBits())
+	}
+}
+
+func TestIOCharged(t *testing.T) {
+	sfi := newFI(t, Similar, 0.8, 256, 4)
+	rng := rand.New(rand.NewSource(6))
+	v := randomVec(rng, 256)
+	sfi.Insert(v, 1)
+	var io storage.Counter
+	sfi.Vector(v, &io)
+	if io.Rand() < 4 {
+		t.Errorf("charged %d reads, want >= 4 (one per table)", io.Rand())
+	}
+}
+
+var _ lsh.BitSource = bitvec.Vector{} // compile-time interface check
+
+func TestWholeBucketModeSuperset(t *testing.T) {
+	// The paper's literal whole-bucket probe returns a superset of the
+	// exact-key probe (bucket sharing adds candidates, never removes).
+	rng := rand.New(rand.NewSource(9))
+	const dim = 512
+	mk := func(mode hashtable.Mode) *Index {
+		ix, err := New(storage.NewPager(0), Options{
+			Kind: Similar, Threshold: 0.8, Dim: dim, Tables: 6,
+			Seed: 4, ExpectedEntries: 8, Mode: mode, // tiny directory forces sharing
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ix
+	}
+	exact, whole := mk(hashtable.ExactKey), mk(hashtable.WholeBucket)
+	vecs := make([]bitvec.Vector, 50)
+	for i := range vecs {
+		vecs[i] = randomVec(rng, dim)
+		exact.Insert(vecs[i], storage.SID(i))
+		whole.Insert(vecs[i], storage.SID(i))
+	}
+	for i := 0; i < 10; i++ {
+		e := exact.Vector(vecs[i], nil)
+		w := whole.Vector(vecs[i], nil)
+		got := map[storage.SID]bool{}
+		for _, sid := range w {
+			got[sid] = true
+		}
+		for _, sid := range e {
+			if !got[sid] {
+				t.Fatalf("exact-key sid %d missing from whole-bucket result", sid)
+			}
+		}
+		if len(w) < len(e) {
+			t.Fatalf("whole-bucket returned fewer sids (%d) than exact (%d)", len(w), len(e))
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package hashtable
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func newTable(t *testing.T, opt Options) *Table {
+	t.Helper()
+	tab, err := New(storage.NewPager(256), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestInsertProbeExact(t *testing.T) {
+	tab := newTable(t, Options{ExpectedEntries: 100})
+	tab.Insert(111, 1)
+	tab.Insert(222, 2)
+	tab.Insert(111, 3)
+	got := tab.Probe(111, nil, nil)
+	if len(got) != 2 {
+		t.Fatalf("Probe(111) = %v", got)
+	}
+	seen := map[storage.SID]bool{}
+	for _, sid := range got {
+		seen[sid] = true
+	}
+	if !seen[1] || !seen[3] || seen[2] {
+		t.Errorf("Probe(111) = %v, want sids 1 and 3", got)
+	}
+	if tab.Entries() != 3 {
+		t.Errorf("Entries = %d", tab.Entries())
+	}
+}
+
+func TestProbeMissingKey(t *testing.T) {
+	tab := newTable(t, Options{ExpectedEntries: 10})
+	tab.Insert(5, 50)
+	if got := tab.Probe(999999, nil, nil); len(got) != 0 {
+		// A different key can share a bucket only in WholeBucket mode.
+		t.Errorf("ExactKey probe of absent key returned %v", got)
+	}
+}
+
+func TestWholeBucketMode(t *testing.T) {
+	// Force a single bucket so everything shares it.
+	tab := newTable(t, Options{Buckets: 1, Mode: WholeBucket})
+	tab.Insert(1, 10)
+	tab.Insert(2, 20)
+	got := tab.Probe(3, nil, nil)
+	if len(got) != 2 {
+		t.Errorf("WholeBucket probe = %v, want both sids", got)
+	}
+}
+
+func TestOverflowChains(t *testing.T) {
+	// One bucket, many entries: must chain overflow pages and return all.
+	tab := newTable(t, Options{Buckets: 1})
+	const n = 500
+	for i := 0; i < n; i++ {
+		tab.Insert(77, storage.SID(i))
+	}
+	var io storage.Counter
+	got := tab.Probe(77, &io, nil)
+	if len(got) != n {
+		t.Fatalf("probe returned %d of %d entries", len(got), n)
+	}
+	perPage := (256 - pageHeader) / entrySize
+	wantPages := int64((n + perPage - 1) / perPage)
+	if io.Rand() != wantPages {
+		t.Errorf("charged %d page reads, want %d", io.Rand(), wantPages)
+	}
+}
+
+func TestBucketsSizedFromExpectedEntries(t *testing.T) {
+	tab := newTable(t, Options{ExpectedEntries: 10000})
+	perPage := (256 - pageHeader) / entrySize
+	want := (10000 + perPage - 1) / perPage
+	if tab.Buckets() != want {
+		t.Errorf("Buckets = %d, want %d", tab.Buckets(), want)
+	}
+}
+
+func TestDefaultBuckets(t *testing.T) {
+	tab := newTable(t, Options{})
+	if tab.Buckets() != 64 {
+		t.Errorf("default Buckets = %d", tab.Buckets())
+	}
+}
+
+func TestPageTooSmall(t *testing.T) {
+	if _, err := New(storage.NewPager(8), Options{}); err == nil {
+		t.Error("8-byte pages accepted")
+	}
+}
+
+func TestEntryEncodingRoundTrip(t *testing.T) {
+	p := make([]byte, 256)
+	setPageEntry(p, 0, ^uint64(0), ^uint32(0))
+	setPageEntry(p, 1, 0x0102030405060708, 42)
+	k, s := pageEntry(p, 0)
+	if k != ^uint64(0) || s != ^uint32(0) {
+		t.Errorf("entry 0 = %x, %d", k, s)
+	}
+	k, s = pageEntry(p, 1)
+	if k != 0x0102030405060708 || s != 42 {
+		t.Errorf("entry 1 = %x, %d", k, s)
+	}
+}
+
+func TestPageHeaderEncoding(t *testing.T) {
+	p := make([]byte, 64)
+	setPageNext(p, 0xDEADBEEF)
+	setPageCount(p, 513)
+	if pageNext(p) != 0xDEADBEEF {
+		t.Errorf("next = %x", pageNext(p))
+	}
+	if pageCount(p) != 513 {
+		t.Errorf("count = %d", pageCount(p))
+	}
+}
+
+func TestManyKeysNoCrossContamination(t *testing.T) {
+	tab := newTable(t, Options{ExpectedEntries: 2000})
+	rng := rand.New(rand.NewSource(4))
+	ref := make(map[uint64][]storage.SID)
+	for i := 0; i < 2000; i++ {
+		key := rng.Uint64() % 500
+		sid := storage.SID(i)
+		ref[key] = append(ref[key], sid)
+		tab.Insert(key, sid)
+	}
+	for key, want := range ref {
+		got := tab.Probe(key, nil, nil)
+		if len(got) != len(want) {
+			t.Fatalf("key %d: %d sids, want %d", key, len(got), len(want))
+		}
+		seen := map[storage.SID]bool{}
+		for _, s := range got {
+			seen[s] = true
+		}
+		for _, s := range want {
+			if !seen[s] {
+				t.Fatalf("key %d missing sid %d", key, s)
+			}
+		}
+	}
+}
+
+func TestProbeAppendsToDst(t *testing.T) {
+	tab := newTable(t, Options{ExpectedEntries: 10})
+	tab.Insert(1, 100)
+	dst := []storage.SID{5}
+	got := tab.Probe(1, nil, dst)
+	if len(got) != 2 || got[0] != 5 || got[1] != 100 {
+		t.Errorf("Probe with dst = %v", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tab := newTable(t, Options{ExpectedEntries: 100})
+	tab.Insert(1, 10)
+	tab.Insert(1, 11)
+	tab.Insert(2, 20)
+	if got := tab.Delete(1, 10); got != 1 {
+		t.Fatalf("Delete removed %d entries, want 1", got)
+	}
+	got := tab.Probe(1, nil, nil)
+	if len(got) != 1 || got[0] != 11 {
+		t.Errorf("Probe(1) after delete = %v, want [11]", got)
+	}
+	if got := tab.Probe(2, nil, nil); len(got) != 1 {
+		t.Errorf("unrelated key disturbed: %v", got)
+	}
+	if tab.Entries() != 2 {
+		t.Errorf("Entries = %d, want 2", tab.Entries())
+	}
+	if got := tab.Delete(1, 10); got != 0 {
+		t.Errorf("second delete removed %d", got)
+	}
+}
+
+func TestDeleteFromOverflowChain(t *testing.T) {
+	tab := newTable(t, Options{Buckets: 1})
+	const n = 300
+	for i := 0; i < n; i++ {
+		tab.Insert(uint64(i%7), storage.SID(i))
+	}
+	// Delete every entry of key 3 across the chain.
+	want := 0
+	for i := 0; i < n; i++ {
+		if i%7 == 3 {
+			want++
+		}
+	}
+	removed := 0
+	for i := 0; i < n; i++ {
+		if i%7 == 3 {
+			removed += tab.Delete(3, storage.SID(i))
+		}
+	}
+	if removed != want {
+		t.Fatalf("removed %d, want %d", removed, want)
+	}
+	if got := tab.Probe(3, nil, nil); len(got) != 0 {
+		t.Errorf("key 3 still has %d entries", len(got))
+	}
+	// All other keys intact.
+	total := 0
+	for k := uint64(0); k < 7; k++ {
+		total += len(tab.Probe(k, nil, nil))
+	}
+	if total != n-want {
+		t.Errorf("%d entries remain, want %d", total, n-want)
+	}
+}

@@ -1,0 +1,138 @@
+package join
+
+import (
+	"testing"
+
+	"repro/internal/set"
+	"repro/internal/workload"
+)
+
+func joinFixture(t *testing.T, n int) []set.Set {
+	t.Helper()
+	sets, err := workload.Generate(workload.Set1Params(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sets
+}
+
+func pairKey(p Pair) uint64 { return uint64(p.A)<<32 | uint64(p.B) }
+
+func TestSelfJoinNoFalsePositives(t *testing.T) {
+	sets := joinFixture(t, 400)
+	got, stats, err := SelfJoin(sets, Options{Threshold: 0.7, Tables: 16, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := map[uint64]Pair{}
+	for _, p := range Exact(sets, 0.7) {
+		truth[pairKey(p)] = p
+	}
+	for _, p := range got {
+		want, ok := truth[pairKey(p)]
+		if !ok {
+			t.Errorf("false positive pair (%d,%d) sim %.3f", p.A, p.B, p.Similarity)
+			continue
+		}
+		if p.Similarity != want.Similarity {
+			t.Errorf("pair (%d,%d): similarity %.4f, want %.4f", p.A, p.B, p.Similarity, want.Similarity)
+		}
+		if p.A >= p.B {
+			t.Errorf("unordered pair (%d,%d)", p.A, p.B)
+		}
+	}
+	if stats.Results != len(got) {
+		t.Errorf("stats.Results = %d, len = %d", stats.Results, len(got))
+	}
+	if stats.CandidatePairs < len(got) {
+		t.Errorf("candidates %d < results %d", stats.CandidatePairs, len(got))
+	}
+}
+
+func TestSelfJoinRecall(t *testing.T) {
+	sets := joinFixture(t, 400)
+	got, _, err := SelfJoin(sets, Options{Threshold: 0.8, Tables: 24, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := Exact(sets, 0.8)
+	if len(truth) == 0 {
+		t.Skip("workload produced no pairs above 0.8")
+	}
+	found := map[uint64]bool{}
+	for _, p := range got {
+		found[pairKey(p)] = true
+	}
+	hits := 0
+	for _, p := range truth {
+		if found[pairKey(p)] {
+			hits++
+		}
+	}
+	if recall := float64(hits) / float64(len(truth)); recall < 0.8 {
+		t.Errorf("join recall %.3f (found %d of %d pairs)", recall, hits, len(truth))
+	}
+}
+
+func TestSelfJoinValidation(t *testing.T) {
+	sets := joinFixture(t, 10)
+	if _, _, err := SelfJoin(sets, Options{Threshold: 0}); err == nil {
+		t.Error("threshold 0 accepted")
+	}
+	if _, _, err := SelfJoin(sets, Options{Threshold: 1}); err == nil {
+		t.Error("threshold 1 accepted")
+	}
+}
+
+func TestSelfJoinSortedOutput(t *testing.T) {
+	sets := joinFixture(t, 300)
+	got, _, err := SelfJoin(sets, Options{Threshold: 0.6, Tables: 16, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Similarity > got[i-1].Similarity {
+			t.Fatal("output not sorted by descending similarity")
+		}
+	}
+}
+
+func TestExactKnownCollection(t *testing.T) {
+	sets := []set.Set{
+		set.New(1, 2, 3),
+		set.New(1, 2, 3), // identical to 0
+		set.New(1, 2, 4), // sim 0.5 with both
+		set.New(9, 10),
+	}
+	pairs := Exact(sets, 0.5)
+	if len(pairs) != 3 {
+		t.Fatalf("got %d pairs, want 3: %v", len(pairs), pairs)
+	}
+	if pairs[0].A != 0 || pairs[0].B != 1 || pairs[0].Similarity != 1 {
+		t.Errorf("top pair = %+v", pairs[0])
+	}
+}
+
+func TestSelfJoinIdenticalSetsAlwaysPaired(t *testing.T) {
+	// Identical sets collide in every table; their pairs must never be
+	// missed.
+	sets := []set.Set{
+		set.New(1, 2, 3, 4, 5),
+		set.New(1, 2, 3, 4, 5),
+		set.New(100, 200, 300),
+		set.New(100, 200, 300),
+	}
+	got, _, err := SelfJoin(sets, Options{Threshold: 0.9, Tables: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint64]bool{uint64(0)<<32 | 1: true, uint64(2)<<32 | 3: true}
+	if len(got) != 2 {
+		t.Fatalf("got %d pairs: %v", len(got), got)
+	}
+	for _, p := range got {
+		if !want[pairKey(p)] {
+			t.Errorf("unexpected pair %+v", p)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Package scan implements the sequential-scan baseline of Section 6: read
+// the entire collection sequentially, evaluate the exact similarity of
+// every set with the query, and keep those inside the target range. It is
+// both the performance comparator of Figure 7 and the ground-truth oracle
+// for recall/precision measurements.
+package scan
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/set"
+	"repro/internal/storage"
+)
+
+// Stats reports the cost of one scan query.
+type Stats struct {
+	// IO counts the sequential pages read.
+	IO storage.Counter
+	// CPU is the measured processor time (similarity evaluations).
+	CPU time.Duration
+	// Examined is the number of sets whose similarity was computed.
+	Examined int
+}
+
+// SimIOTime returns the simulated I/O time under model m.
+func (st *Stats) SimIOTime(m storage.CostModel) time.Duration {
+	return m.Time(st.IO.Seq(), st.IO.Rand())
+}
+
+// Query scans the whole store and returns the exact answer to
+// (q, [s1, s2]), sorted by descending similarity then ascending sid.
+func Query(store *storage.SetStore, q set.Set, s1, s2 float64) ([]core.Match, Stats, error) {
+	var stats Stats
+	start := time.Now()
+	var matches []core.Match
+	err := store.Scan(&stats.IO, func(sid storage.SID, s set.Set) bool {
+		stats.Examined++
+		sim := q.Jaccard(s)
+		if sim >= s1 && sim <= s2 {
+			matches = append(matches, core.Match{SID: sid, Similarity: sim})
+		}
+		return true
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	sort.Slice(matches, func(i, j int) bool {
+		if matches[i].Similarity != matches[j].Similarity {
+			return matches[i].Similarity > matches[j].Similarity
+		}
+		return matches[i].SID < matches[j].SID
+	})
+	stats.CPU = time.Since(start)
+	return matches, stats, nil
+}

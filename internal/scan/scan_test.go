@@ -1,0 +1,93 @@
+package scan
+
+import (
+	"testing"
+
+	"repro/internal/set"
+	"repro/internal/storage"
+)
+
+func buildStore(sets []set.Set) *storage.SetStore {
+	st := storage.NewSetStore(128)
+	for _, s := range sets {
+		st.Append(s)
+	}
+	return st
+}
+
+func TestQueryExactness(t *testing.T) {
+	sets := []set.Set{
+		set.New(1, 2, 3),       // sim 1 with query
+		set.New(1, 2, 4),       // sim 0.5
+		set.New(100, 200, 300), // sim 0
+		set.New(1, 2, 3, 4),    // sim 0.75
+	}
+	st := buildStore(sets)
+	q := set.New(1, 2, 3)
+	matches, stats, err := Query(st, q, 0.5, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 3 {
+		t.Fatalf("got %d matches, want 3", len(matches))
+	}
+	// Sorted by descending similarity.
+	if matches[0].SID != 0 || matches[0].Similarity != 1 {
+		t.Errorf("first match = %+v", matches[0])
+	}
+	if matches[1].SID != 3 || matches[1].Similarity != 0.75 {
+		t.Errorf("second match = %+v", matches[1])
+	}
+	if matches[2].SID != 1 || matches[2].Similarity != 0.5 {
+		t.Errorf("third match = %+v", matches[2])
+	}
+	if stats.Examined != 4 {
+		t.Errorf("Examined = %d", stats.Examined)
+	}
+}
+
+func TestQueryIOFullSequentialRead(t *testing.T) {
+	sets := make([]set.Set, 200)
+	for i := range sets {
+		sets[i] = set.New(set.Elem(i), set.Elem(i+1), set.Elem(i+2))
+	}
+	st := buildStore(sets)
+	_, stats, err := Query(st, set.New(1), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.IO.Seq() != st.NumPages() {
+		t.Errorf("scanned %d pages, store has %d", stats.IO.Seq(), st.NumPages())
+	}
+	if stats.IO.Rand() != 0 {
+		t.Errorf("sequential scan charged %d random reads", stats.IO.Rand())
+	}
+	if stats.SimIOTime(storage.DefaultCostModel()) <= 0 {
+		t.Error("no simulated I/O time")
+	}
+}
+
+func TestQueryEmptyRange(t *testing.T) {
+	st := buildStore([]set.Set{set.New(1, 2), set.New(3, 4)})
+	matches, _, err := Query(st, set.New(1, 2), 0.1, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Errorf("got %d matches in an empty band", len(matches))
+	}
+}
+
+func TestTieBreakBySID(t *testing.T) {
+	st := buildStore([]set.Set{set.New(1, 2), set.New(1, 2), set.New(1, 2)})
+	matches, _, err := Query(st, set.New(1, 2), 0.9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range matches {
+		if m.SID != uint32(i) {
+			t.Errorf("tie order broken: %v", matches)
+			break
+		}
+	}
+}

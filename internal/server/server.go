@@ -1,0 +1,272 @@
+// Package server exposes a built similar-set index over HTTP/JSON — the
+// "front end to database engines" integration the paper's introduction
+// motivates (recommendation and advertising services calling similarity
+// retrieval as a web primitive).
+//
+// Endpoints (all JSON):
+//
+//	GET  /healthz              → {"status":"ok","sets":N}
+//	GET  /plan                 → the optimizer's layout
+//	POST /query                {"elements":[...],"lo":0.8,"hi":1.0}
+//	POST /query/sid            {"sid":7,"lo":0.8,"hi":1.0}
+//	POST /topk                 {"elements":[...],"k":5}
+//	POST /sets                 {"elements":[...]} → {"sid":N}
+//	DELETE /sets/{sid}
+//
+// Element lists are strings (the public API's dictionary interns them).
+// Mutating endpoints are serialized internally; queries run concurrently.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	ssr "repro"
+)
+
+// Server wraps an index as an http.Handler.
+type Server struct {
+	mux *http.ServeMux
+	ix  *ssr.Index
+	// mu serializes mutations (Add/Remove); the index itself is safe for
+	// concurrent queries.
+	mu sync.Mutex
+}
+
+// New returns a handler serving the given index.
+func New(ix *ssr.Index) *Server {
+	s := &Server{mux: http.NewServeMux(), ix: ix}
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/plan", s.handlePlan)
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/query/sid", s.handleQuerySID)
+	s.mux.HandleFunc("/topk", s.handleTopK)
+	s.mux.HandleFunc("/sets", s.handleSets)
+	s.mux.HandleFunc("/sets/", s.handleSetByID)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// errorBody is the uniform error payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// decodeBody parses a JSON request body into dst with basic hardening.
+func decodeBody(r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "sets": s.ix.Internal().Len()})
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.ix.Plan())
+}
+
+// queryRequest is the /query payload.
+type queryRequest struct {
+	Elements []string `json:"elements"`
+	Lo       float64  `json:"lo"`
+	Hi       float64  `json:"hi"`
+}
+
+// sidQueryRequest is the /query/sid payload.
+type sidQueryRequest struct {
+	SID int     `json:"sid"`
+	Lo  float64 `json:"lo"`
+	Hi  float64 `json:"hi"`
+}
+
+// topKRequest is the /topk payload.
+type topKRequest struct {
+	Elements []string `json:"elements"`
+	K        int      `json:"k"`
+}
+
+// queryResponse is the payload of query-like endpoints.
+type queryResponse struct {
+	Matches []ssr.Match   `json:"matches"`
+	Stats   queryStatView `json:"stats"`
+}
+
+// queryStatView is the JSON shape of ssr.Stats.
+type queryStatView struct {
+	Candidates        int    `json:"candidates"`
+	Results           int    `json:"results"`
+	RandomPageReads   int64  `json:"randomPageReads"`
+	SequentialReads   int64  `json:"sequentialPageReads"`
+	SimulatedIOMicros int64  `json:"simulatedIOMicros"`
+	CPUMicros         int64  `json:"cpuMicros"`
+	Elapsed           string `json:"elapsed"`
+}
+
+func statView(st ssr.Stats, elapsed time.Duration) queryStatView {
+	return queryStatView{
+		Candidates:        st.Candidates,
+		Results:           st.Results,
+		RandomPageReads:   st.RandomPageReads,
+		SequentialReads:   st.SequentialPageReads,
+		SimulatedIOMicros: st.SimulatedIOTime.Microseconds(),
+		CPUMicros:         st.CPUTime.Microseconds(),
+		Elapsed:           elapsed.String(),
+	}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var req queryRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Elements) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("elements required"))
+		return
+	}
+	start := time.Now()
+	matches, stats, err := s.ix.Query(req.Elements, req.Lo, req.Hi)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, queryResponse{Matches: orEmpty(matches), Stats: statView(stats, time.Since(start))})
+}
+
+func (s *Server) handleQuerySID(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var req sidQueryRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	start := time.Now()
+	matches, stats, err := s.ix.QuerySID(req.SID, req.Lo, req.Hi)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, queryResponse{Matches: orEmpty(matches), Stats: statView(stats, time.Since(start))})
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var req topKRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Elements) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("elements required"))
+		return
+	}
+	start := time.Now()
+	matches, stats, err := s.ix.TopK(req.Elements, req.K)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, queryResponse{Matches: orEmpty(matches), Stats: statView(stats, time.Since(start))})
+}
+
+// addRequest is the POST /sets payload.
+type addRequest struct {
+	Elements []string `json:"elements"`
+}
+
+func (s *Server) handleSets(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var req addRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Elements) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("elements required"))
+		return
+	}
+	s.mu.Lock()
+	sid, err := s.ix.Add(req.Elements...)
+	s.mu.Unlock()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]int{"sid": sid})
+}
+
+func (s *Server) handleSetByID(w http.ResponseWriter, r *http.Request) {
+	raw := strings.TrimPrefix(r.URL.Path, "/sets/")
+	sid, err := strconv.Atoi(raw)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad sid %q", raw))
+		return
+	}
+	switch r.Method {
+	case http.MethodDelete:
+		s.mu.Lock()
+		err := s.ix.Remove(sid)
+		s.mu.Unlock()
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("DELETE only"))
+	}
+}
+
+// orEmpty keeps JSON arrays non-null for empty results.
+func orEmpty(m []ssr.Match) []ssr.Match {
+	if m == nil {
+		return []ssr.Match{}
+	}
+	return m
+}

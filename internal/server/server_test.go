@@ -1,0 +1,301 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	ssr "repro"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *ssr.Index) {
+	t.Helper()
+	c := ssr.NewCollection()
+	c.Add("dune", "foundation", "hyperion", "neuromancer") // 0
+	c.Add("dune", "foundation", "hyperion", "neuromancer") // 1 duplicate
+	c.Add("dune", "foundation", "ubik")                    // 2
+	for i := 0; i < 60; i++ {
+		c.Add(fmt.Sprintf("page-%d", i), fmt.Sprintf("page-%d", i+1))
+	}
+	ix, err := ssr.Build(c, ssr.Options{Budget: 24, MinHashes: 64, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(ix))
+	t.Cleanup(srv.Close)
+	return srv, ix
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return v
+}
+
+func TestHealthz(t *testing.T) {
+	srv, _ := testServer(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	body := decode[map[string]any](t, resp)
+	if body["status"] != "ok" {
+		t.Errorf("body = %v", body)
+	}
+	if body["sets"].(float64) != 63 {
+		t.Errorf("sets = %v", body["sets"])
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	resp := postJSON(t, srv.URL+"/query", map[string]any{
+		"elements": []string{"dune", "foundation", "hyperion", "neuromancer"},
+		"lo":       0.9, "hi": 1.0,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	body := decode[queryResponse](t, resp)
+	if len(body.Matches) != 2 {
+		t.Fatalf("matches = %+v", body.Matches)
+	}
+	for _, m := range body.Matches {
+		if m.Similarity != 1 {
+			t.Errorf("similarity %g, want 1", m.Similarity)
+		}
+	}
+	if body.Stats.Results != 2 {
+		t.Errorf("stats = %+v", body.Stats)
+	}
+}
+
+func TestQuerySIDEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	resp := postJSON(t, srv.URL+"/query/sid", map[string]any{"sid": 0, "lo": 0.9, "hi": 1.0})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	body := decode[queryResponse](t, resp)
+	if len(body.Matches) < 2 {
+		t.Errorf("matches = %+v", body.Matches)
+	}
+	// Bad sid → 400.
+	resp = postJSON(t, srv.URL+"/query/sid", map[string]any{"sid": 99999, "lo": 0, "hi": 1})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad sid status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestTopKEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	resp := postJSON(t, srv.URL+"/topk", map[string]any{
+		"elements": []string{"dune", "foundation", "hyperion", "neuromancer"},
+		"k":        2,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	body := decode[queryResponse](t, resp)
+	if len(body.Matches) != 2 {
+		t.Fatalf("matches = %+v", body.Matches)
+	}
+	if body.Matches[0].Similarity != 1 {
+		t.Errorf("best match %+v", body.Matches[0])
+	}
+}
+
+func TestAddAndDeleteEndpoints(t *testing.T) {
+	srv, _ := testServer(t)
+	resp := postJSON(t, srv.URL+"/sets", map[string]any{
+		"elements": []string{"dune", "foundation", "hyperion", "neuromancer"},
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("add status %d", resp.StatusCode)
+	}
+	added := decode[map[string]int](t, resp)
+	sid := added["sid"]
+	if sid != 63 {
+		t.Errorf("sid = %d, want 63", sid)
+	}
+	// The new duplicate is retrievable.
+	resp = postJSON(t, srv.URL+"/query", map[string]any{
+		"elements": []string{"dune", "foundation", "hyperion", "neuromancer"},
+		"lo":       0.9, "hi": 1.0,
+	})
+	body := decode[queryResponse](t, resp)
+	if len(body.Matches) != 3 {
+		t.Fatalf("after add: %+v", body.Matches)
+	}
+	// Delete it again.
+	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/sets/%d", srv.URL, sid), nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status %d", dresp.StatusCode)
+	}
+	dresp.Body.Close()
+	resp = postJSON(t, srv.URL+"/query", map[string]any{
+		"elements": []string{"dune", "foundation", "hyperion", "neuromancer"},
+		"lo":       0.9, "hi": 1.0,
+	})
+	body = decode[queryResponse](t, resp)
+	if len(body.Matches) != 2 {
+		t.Errorf("after delete: %+v", body.Matches)
+	}
+	// Double delete → 404.
+	req, _ = http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/sets/%d", srv.URL, sid), nil)
+	dresp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dresp.StatusCode != http.StatusNotFound {
+		t.Errorf("double delete status %d", dresp.StatusCode)
+	}
+	dresp.Body.Close()
+}
+
+func TestPlanEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	resp, err := http.Get(srv.URL + "/plan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	plan := decode[ssr.PlanSummary](t, resp)
+	if len(plan.FilterIndexes) == 0 {
+		t.Error("no filter indexes in plan")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	srv, _ := testServer(t)
+	// Missing elements.
+	resp := postJSON(t, srv.URL+"/query", map[string]any{"lo": 0.5, "hi": 1.0})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty query status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// Inverted range.
+	resp = postJSON(t, srv.URL+"/query", map[string]any{"elements": []string{"x"}, "lo": 0.9, "hi": 0.1})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("inverted range status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// Unknown field.
+	resp = postJSON(t, srv.URL+"/query", map[string]any{"elements": []string{"x"}, "lo": 0, "hi": 1, "bogus": 1})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// Wrong methods.
+	resp, err := http.Get(srv.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /query status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// Bad sid path.
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/sets/not-a-number", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dresp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad sid path status %d", dresp.StatusCode)
+	}
+	dresp.Body.Close()
+	// k <= 0.
+	resp = postJSON(t, srv.URL+"/topk", map[string]any{"elements": []string{"x"}, "k": 0})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("k=0 status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestEmptyResultIsArray(t *testing.T) {
+	srv, _ := testServer(t)
+	resp := postJSON(t, srv.URL+"/query", map[string]any{
+		"elements": []string{"zzz", "qqq"}, "lo": 0.9, "hi": 1.0,
+	})
+	defer resp.Body.Close()
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	if string(raw["matches"]) != "[]" {
+		t.Errorf("matches = %s, want []", raw["matches"])
+	}
+}
+
+func TestMethodMatrix(t *testing.T) {
+	srv, _ := testServer(t)
+	cases := []struct {
+		method, path string
+	}{
+		{http.MethodPost, "/healthz"},
+		{http.MethodPost, "/plan"},
+		{http.MethodGet, "/topk"},
+		{http.MethodGet, "/sets"},
+		{http.MethodGet, "/query/sid"},
+		{http.MethodPut, "/sets/1"},
+	}
+	for _, tc := range cases {
+		req, _ := http.NewRequest(tc.method, srv.URL+tc.path, bytes.NewReader([]byte("{}")))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status %d, want 405", tc.method, tc.path, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	srv, _ := testServer(t)
+	resp := postJSON(t, srv.URL+"/sets", map[string]any{"elements": []string{}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty add status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp, err := http.Post(srv.URL+"/sets", "application/json", bytes.NewReader([]byte("{broken")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("broken JSON status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}

@@ -1,0 +1,92 @@
+package set
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Dictionary interns arbitrary string elements to dense Elem identifiers.
+// It grows as new elements appear, so the element universe never has to be
+// declared up front.
+//
+// Dictionary is not safe for concurrent mutation; guard it externally or
+// intern during a single-threaded load phase.
+type Dictionary struct {
+	ids   map[string]Elem
+	names []string
+}
+
+// NewDictionary returns an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{ids: make(map[string]Elem)}
+}
+
+// Intern returns the id for name, assigning the next dense id on first sight.
+func (d *Dictionary) Intern(name string) Elem {
+	if id, ok := d.ids[name]; ok {
+		return id
+	}
+	id := Elem(len(d.names))
+	d.ids[name] = id
+	d.names = append(d.names, name)
+	return id
+}
+
+// Lookup returns the id for name if it has been interned.
+func (d *Dictionary) Lookup(name string) (Elem, bool) {
+	id, ok := d.ids[name]
+	return id, ok
+}
+
+// Name returns the string for an interned id.
+func (d *Dictionary) Name(id Elem) (string, error) {
+	if id >= Elem(len(d.names)) {
+		return "", fmt.Errorf("set: id %d not in dictionary (size %d)", id, len(d.names))
+	}
+	return d.names[id], nil
+}
+
+// Len returns the number of distinct interned elements.
+func (d *Dictionary) Len() int { return len(d.names) }
+
+// InternSet interns every name and returns the resulting Set.
+func (d *Dictionary) InternSet(names ...string) Set {
+	elems := make([]Elem, len(names))
+	for i, n := range names {
+		elems[i] = d.Intern(n)
+	}
+	return New(elems...)
+}
+
+// Names resolves a Set back to its element strings, sorted lexically.
+// Unknown ids are reported as an error.
+func (d *Dictionary) Names(s Set) ([]string, error) {
+	out := make([]string, 0, s.Len())
+	for _, e := range s.Elems() {
+		n, err := d.Name(e)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// NamesInOrder returns all interned strings in id order (id i at index i).
+// The returned slice is a copy.
+func (d *Dictionary) NamesInOrder() []string {
+	out := make([]string, len(d.names))
+	copy(out, d.names)
+	return out
+}
+
+// DictionaryFromNames rebuilds a dictionary whose id assignment matches
+// the given id-ordered name list (the inverse of NamesInOrder).
+func DictionaryFromNames(names []string) *Dictionary {
+	d := NewDictionary()
+	for _, n := range names {
+		d.Intern(n)
+	}
+	return d
+}

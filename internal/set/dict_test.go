@@ -1,0 +1,77 @@
+package set
+
+import "testing"
+
+func TestDictionaryInternStable(t *testing.T) {
+	d := NewDictionary()
+	a := d.Intern("apple")
+	b := d.Intern("banana")
+	if a == b {
+		t.Fatal("distinct strings share an id")
+	}
+	if got := d.Intern("apple"); got != a {
+		t.Errorf("re-intern changed id: %d vs %d", got, a)
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d, want 2", d.Len())
+	}
+}
+
+func TestDictionaryLookup(t *testing.T) {
+	d := NewDictionary()
+	id := d.Intern("x")
+	if got, ok := d.Lookup("x"); !ok || got != id {
+		t.Errorf("Lookup(x) = %d,%v", got, ok)
+	}
+	if _, ok := d.Lookup("missing"); ok {
+		t.Error("Lookup(missing) succeeded")
+	}
+}
+
+func TestDictionaryName(t *testing.T) {
+	d := NewDictionary()
+	id := d.Intern("hello")
+	name, err := d.Name(id)
+	if err != nil || name != "hello" {
+		t.Errorf("Name(%d) = %q, %v", id, name, err)
+	}
+	if _, err := d.Name(99); err == nil {
+		t.Error("Name(99) on small dictionary succeeded")
+	}
+}
+
+func TestInternSetAndNames(t *testing.T) {
+	d := NewDictionary()
+	s := d.InternSet("c", "a", "b", "a")
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	names, err := d.Names(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "c"}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("Names = %v, want %v", names, want)
+			break
+		}
+	}
+}
+
+func TestNamesUnknownID(t *testing.T) {
+	d := NewDictionary()
+	d.Intern("only")
+	if _, err := d.Names(New(0, 5)); err == nil {
+		t.Error("Names with unknown id succeeded")
+	}
+}
+
+func TestInternSetSimilarity(t *testing.T) {
+	d := NewDictionary()
+	a := d.InternSet("x", "y", "z")
+	b := d.InternSet("y", "z", "w")
+	if got, want := a.Jaccard(b), 0.5; got != want {
+		t.Errorf("Jaccard = %g, want %g", got, want)
+	}
+}

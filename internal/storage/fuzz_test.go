@@ -1,0 +1,55 @@
+package storage
+
+import (
+	"testing"
+
+	"repro/internal/set"
+)
+
+// FuzzSetEncoding round-trips arbitrary byte-derived element lists through
+// the varint record encoding (also runs as a regular test over the seed
+// corpus).
+func FuzzSetEncoding(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{255, 255, 255, 255, 0, 0, 0, 0, 128})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		// Derive elements: consecutive 8-byte windows, variable magnitude.
+		elems := make([]set.Elem, 0, len(raw))
+		var acc uint64
+		for i, b := range raw {
+			acc = acc<<8 | uint64(b)
+			if i%3 == 2 {
+				elems = append(elems, set.Elem(acc))
+			}
+		}
+		want := set.New(elems...)
+		st := NewSetStore(64)
+		sid := st.Append(want)
+		got, err := st.Fetch(sid, nil)
+		if err != nil {
+			t.Fatalf("fetch: %v", err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("round-trip mismatch: %v vs %v", got.Elems(), want.Elems())
+		}
+	})
+}
+
+// FuzzDecodeCorrupt feeds arbitrary bytes to the record decoder; it must
+// return an error or a valid set, never panic.
+func FuzzDecodeCorrupt(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 1, 1, 1})
+	f.Add([]byte{255, 255, 255, 255, 255, 255, 255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		s, err := decodeSet(raw)
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("decoder returned invalid set: %v", err)
+		}
+	})
+}

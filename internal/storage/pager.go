@@ -1,0 +1,66 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PageID identifies a page within a Pager.
+type PageID uint32
+
+// ErrPageOutOfRange is returned for accesses past the allocated page count.
+var ErrPageOutOfRange = errors.New("storage: page id out of range")
+
+// Pager is a flat, append-allocated array of fixed-size pages backed by
+// memory. It stands in for the disk: callers are responsible for charging
+// their reads to a Counter (the pager itself is policy-free, because whether
+// an access is sequential or random is a property of the access pattern, not
+// of the page).
+type Pager struct {
+	pageSize int
+	pages    [][]byte
+}
+
+// NewPager creates an empty pager with the given page size (bytes).
+// pageSize <= 0 selects DefaultPageSize.
+func NewPager(pageSize int) *Pager {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	return &Pager{pageSize: pageSize}
+}
+
+// PageSize returns the size of each page in bytes.
+func (p *Pager) PageSize() int { return p.pageSize }
+
+// NumPages returns the number of allocated pages.
+func (p *Pager) NumPages() int { return len(p.pages) }
+
+// Alloc allocates a new zeroed page and returns its id.
+func (p *Pager) Alloc() PageID {
+	p.pages = append(p.pages, make([]byte, p.pageSize))
+	return PageID(len(p.pages) - 1)
+}
+
+// Page returns the raw contents of page id. The returned slice aliases the
+// stored page: writes through it persist (this is the write path too).
+func (p *Pager) Page(id PageID) ([]byte, error) {
+	if int(id) >= len(p.pages) {
+		return nil, fmt.Errorf("%w: %d >= %d", ErrPageOutOfRange, id, len(p.pages))
+	}
+	return p.pages[id], nil
+}
+
+// MustPage is Page for internal callers that have already validated id.
+func (p *Pager) MustPage(id PageID) []byte {
+	b, err := p.Page(id)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Bytes returns the total allocated size in bytes.
+func (p *Pager) Bytes() int64 {
+	return int64(len(p.pages)) * int64(p.pageSize)
+}

@@ -1,0 +1,380 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/set"
+)
+
+func TestCostModelTime(t *testing.T) {
+	m := CostModel{SeqPageTime: time.Millisecond, RTN: 8}
+	if got := m.Time(10, 0); got != 10*time.Millisecond {
+		t.Errorf("seq time = %v", got)
+	}
+	if got := m.Time(0, 1); got != 8*time.Millisecond {
+		t.Errorf("rand time = %v", got)
+	}
+	if got := m.Time(2, 3); got != 26*time.Millisecond {
+		t.Errorf("mixed time = %v", got)
+	}
+}
+
+func TestDefaultCostModelRTN(t *testing.T) {
+	m := DefaultCostModel()
+	if m.RTN != 8 {
+		t.Errorf("rtn = %g, want the paper's 8", m.RTN)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.RecordSeq(5)
+	c.RecordRand(2)
+	c.RecordSeq(1)
+	if c.Seq() != 6 || c.Rand() != 2 {
+		t.Errorf("counter = %v", c.String())
+	}
+	m := CostModel{SeqPageTime: time.Microsecond, RTN: 8}
+	if got := c.SimTime(m); got != 22*time.Microsecond {
+		t.Errorf("SimTime = %v", got)
+	}
+	c.Reset()
+	if c.Seq() != 0 || c.Rand() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestPagerAllocAndAccess(t *testing.T) {
+	p := NewPager(128)
+	if p.PageSize() != 128 {
+		t.Errorf("PageSize = %d", p.PageSize())
+	}
+	id1 := p.Alloc()
+	id2 := p.Alloc()
+	if id1 == id2 {
+		t.Error("duplicate page ids")
+	}
+	if p.NumPages() != 2 {
+		t.Errorf("NumPages = %d", p.NumPages())
+	}
+	b, err := p.Page(id1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 128 {
+		t.Errorf("page len = %d", len(b))
+	}
+	b[0] = 0xAA
+	b2, _ := p.Page(id1)
+	if b2[0] != 0xAA {
+		t.Error("page write did not persist")
+	}
+	if _, err := p.Page(99); err == nil {
+		t.Error("out-of-range page access succeeded")
+	}
+	if p.Bytes() != 256 {
+		t.Errorf("Bytes = %d", p.Bytes())
+	}
+}
+
+func TestPagerDefaultPageSize(t *testing.T) {
+	if got := NewPager(0).PageSize(); got != DefaultPageSize {
+		t.Errorf("default page size = %d", got)
+	}
+	if got := NewPager(-5).PageSize(); got != DefaultPageSize {
+		t.Errorf("negative page size gave %d", got)
+	}
+}
+
+func TestSetStoreRoundTrip(t *testing.T) {
+	st := NewSetStore(64)
+	sets := []set.Set{
+		set.New(1, 2, 3),
+		set.New(),
+		set.New(100, 5, 999999999),
+		set.New(7),
+	}
+	var sids []SID
+	for _, s := range sets {
+		sids = append(sids, st.Append(s))
+	}
+	for i, sid := range sids {
+		if sid != SID(i) {
+			t.Errorf("sid %d assigned %d", i, sid)
+		}
+		got, err := st.Fetch(sid, nil)
+		if err != nil {
+			t.Fatalf("fetch %d: %v", sid, err)
+		}
+		if !got.Equal(sets[i]) {
+			t.Errorf("set %d round-trip: got %v want %v", i, got.Elems(), sets[i].Elems())
+		}
+	}
+	if st.Len() != 4 {
+		t.Errorf("Len = %d", st.Len())
+	}
+}
+
+func TestSetStoreFetchIO(t *testing.T) {
+	st := NewSetStore(32) // tiny pages force multi-page records
+	big := make([]set.Elem, 100)
+	for i := range big {
+		big[i] = set.Elem(i * 1000000) // large deltas → several bytes each
+	}
+	sid := st.Append(set.New(big...))
+	var io Counter
+	if _, err := st.Fetch(sid, &io); err != nil {
+		t.Fatal(err)
+	}
+	if io.Rand() != 1 {
+		t.Errorf("rand reads = %d, want exactly 1 (first page)", io.Rand())
+	}
+	if io.Seq() < 1 {
+		t.Errorf("seq reads = %d, want continuation pages", io.Seq())
+	}
+}
+
+func TestSetStoreScan(t *testing.T) {
+	st := NewSetStore(64)
+	for i := 0; i < 20; i++ {
+		st.Append(set.New(set.Elem(i), set.Elem(i+100)))
+	}
+	var io Counter
+	var seen []SID
+	err := st.Scan(&io, func(sid SID, s set.Set) bool {
+		seen = append(seen, sid)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 20 {
+		t.Errorf("scanned %d sets", len(seen))
+	}
+	for i, sid := range seen {
+		if sid != SID(i) {
+			t.Errorf("scan order broken at %d: %d", i, sid)
+		}
+	}
+	if io.Seq() != st.NumPages() {
+		t.Errorf("scan charged %d seq pages, store has %d", io.Seq(), st.NumPages())
+	}
+	if io.Rand() != 0 {
+		t.Errorf("scan charged %d random reads", io.Rand())
+	}
+}
+
+func TestSetStoreScanEarlyStop(t *testing.T) {
+	st := NewSetStore(64)
+	for i := 0; i < 50; i++ {
+		st.Append(set.New(set.Elem(i)))
+	}
+	var io Counter
+	count := 0
+	_ = st.Scan(&io, func(sid SID, s set.Set) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("visited %d sets", count)
+	}
+	if io.Seq() > st.NumPages() {
+		t.Errorf("early stop charged %d pages of %d", io.Seq(), st.NumPages())
+	}
+}
+
+func TestSetStoreFetchOutOfRange(t *testing.T) {
+	st := NewSetStore(0)
+	st.Append(set.New(1))
+	if _, err := st.Fetch(5, nil); err == nil {
+		t.Error("out-of-range fetch succeeded")
+	}
+}
+
+func TestAvgPagesPerSet(t *testing.T) {
+	st := NewSetStore(0)
+	if st.AvgPagesPerSet() != 0 {
+		t.Error("empty store should report 0")
+	}
+	st.Append(set.New(1, 2, 3))
+	if st.AvgPagesPerSet() <= 0 {
+		t.Error("non-empty store should report positive pages per set")
+	}
+}
+
+// locatorStub returns fixed locations to test the locator path.
+type locatorStub struct {
+	off    uint64
+	length uint32
+	calls  int
+}
+
+func (l *locatorStub) Locate(sid SID, io *Counter) (uint64, uint32, error) {
+	l.calls++
+	if io != nil {
+		io.RecordRand(1)
+	}
+	return l.off, l.length, nil
+}
+
+func TestSetStoreLocator(t *testing.T) {
+	st := NewSetStore(0)
+	sid := st.Append(set.New(4, 5, 6))
+	off, length, _ := st.Location(sid)
+	stub := &locatorStub{off: off, length: length}
+	st.SetLocator(stub)
+	var io Counter
+	got, err := st.Fetch(sid, &io)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(set.New(4, 5, 6)) {
+		t.Error("locator-path fetch returned wrong set")
+	}
+	if stub.calls != 1 {
+		t.Errorf("locator called %d times", stub.calls)
+	}
+	if io.Rand() != 2 { // 1 locator + 1 first data page
+		t.Errorf("rand reads = %d, want 2", io.Rand())
+	}
+}
+
+func TestSetStoreLocatorBoundsChecked(t *testing.T) {
+	st := NewSetStore(0)
+	st.Append(set.New(1))
+	st.SetLocator(&locatorStub{off: 1 << 30, length: 10})
+	if _, err := st.Fetch(0, nil); err == nil {
+		t.Error("out-of-bounds locator result accepted")
+	}
+}
+
+func TestSetEncodingRoundTripProperty(t *testing.T) {
+	f := func(raw []uint32, shift uint8) bool {
+		elems := make([]set.Elem, len(raw))
+		for i, v := range raw {
+			elems[i] = set.Elem(uint64(v) << (shift % 32))
+		}
+		want := set.New(elems...)
+		st := NewSetStore(64)
+		sid := st.Append(want)
+		got, err := st.Fetch(sid, nil)
+		if err != nil {
+			return false
+		}
+		return got.Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecordPages(t *testing.T) {
+	st := NewSetStore(100)
+	cases := []struct {
+		off    uint64
+		length uint32
+		want   int64
+	}{
+		{0, 0, 1}, {0, 100, 1}, {0, 101, 2}, {50, 100, 2}, {99, 2, 2}, {100, 100, 1},
+	}
+	for _, c := range cases {
+		if got := st.recordPages(c.off, c.length); got != c.want {
+			t.Errorf("recordPages(%d, %d) = %d, want %d", c.off, c.length, got, c.want)
+		}
+	}
+}
+
+func TestManyRandomSetsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	st := NewSetStore(256)
+	var originals []set.Set
+	for i := 0; i < 500; i++ {
+		n := rng.Intn(40)
+		elems := make([]set.Elem, n)
+		for j := range elems {
+			elems[j] = set.Elem(rng.Uint64() % 1e9)
+		}
+		s := set.New(elems...)
+		originals = append(originals, s)
+		st.Append(s)
+	}
+	for i, want := range originals {
+		got, err := st.Fetch(SID(i), nil)
+		if err != nil {
+			t.Fatalf("fetch %d: %v", i, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("set %d mismatched after round-trip", i)
+		}
+	}
+}
+
+func TestMustPagePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustPage(99) did not panic")
+		}
+	}()
+	NewPager(64).MustPage(99)
+}
+
+func TestSetStoreDelete(t *testing.T) {
+	st := NewSetStore(0)
+	a := st.Append(set.New(1, 2))
+	b := st.Append(set.New(3, 4))
+	if st.Live() != 2 {
+		t.Errorf("Live = %d", st.Live())
+	}
+	if err := st.Delete(a); err != nil {
+		t.Fatal(err)
+	}
+	if st.Live() != 1 || !st.Deleted(a) || st.Deleted(b) {
+		t.Error("tombstone bookkeeping wrong")
+	}
+	if _, err := st.Fetch(a, nil); err == nil {
+		t.Error("fetch of deleted sid succeeded")
+	}
+	if err := st.Delete(a); err == nil {
+		t.Error("double delete accepted")
+	}
+	if err := st.Delete(99); err == nil {
+		t.Error("out-of-range delete accepted")
+	}
+	// Scan skips the tombstone but still visits b.
+	var got []SID
+	_ = st.Scan(nil, func(sid SID, s set.Set) bool {
+		got = append(got, sid)
+		return true
+	})
+	if len(got) != 1 || got[0] != b {
+		t.Errorf("scan after delete = %v", got)
+	}
+}
+
+func TestLocationOutOfRange(t *testing.T) {
+	st := NewSetStore(0)
+	if _, _, err := st.Location(5); err == nil {
+		t.Error("Location(5) on empty store succeeded")
+	}
+}
+
+func TestPayloadAccounting(t *testing.T) {
+	plain := NewSetStore(4096)
+	padded := NewSetStoreWithPayload(4096, 100)
+	s := set.New(1, 2, 3, 4, 5)
+	plain.Append(s)
+	padded.Append(s)
+	if padded.Bytes() != plain.Bytes()+500 {
+		t.Errorf("padded bytes %d vs plain %d", padded.Bytes(), plain.Bytes())
+	}
+	if padded.NumPages() < plain.NumPages() {
+		t.Error("payload reduced page count")
+	}
+	// Negative payload clamps to zero.
+	if NewSetStoreWithPayload(0, -5).payload != 0 {
+		t.Error("negative payload not clamped")
+	}
+}

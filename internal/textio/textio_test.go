@@ -1,0 +1,96 @@
+package textio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/set"
+)
+
+func TestRoundTrip(t *testing.T) {
+	in := []set.Set{
+		set.New(3, 1, 2),
+		set.New(42),
+		set.New(0, 1<<40),
+	}
+	var buf bytes.Buffer
+	if err := WriteSets(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadSets(&buf, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d sets", len(out))
+	}
+	for i := range in {
+		if !out[i].Equal(in[i]) {
+			t.Errorf("set %d: %v vs %v", i, out[i].Elems(), in[i].Elems())
+		}
+	}
+}
+
+func TestReadSkipsBlankLines(t *testing.T) {
+	sets, err := ReadSets(strings.NewReader("1 2 3\n\n\n4 5\n"), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 2 {
+		t.Fatalf("got %d sets", len(sets))
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := ReadSets(strings.NewReader(""), "t"); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadSets(strings.NewReader("1 x 3\n"), "t"); err == nil {
+		t.Error("non-numeric element accepted")
+	}
+	if _, err := ReadSets(strings.NewReader("1 -5\n"), "t"); err == nil {
+		t.Error("negative element accepted")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(raw [][]uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		in := make([]set.Set, 0, len(raw))
+		for _, r := range raw {
+			elems := make([]set.Elem, len(r))
+			for i, v := range r {
+				elems[i] = set.Elem(v)
+			}
+			s := set.New(elems...)
+			if s.Len() == 0 {
+				s = set.New(1) // blank lines are skipped; keep sets non-empty
+			}
+			in = append(in, s)
+		}
+		var buf bytes.Buffer
+		if err := WriteSets(&buf, in); err != nil {
+			return false
+		}
+		out, err := ReadSets(&buf, "q")
+		if err != nil {
+			return false
+		}
+		if len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			if !out[i].Equal(in[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

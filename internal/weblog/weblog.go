@@ -1,0 +1,141 @@
+// Package weblog parses raw HTTP access logs into per-client set
+// collections — the paper's actual preprocessing step ("we parse and
+// record for each unique IP address the collection of http log strings
+// associated with that address", Section 6).
+//
+// The parser accepts NCSA Common/Combined Log Format lines:
+//
+//	127.0.0.1 - frank [10/Oct/2000:13:55:36 -0700] "GET /a.gif HTTP/1.0" 200 2326
+//
+// Each client (first field) accumulates the set of distinct request paths.
+// Malformed lines are counted and skipped rather than failing the load —
+// real logs always contain garbage.
+package weblog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Collection is the parsed result: per-client page sets.
+type Collection struct {
+	// Clients lists client identifiers (IPs) in first-seen order; the
+	// index of a client is its sid.
+	Clients []string
+	// Pages holds each client's distinct request paths, aligned with
+	// Clients, each sorted lexically.
+	Pages [][]string
+	// Lines is the number of input lines read.
+	Lines int
+	// Malformed is the number of lines skipped as unparseable.
+	Malformed int
+}
+
+// Parse reads an access log. Only clients with at least minPages distinct
+// paths are kept (minPages <= 1 keeps everyone) — the paper-style guard
+// against one-hit clients bloating the collection.
+func Parse(r io.Reader, minPages int) (*Collection, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	pages := make(map[string]map[string]struct{})
+	order := []string{}
+	c := &Collection{}
+	for sc.Scan() {
+		c.Lines++
+		client, path, ok := parseLine(sc.Text())
+		if !ok {
+			c.Malformed++
+			continue
+		}
+		set, seen := pages[client]
+		if !seen {
+			set = make(map[string]struct{})
+			pages[client] = set
+			order = append(order, client)
+		}
+		set[path] = struct{}{}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("weblog: %w", err)
+	}
+	for _, client := range order {
+		set := pages[client]
+		if len(set) < minPages {
+			continue
+		}
+		list := make([]string, 0, len(set))
+		for p := range set {
+			list = append(list, p)
+		}
+		sort.Strings(list)
+		c.Clients = append(c.Clients, client)
+		c.Pages = append(c.Pages, list)
+	}
+	return c, nil
+}
+
+// parseLine extracts (client, requestPath) from one NCSA-format line.
+func parseLine(line string) (client, path string, ok bool) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return "", "", false
+	}
+	// Client is the first whitespace-delimited field.
+	sp := strings.IndexByte(line, ' ')
+	if sp <= 0 {
+		return "", "", false
+	}
+	client = line[:sp]
+	// The request is the first double-quoted section: "METHOD path PROTO".
+	q1 := strings.IndexByte(line, '"')
+	if q1 < 0 {
+		return "", "", false
+	}
+	q2 := strings.IndexByte(line[q1+1:], '"')
+	if q2 < 0 {
+		return "", "", false
+	}
+	req := line[q1+1 : q1+1+q2]
+	parts := strings.Fields(req)
+	if len(parts) < 2 {
+		return "", "", false
+	}
+	path = parts[1]
+	if path == "" {
+		return "", "", false
+	}
+	// Strip query strings: /page?x=1 and /page are the same resource for
+	// similarity purposes.
+	if i := strings.IndexByte(path, '?'); i >= 0 {
+		path = path[:i]
+		if path == "" {
+			return "", "", false
+		}
+	}
+	return client, path, true
+}
+
+// EmitSynthetic writes count plausible Common Log Format lines derived
+// from per-client page sets (the inverse of Parse, for tests and demos):
+// every page of every client produces one line, cycling timestamps.
+func EmitSynthetic(w io.Writer, clients []string, pages [][]string) error {
+	if len(clients) != len(pages) {
+		return fmt.Errorf("weblog: %d clients but %d page lists", len(clients), len(pages))
+	}
+	bw := bufio.NewWriter(w)
+	i := 0
+	for ci, client := range clients {
+		for _, p := range pages[ci] {
+			_, err := fmt.Fprintf(bw, "%s - - [10/Oct/2000:13:%02d:%02d -0700] \"GET %s HTTP/1.0\" 200 %d\n",
+				client, (i/60)%60, i%60, p, 500+i%1500)
+			if err != nil {
+				return err
+			}
+			i++
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,127 @@
+package weblog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sample = `10.0.0.1 - - [10/Oct/2000:13:55:36 -0700] "GET /index.html HTTP/1.0" 200 2326
+10.0.0.1 - - [10/Oct/2000:13:55:37 -0700] "GET /logo.gif HTTP/1.0" 200 412
+10.0.0.2 - frank [10/Oct/2000:13:55:38 -0700] "GET /index.html HTTP/1.1" 200 2326
+10.0.0.1 - - [10/Oct/2000:13:55:39 -0700] "GET /index.html HTTP/1.0" 304 0
+10.0.0.2 - - [10/Oct/2000:13:55:40 -0700] "POST /login?next=/home HTTP/1.1" 302 0
+garbage line without quotes
+10.0.0.3 - - [10/Oct/2000:13:55:41 -0700] "BROKEN" 400 0
+
+# a comment
+`
+
+func TestParse(t *testing.T) {
+	c, err := Parse(strings.NewReader(sample), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Lines != 9 {
+		t.Errorf("Lines = %d", c.Lines)
+	}
+	if c.Malformed != 4 { // garbage, BROKEN, blank, comment
+		t.Errorf("Malformed = %d", c.Malformed)
+	}
+	if len(c.Clients) != 2 {
+		t.Fatalf("clients = %v", c.Clients)
+	}
+	if c.Clients[0] != "10.0.0.1" || c.Clients[1] != "10.0.0.2" {
+		t.Errorf("client order = %v", c.Clients)
+	}
+	// 10.0.0.1 hit /index.html twice: distinct pages only.
+	if got := c.Pages[0]; len(got) != 2 || got[0] != "/index.html" || got[1] != "/logo.gif" {
+		t.Errorf("pages[0] = %v", got)
+	}
+	// Query string stripped.
+	if got := c.Pages[1]; len(got) != 2 || got[0] != "/index.html" || got[1] != "/login" {
+		t.Errorf("pages[1] = %v", got)
+	}
+}
+
+func TestParseMinPages(t *testing.T) {
+	c, err := Parse(strings.NewReader(sample), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Clients) != 2 {
+		t.Fatalf("clients = %v", c.Clients)
+	}
+	c, err = Parse(strings.NewReader(sample), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Clients) != 0 {
+		t.Errorf("minPages 3 kept %v", c.Clients)
+	}
+}
+
+func TestParseLineEdgeCases(t *testing.T) {
+	bad := []string{
+		"",
+		"   ",
+		"# comment",
+		"onlyclient",
+		`1.2.3.4 no quotes here`,
+		`1.2.3.4 - - [t] "GET" 200 1`,      // request too short
+		`1.2.3.4 - - [t] "unterminated`,    // one quote
+		`1.2.3.4 - - [t] "GET ? HTTP/1.0"`, // empty path after query strip
+	}
+	for _, line := range bad {
+		if _, _, ok := parseLine(line); ok {
+			t.Errorf("accepted %q", line)
+		}
+	}
+	client, path, ok := parseLine(`2001:db8::1 - - [t] "HEAD /x HTTP/2" 200 5`)
+	if !ok || client != "2001:db8::1" || path != "/x" {
+		t.Errorf("ipv6 line: %q %q %v", client, path, ok)
+	}
+}
+
+func TestEmitParseRoundTrip(t *testing.T) {
+	clients := []string{"1.1.1.1", "2.2.2.2", "3.3.3.3"}
+	pages := [][]string{
+		{"/a", "/b", "/c"},
+		{"/a", "/x"},
+		{"/z"},
+	}
+	var buf bytes.Buffer
+	if err := EmitSynthetic(&buf, clients, pages); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Parse(&buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Malformed != 0 {
+		t.Errorf("round-trip produced %d malformed lines", c.Malformed)
+	}
+	if len(c.Clients) != 3 {
+		t.Fatalf("clients = %v", c.Clients)
+	}
+	for i := range clients {
+		if c.Clients[i] != clients[i] {
+			t.Errorf("client %d = %s", i, c.Clients[i])
+		}
+		if len(c.Pages[i]) != len(pages[i]) {
+			t.Errorf("pages[%d] = %v, want %v", i, c.Pages[i], pages[i])
+			continue
+		}
+		for j := range pages[i] {
+			if c.Pages[i][j] != pages[i][j] {
+				t.Errorf("pages[%d][%d] = %s", i, j, c.Pages[i][j])
+			}
+		}
+	}
+}
+
+func TestEmitValidation(t *testing.T) {
+	if err := EmitSynthetic(&bytes.Buffer{}, []string{"a"}, nil); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}

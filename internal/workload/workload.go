@@ -1,0 +1,313 @@
+// Package workload generates synthetic set collections and query workloads.
+//
+// The paper evaluates on two proprietary HTTP-log datasets (the Nagano
+// winter-Olympics site and a corporate site), each parsed into 200,000 sets
+// of log strings per client IP. Those logs are not available, so this
+// package builds the closest synthetic equivalent using a visit-depth
+// model: site pages are popularity-ranked, every visitor walks a prefix of
+// that ranking (front page and hot links first) whose depth is lognormally
+// distributed, deeper visitors branch into one of several topical sections,
+// and every visitor adds a personal fringe of long-tail pages. Two
+// visitors' similarity is then governed by the ratio of their depths —
+// shallow pairs look alike, deep cross-topic pairs diverge — which spreads
+// the pairwise-similarity distribution across the whole [0, 1] range with
+// most mass at low similarity (the sharp drop the paper reports) and a
+// genuine high-similarity tail (shallow visitors and mirrored IPs).
+// Everything is seeded and reproducible.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/set"
+)
+
+// Params controls the generator.
+type Params struct {
+	// N is the number of sets (visitors).
+	N int
+	// Topics is the number of site sections deep visitors branch into.
+	Topics int
+	// GlobalPages is the length of the shared head of the page ranking
+	// (front page, navigation, hot content) every visitor walks first.
+	GlobalPages int
+	// TopicPages is the length of each topic's ranking tail.
+	TopicPages int
+	// MeanDepth is the mean number of ranked pages a visitor reaches.
+	MeanDepth int
+	// DepthSigma is the lognormal shape of the depth distribution
+	// (0 selects 0.9). Larger values spread visit depths — and therefore
+	// pairwise similarities — more widely.
+	DepthSigma float64
+	// NoisePool is the number of long-tail URLs personal fringes draw
+	// from.
+	NoisePool int
+	// NoiseFrac is the fraction of a visitor's set that is personal
+	// fringe rather than ranked prefix.
+	NoiseFrac float64
+	// ZipfS is the Zipf exponent for fringe-URL popularity (must be > 1;
+	// 0 selects 1.4).
+	ZipfS float64
+	// MirrorProb is the probability that a visitor is generated as a
+	// noisy near-copy of an earlier one (revisits under a new IP, NAT
+	// pools, mirrors) — extra very-high-similarity mass.
+	MirrorProb float64
+	// MirrorNoise is the mean fraction of a mirrored set that is
+	// resampled (per-mirror fraction drawn from (0, 2·MirrorNoise)).
+	MirrorNoise float64
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+// Set1Params mimics the Olympics-log collection: a huge hot head (every
+// visitor hits the event front pages), eight event sections, substantial
+// mirroring.
+func Set1Params(n int) Params {
+	return Params{
+		N: n, Topics: 8, GlobalPages: 30, TopicPages: 600,
+		MeanDepth: 50, DepthSigma: 1.5,
+		NoisePool: 50000, NoiseFrac: 0.15, ZipfS: 1.4,
+		MirrorProb: 0.20, MirrorNoise: 0.12, Seed: 101,
+	}
+}
+
+// Set2Params mimics the corporate-site collection: a smaller shared head,
+// more sections, deeper visits, less mirroring.
+func Set2Params(n int) Params {
+	return Params{
+		N: n, Topics: 16, GlobalPages: 20, TopicPages: 800,
+		MeanDepth: 65, DepthSigma: 1.3,
+		NoisePool: 80000, NoiseFrac: 0.2, ZipfS: 1.3,
+		MirrorProb: 0.13, MirrorNoise: 0.15, Seed: 202,
+	}
+}
+
+func (p Params) withDefaults() (Params, error) {
+	if p.N < 1 {
+		return p, fmt.Errorf("workload: N must be >= 1, got %d", p.N)
+	}
+	if p.Topics < 1 {
+		p.Topics = 1
+	}
+	if p.GlobalPages < 1 {
+		p.GlobalPages = 20
+	}
+	if p.TopicPages < 1 {
+		p.TopicPages = 500
+	}
+	if p.MeanDepth < 2 {
+		p.MeanDepth = 40
+	}
+	if p.DepthSigma == 0 {
+		p.DepthSigma = 0.9
+	}
+	if p.DepthSigma < 0 {
+		return p, fmt.Errorf("workload: DepthSigma must be >= 0, got %g", p.DepthSigma)
+	}
+	if p.NoisePool < 1 {
+		p.NoisePool = 10000
+	}
+	if p.ZipfS == 0 {
+		p.ZipfS = 1.4
+	}
+	if p.ZipfS <= 1 {
+		return p, fmt.Errorf("workload: ZipfS must be > 1, got %g", p.ZipfS)
+	}
+	if p.NoiseFrac < 0 || p.NoiseFrac >= 1 {
+		return p, fmt.Errorf("workload: NoiseFrac must be in [0,1), got %g", p.NoiseFrac)
+	}
+	if p.MirrorProb < 0 || p.MirrorProb >= 1 {
+		return p, fmt.Errorf("workload: MirrorProb must be in [0,1), got %g", p.MirrorProb)
+	}
+	if p.MirrorNoise < 0 || p.MirrorNoise > 1 {
+		return p, fmt.Errorf("workload: MirrorNoise must be in [0,1], got %g", p.MirrorNoise)
+	}
+	return p, nil
+}
+
+// Element id layout: the shared head occupies [0, GlobalPages); topic t's
+// tail occupies [GlobalPages + t·TopicPages, ...); fringe URLs follow all
+// topic tails.
+
+// rankedElem returns the element id of ranking position idx in topic t.
+func rankedElem(p Params, topic, idx int) set.Elem {
+	if idx < p.GlobalPages {
+		return set.Elem(idx)
+	}
+	return set.Elem(p.GlobalPages + topic*p.TopicPages + (idx - p.GlobalPages))
+}
+
+// noiseElem maps a fringe-pool rank to its element id.
+func noiseElem(p Params, rank uint64) set.Elem {
+	return set.Elem(p.GlobalPages+p.Topics*p.TopicPages) + set.Elem(rank)
+}
+
+// Generate produces the collection.
+func Generate(p Params) ([]set.Set, error) {
+	p, err := p.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	noise := newZipf(rng, p.ZipfS, p.NoisePool)
+
+	sets := make([]set.Set, 0, p.N)
+	for i := 0; i < p.N; i++ {
+		if i > 0 && rng.Float64() < p.MirrorProb {
+			src := sets[rng.Intn(i)]
+			sets = append(sets, mirror(rng, src, p, noise))
+			continue
+		}
+		sets = append(sets, drawSet(rng, p, rng.Intn(p.Topics), noise))
+	}
+	return sets, nil
+}
+
+// drawSet samples one visitor: a depth-long prefix of the topic's page
+// ranking plus a personal fringe.
+func drawSet(rng *rand.Rand, p Params, topic int, noise *zipf) set.Set {
+	depth := lognormalDepth(rng, p.MeanDepth, p.DepthSigma)
+	maxDepth := p.GlobalPages + p.TopicPages
+	if depth > maxDepth {
+		depth = maxDepth
+	}
+	elems := make(map[set.Elem]struct{}, depth)
+	for idx := 0; idx < depth; idx++ {
+		elems[rankedElem(p, topic, idx)] = struct{}{}
+	}
+	fringe := int(p.NoiseFrac / (1 - p.NoiseFrac) * float64(depth))
+	for j := 0; j < fringe; j++ {
+		elems[noiseElem(p, noise.draw(rng))] = struct{}{}
+	}
+	return fromElemSet(elems)
+}
+
+// lognormalDepth draws a visit depth with the requested mean.
+func lognormalDepth(rng *rand.Rand, mean int, sigma float64) int {
+	mu := math.Log(float64(mean)) - sigma*sigma/2
+	d := int(math.Exp(rng.NormFloat64()*sigma+mu) + 0.5)
+	if d < 2 {
+		d = 2
+	}
+	return d
+}
+
+// mirror produces a noisy near-copy of src: a per-mirror noise fraction
+// drawn uniformly from (0, 2·MirrorNoise) of the elements is dropped and
+// replaced with fresh fringe draws, spreading mirror similarities across
+// the high range instead of spiking at one value.
+func mirror(rng *rand.Rand, src set.Set, p Params, noise *zipf) set.Set {
+	frac := rng.Float64() * 2 * p.MirrorNoise
+	if frac > 1 {
+		frac = 1
+	}
+	elems := make(map[set.Elem]struct{}, src.Len())
+	for _, e := range src.Elems() {
+		if rng.Float64() >= frac {
+			elems[e] = struct{}{}
+		}
+	}
+	for len(elems) < src.Len() {
+		elems[noiseElem(p, noise.draw(rng))] = struct{}{}
+	}
+	return fromElemSet(elems)
+}
+
+func fromElemSet(elems map[set.Elem]struct{}) set.Set {
+	out := make([]set.Elem, 0, len(elems))
+	for e := range elems {
+		out = append(out, e)
+	}
+	return set.New(out...)
+}
+
+// zipf is a bounded Zipf sampler over [0, n) with exponent s. It wraps
+// math/rand's rejection sampler with a deterministic construction order so
+// collections are reproducible across runs.
+type zipf struct {
+	z *rand.Zipf
+	n int
+}
+
+func newZipf(rng *rand.Rand, s float64, n int) *zipf {
+	if n < 1 {
+		n = 1
+	}
+	return &zipf{z: rand.NewZipf(rng, s, 1, uint64(n-1)), n: n}
+}
+
+func (z *zipf) draw(rng *rand.Rand) uint64 {
+	if z.n == 1 {
+		return 0
+	}
+	return z.z.Uint64()
+}
+
+// Query is one range-similarity query of a workload.
+type Query struct {
+	// SID is the collection index the query set was drawn from.
+	SID int
+	// Lo, Hi delimit the target similarity range [σ1, σ2].
+	Lo, Hi float64
+}
+
+// QueryParams controls query workload generation.
+type QueryParams struct {
+	// Count is the number of queries.
+	Count int
+	// FixedWidth, when true, draws a range width uniformly from
+	// [MinWidth, MaxWidth] and places it uniformly. When false (the
+	// default, matching the paper's "bounds ... chosen at random"), the
+	// two bounds are independent uniforms, sorted.
+	FixedWidth bool
+	// MinWidth, MaxWidth bound the range width in FixedWidth mode
+	// (defaults 0.05 and 0.3).
+	MinWidth, MaxWidth float64
+	// Seed makes the workload reproducible.
+	Seed int64
+}
+
+// Queries draws Count queries per the paper's methodology: the query set is
+// chosen at random from the collection and the bounds of the similarity
+// range are chosen at random as well.
+func Queries(collectionSize int, p QueryParams) ([]Query, error) {
+	if collectionSize < 1 {
+		return nil, fmt.Errorf("workload: empty collection")
+	}
+	if p.Count < 1 {
+		return nil, fmt.Errorf("workload: query count must be >= 1, got %d", p.Count)
+	}
+	minW, maxW := p.MinWidth, p.MaxWidth
+	if minW <= 0 {
+		minW = 0.05
+	}
+	if maxW <= 0 {
+		maxW = 0.3
+	}
+	if minW > maxW {
+		return nil, fmt.Errorf("workload: MinWidth %g > MaxWidth %g", minW, maxW)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	out := make([]Query, p.Count)
+	for i := range out {
+		var lo, hi float64
+		if p.FixedWidth {
+			w := minW + rng.Float64()*(maxW-minW)
+			lo = rng.Float64() * (1 - w)
+			hi = lo + w
+		} else {
+			lo, hi = rng.Float64(), rng.Float64()
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+		}
+		out[i] = Query{
+			SID: rng.Intn(collectionSize),
+			Lo:  lo,
+			Hi:  hi,
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,254 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/set"
+	"repro/internal/simdist"
+)
+
+func TestGenerateBasics(t *testing.T) {
+	sets, err := Generate(Set1Params(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 500 {
+		t.Fatalf("got %d sets", len(sets))
+	}
+	for i, s := range sets {
+		if s.Len() < 2 {
+			t.Errorf("set %d has %d elements", i, s.Len())
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("set %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestGenerateReproducible(t *testing.T) {
+	a, err := Generate(Set1Params(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Set1Params(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("set %d differs between identical-seed runs", i)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	p := Set1Params(50)
+	a, _ := Generate(p)
+	p.Seed = 999
+	b, _ := Generate(p)
+	same := 0
+	for i := range a {
+		if a[i].Equal(b[i]) {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical collections")
+	}
+}
+
+// TestSimilarityDistributionShape checks the property that makes the
+// workload a faithful substitute for the paper's logs: the pairwise
+// similarity distribution drops sharply as similarity grows, but has a
+// non-empty high-similarity tail (mirrors/revisits).
+func TestSimilarityDistributionShape(t *testing.T) {
+	for name, params := range map[string]Params{
+		"set1": Set1Params(600),
+		"set2": Set2Params(600),
+	} {
+		sets, err := Generate(params)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		h := simdist.ExactPairs(sets, 50)
+		total := h.Total()
+		low := h.Mass(0, 0.2) / total
+		mid := h.Mass(0.2, 0.5) / total
+		high := h.Mass(0.5, 0.8) / total
+		tail := h.Mass(0.8, 1) / total
+		if low < mid || mid < high || high < tail {
+			t.Errorf("%s: distribution not dropping: low=%.3f mid=%.3f high=%.3f tail=%.3f", name, low, mid, high, tail)
+		}
+		if tail == 0 {
+			t.Errorf("%s: no high-similarity tail; high-similarity queries would be vacuous", name)
+		}
+		if low < 0.35 {
+			t.Errorf("%s: low-similarity mass %.3f, want the bulk at low similarity like web logs", name, low)
+		}
+	}
+}
+
+func TestMirrorsCreateNearDuplicates(t *testing.T) {
+	p := Set1Params(300)
+	p.MirrorProb = 0.5
+	sets, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With heavy mirroring there must exist pairs above 0.6 similarity.
+	found := false
+	for i := 0; i < len(sets) && !found; i++ {
+		for j := i + 1; j < len(sets); j++ {
+			if sets[i].Jaccard(sets[j]) > 0.6 {
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Error("no near-duplicate pairs despite 50% mirror probability")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Params{N: 0}); err == nil {
+		t.Error("N=0 accepted")
+	}
+	p := Set1Params(10)
+	p.ZipfS = 0.5
+	if _, err := Generate(p); err == nil {
+		t.Error("ZipfS <= 1 accepted")
+	}
+	p = Set1Params(10)
+	p.NoiseFrac = 1.0
+	if _, err := Generate(p); err == nil {
+		t.Error("NoiseFrac = 1 accepted")
+	}
+	p = Set1Params(10)
+	p.MirrorProb = 1.0
+	if _, err := Generate(p); err == nil {
+		t.Error("MirrorProb = 1 accepted")
+	}
+	p = Set1Params(10)
+	p.MirrorNoise = -0.1
+	if _, err := Generate(p); err == nil {
+		t.Error("negative MirrorNoise accepted")
+	}
+	p = Set1Params(10)
+	p.DepthSigma = -1
+	if _, err := Generate(p); err == nil {
+		t.Error("negative DepthSigma accepted")
+	}
+}
+
+func TestGenerateDefaults(t *testing.T) {
+	sets, err := Generate(Params{N: 20, ZipfS: 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 20 {
+		t.Errorf("got %d sets", len(sets))
+	}
+}
+
+func TestDepthRatioDrivesSimilarity(t *testing.T) {
+	// With one topic and no noise, two visitors' sets are nested prefixes:
+	// similarity = shallower depth / deeper depth, never zero.
+	p := Params{N: 30, Topics: 1, GlobalPages: 10, TopicPages: 500,
+		MeanDepth: 50, DepthSigma: 0.8, NoisePool: 100, NoiseFrac: 0, ZipfS: 1.5, Seed: 5}
+	sets, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(sets); i++ {
+		for j := i + 1; j < len(sets); j++ {
+			a, b := sets[i], sets[j]
+			want := float64(min(a.Len(), b.Len())) / float64(max(a.Len(), b.Len()))
+			got := a.Jaccard(b)
+			if got < want-1e-9 || got > want+1e-9 {
+				t.Fatalf("pair (%d,%d): similarity %g, want depth ratio %g", i, j, got, want)
+			}
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestElementRanges(t *testing.T) {
+	p := Params{N: 50, Topics: 3, GlobalPages: 10, TopicPages: 50,
+		MeanDepth: 20, DepthSigma: 0.5, NoisePool: 1000, NoiseFrac: 0.3, ZipfS: 1.5, Seed: 5}
+	sets, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	limit := set.Elem(p.GlobalPages + p.Topics*p.TopicPages + p.NoisePool)
+	for _, s := range sets {
+		for _, e := range s.Elems() {
+			if e >= limit {
+				t.Fatalf("element %d beyond id space %d", e, limit)
+			}
+		}
+	}
+}
+
+func TestQueries(t *testing.T) {
+	qs, err := Queries(1000, QueryParams{Count: 200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 200 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for i, q := range qs {
+		if q.SID < 0 || q.SID >= 1000 {
+			t.Errorf("query %d sid %d out of range", i, q.SID)
+		}
+		if q.Lo < 0 || q.Hi > 1 || q.Lo > q.Hi {
+			t.Errorf("query %d range [%g,%g] invalid", i, q.Lo, q.Hi)
+		}
+	}
+	fixed, err := Queries(1000, QueryParams{Count: 200, Seed: 3, FixedWidth: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range fixed {
+		w := q.Hi - q.Lo
+		if w < 0.05-1e-9 || w > 0.3+1e-9 {
+			t.Errorf("fixed-width query %d width %g outside default bounds", i, w)
+		}
+	}
+}
+
+func TestQueriesValidation(t *testing.T) {
+	if _, err := Queries(0, QueryParams{Count: 5}); err == nil {
+		t.Error("empty collection accepted")
+	}
+	if _, err := Queries(10, QueryParams{Count: 0}); err == nil {
+		t.Error("zero count accepted")
+	}
+	if _, err := Queries(10, QueryParams{Count: 5, MinWidth: 0.5, MaxWidth: 0.1}); err == nil {
+		t.Error("inverted widths accepted")
+	}
+}
+
+func TestQueriesReproducible(t *testing.T) {
+	a, _ := Queries(100, QueryParams{Count: 50, Seed: 7})
+	b, _ := Queries(100, QueryParams{Count: 50, Seed: 7})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("query %d differs between identical-seed runs", i)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package ssr
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/set"
+)
+
+// persistMagic guards the public snapshot format (which wraps the core
+// snapshot with the string dictionary).
+const persistMagic = "SSRPUB1\n"
+
+// publicSnapshot is the gob payload of an ssr-level snapshot.
+type publicSnapshot struct {
+	// Names is the interned-element dictionary in id order (empty for
+	// collections built purely with AddIDs).
+	Names []string
+	// Core is the inner index snapshot (see core.Save).
+	Core []byte
+}
+
+// Save writes the index — including the element dictionary — to w. The
+// snapshot reloads with Load into an index that answers queries
+// identically.
+func (ix *Index) Save(w io.Writer) error {
+	var coreBuf bytes.Buffer
+	if err := ix.inner.Save(&coreBuf); err != nil {
+		return err
+	}
+	ix.coll.mu.Lock()
+	names := ix.coll.dict.NamesInOrder()
+	ix.coll.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(persistMagic); err != nil {
+		return fmt.Errorf("ssr: writing snapshot header: %w", err)
+	}
+	if err := gob.NewEncoder(bw).Encode(&publicSnapshot{Names: names, Core: coreBuf.Bytes()}); err != nil {
+		return fmt.Errorf("ssr: encoding snapshot: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Load reconstructs an index saved with Save.
+//
+// If the saved index had deletions, sids are renumbered densely on load
+// (the same renumbering core.Load applies).
+func Load(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(persistMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("ssr: reading snapshot header: %w", err)
+	}
+	if string(magic) != persistMagic {
+		return nil, fmt.Errorf("ssr: not an index snapshot (bad magic %q)", magic)
+	}
+	var snap publicSnapshot
+	if err := gob.NewDecoder(br).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("ssr: decoding snapshot: %w", err)
+	}
+	inner, err := core.Load(bytes.NewReader(snap.Core))
+	if err != nil {
+		return nil, err
+	}
+	coll := NewCollection()
+	coll.dict = set.DictionaryFromNames(snap.Names)
+	// Rehydrate the collection views from the inner store so QuerySID and
+	// Get keep working.
+	sets, err := inner.Sets()
+	if err != nil {
+		return nil, err
+	}
+	coll.sets = sets
+	return &Index{coll: coll, inner: inner}, nil
+}

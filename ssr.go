@@ -1,0 +1,512 @@
+// Package ssr is an approximate, tunable index for similar-set retrieval,
+// reproducing "Efficient and Tunable Similar Set Retrieval" (Gionis,
+// Gunopulos, Koudas; SIGMOD 2001).
+//
+// Given a collection of sets, the index answers set-similarity range
+// queries: return every set whose Jaccard similarity with a query set lies
+// inside [lo, hi]. Sets are embedded with min-wise independent permutations
+// and error-correcting codes into a Hamming space, which is then indexed by
+// batteries of bit-sampling hash tables (Similarity and Dissimilarity
+// Filter Indices). The index is tunable: the caller fixes a space budget
+// (number of hash tables) and a recall target, and the optimizer places and
+// budgets the filter indices to maximize precision subject to that target.
+//
+// Basic use:
+//
+//	c := ssr.NewCollection()
+//	for _, basket := range baskets {
+//		c.Add(basket...) // string elements
+//	}
+//	ix, err := ssr.Build(c, ssr.Options{Budget: 200, RecallTarget: 0.9})
+//	...
+//	matches, stats, err := ix.Query(someBasket, 0.8, 1.0)
+//
+// Results are approximate: all returned matches are exact (candidates are
+// verified against stored sets) but a tunable fraction of true matches may
+// be missed; stats report the achieved filter behaviour.
+package ssr
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/embed"
+	"repro/internal/optimize"
+	"repro/internal/set"
+	"repro/internal/simdist"
+	"repro/internal/storage"
+)
+
+// Options tunes index construction. The zero value of every field selects a
+// sensible default except Budget, which must be positive.
+type Options struct {
+	// Budget is the total number of hash tables the index may use — the
+	// space constraint of the paper's Section 5 optimization. Required.
+	Budget int
+	// RecallTarget is the expected worst-case recall threshold T in (0, 1]
+	// the optimizer must respect (default 0.9).
+	RecallTarget float64
+	// MinHashes is the signature length k (default 100, as in the paper).
+	MinHashes int
+	// HashBits is the truncation width b of each min-hash value; Hamming
+	// codewords have 2^HashBits bits (default 8).
+	HashBits int
+	// MaxFilterIndices caps the optimizer's interval-growing loop
+	// (default 16).
+	MaxFilterIndices int
+	// PageSize is the simulated disk page size in bytes (default 4096).
+	PageSize int
+	// PayloadBytesPerElement makes the simulated disk account each element
+	// at its original record size (e.g. ~100 bytes for a URL string) even
+	// though elements are stored as compact ids. It only affects the I/O
+	// cost model (Stats, QueryAuto routing), not results.
+	PayloadBytesPerElement int
+	// Seed makes the whole build reproducible (default 1).
+	Seed int64
+	// DistSample is the number of set pairs sampled to estimate the
+	// similarity distribution; 0 picks a size-based default, negative
+	// forces the exact O(N²) computation.
+	DistSample int
+	// UniformPlacement switches partition-point placement from equidepth
+	// (the paper's choice) to uniform. For ablation studies.
+	UniformPlacement bool
+	// UniformAllocation switches hash-table budgeting from greedy
+	// (the paper's choice) to uniform. For ablation studies.
+	UniformAllocation bool
+}
+
+// Collection accumulates sets before building an index. Elements are
+// strings, interned internally; the universe never has to be declared.
+// A Collection is safe for concurrent reads after building; Add calls must
+// not race with each other (guarded internally, but sid assignment order
+// then depends on scheduling).
+type Collection struct {
+	mu   sync.Mutex
+	dict *set.Dictionary
+	sets []set.Set
+}
+
+// NewCollection returns an empty collection.
+func NewCollection() *Collection {
+	return &Collection{dict: set.NewDictionary()}
+}
+
+// Add interns the elements and appends the set, returning its sid.
+// Duplicate elements are collapsed.
+func (c *Collection) Add(elements ...string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sets = append(c.sets, c.dict.InternSet(elements...))
+	return len(c.sets) - 1
+}
+
+// AddIDs appends a set of pre-interned (or externally numbered) elements.
+// Mixing AddIDs and Add in one collection is allowed only if the caller's
+// numbering cannot collide with interned ids (interned ids are dense from
+// zero).
+func (c *Collection) AddIDs(elements ...uint64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sets = append(c.sets, set.New(elements...))
+	return len(c.sets) - 1
+}
+
+// Len returns the number of sets added.
+func (c *Collection) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.sets)
+}
+
+// Get returns the elements of set sid, resolved back to strings. Sets added
+// with AddIDs return an error for ids that were never interned.
+func (c *Collection) Get(sid int) ([]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if sid < 0 || sid >= len(c.sets) {
+		return nil, fmt.Errorf("ssr: sid %d out of range", sid)
+	}
+	return c.dict.Names(c.sets[sid])
+}
+
+// intern converts query elements under the collection's dictionary,
+// assigning fresh ids to unseen elements (they can only reduce similarity,
+// exactly as unseen elements do).
+func (c *Collection) intern(elements []string) set.Set {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dict.InternSet(elements...)
+}
+
+// Match is one query result.
+type Match struct {
+	// SID is the matching set's identifier (its Add order).
+	SID int
+	// Similarity is the exact Jaccard similarity with the query.
+	Similarity float64
+}
+
+// Stats reports per-query cost and filter behaviour.
+type Stats struct {
+	// Candidates is how many sets the filter stage proposed.
+	Candidates int
+	// Results is how many verified into the requested range.
+	Results int
+	// RandomPageReads and SequentialPageReads count simulated disk I/O.
+	RandomPageReads, SequentialPageReads int64
+	// SimulatedIOTime converts those reads under the default cost model
+	// (random read = 8 × sequential, the paper's rtn).
+	SimulatedIOTime time.Duration
+	// CPUTime is the measured in-memory processing time.
+	CPUTime time.Duration
+}
+
+// Index answers similarity range queries over a built collection.
+// It is safe for concurrent use.
+type Index struct {
+	coll  *Collection
+	inner *core.Index
+}
+
+// Build constructs the index over the collection per the paper's pipeline.
+// The collection must not be mutated afterwards.
+func Build(c *Collection, opt Options) (*Index, error) {
+	if c == nil || c.Len() == 0 {
+		return nil, fmt.Errorf("ssr: empty collection")
+	}
+	if opt.Budget <= 0 {
+		return nil, fmt.Errorf("ssr: Options.Budget must be positive")
+	}
+	eopt := embed.DefaultOptions()
+	if opt.MinHashes > 0 {
+		eopt.K = opt.MinHashes
+	}
+	if opt.HashBits > 0 {
+		eopt.Bits = opt.HashBits
+	}
+	if opt.Seed != 0 {
+		eopt.Seed = opt.Seed
+	}
+	popt := optimize.Options{
+		Budget:       opt.Budget,
+		RecallTarget: opt.RecallTarget,
+		MaxFIs:       opt.MaxFilterIndices,
+	}
+	if opt.UniformPlacement {
+		popt.Placement = optimize.Uniform
+	}
+	if opt.UniformAllocation {
+		popt.Allocation = optimize.UniformTables
+	}
+	c.mu.Lock()
+	sets := make([]set.Set, len(c.sets))
+	copy(sets, c.sets)
+	c.mu.Unlock()
+	inner, err := core.Build(sets, core.Options{
+		Embed:          eopt,
+		Plan:           popt,
+		PageSize:       opt.PageSize,
+		PayloadPerElem: opt.PayloadBytesPerElement,
+		DistSample:     opt.DistSample,
+		DistSeed:       opt.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Index{coll: c, inner: inner}, nil
+}
+
+// Query returns the sets whose Jaccard similarity with the query elements
+// lies in [lo, hi], sorted by descending similarity.
+func (ix *Index) Query(elements []string, lo, hi float64) ([]Match, Stats, error) {
+	return ix.query(ix.coll.intern(elements), lo, hi)
+}
+
+// QuerySID uses an existing collection member as the query set.
+func (ix *Index) QuerySID(sid int, lo, hi float64) ([]Match, Stats, error) {
+	ix.coll.mu.Lock()
+	ok := sid >= 0 && sid < len(ix.coll.sets)
+	var q set.Set
+	if ok {
+		q = ix.coll.sets[sid]
+	}
+	ix.coll.mu.Unlock()
+	if !ok {
+		return nil, Stats{}, fmt.Errorf("ssr: sid %d out of range", sid)
+	}
+	return ix.query(q, lo, hi)
+}
+
+// QueryIDs queries with externally numbered elements (matching AddIDs).
+func (ix *Index) QueryIDs(elements []uint64, lo, hi float64) ([]Match, Stats, error) {
+	return ix.query(set.New(elements...), lo, hi)
+}
+
+func (ix *Index) query(q set.Set, lo, hi float64) ([]Match, Stats, error) {
+	if lo < 0 || hi > 1 || lo > hi {
+		return nil, Stats{}, fmt.Errorf("ssr: invalid similarity range [%g, %g]", lo, hi)
+	}
+	matches, qs, err := ix.inner.Query(q, lo, hi)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	out := make([]Match, len(matches))
+	for i, m := range matches {
+		out[i] = Match{SID: int(m.SID), Similarity: m.Similarity}
+	}
+	model := storage.DefaultCostModel()
+	st := Stats{
+		Candidates:          qs.Candidates,
+		Results:             qs.Results,
+		RandomPageReads:     qs.IndexIO.Rand() + qs.FetchIO.Rand(),
+		SequentialPageReads: qs.IndexIO.Seq() + qs.FetchIO.Seq(),
+		SimulatedIOTime:     qs.SimIOTime(model),
+		CPUTime:             qs.CPU,
+	}
+	return out, st, nil
+}
+
+// Add inserts a new set into the collection and the live index, returning
+// its sid. The filter-index layout is not re-optimized.
+func (ix *Index) Add(elements ...string) (int, error) {
+	ix.coll.mu.Lock()
+	s := ix.coll.dict.InternSet(elements...)
+	ix.coll.sets = append(ix.coll.sets, s)
+	sid := len(ix.coll.sets) - 1
+	ix.coll.mu.Unlock()
+	got, err := ix.inner.Insert(s)
+	if err != nil {
+		return 0, err
+	}
+	if int(got) != sid {
+		return 0, fmt.Errorf("ssr: sid mismatch after insert: %d vs %d", got, sid)
+	}
+	return sid, nil
+}
+
+// EstimateAnswerSize predicts how many sets a query with range [lo, hi]
+// would return on average, from the similarity distribution the index was
+// tuned to — useful for choosing ranges and for cost decisions before
+// running anything.
+func (ix *Index) EstimateAnswerSize(lo, hi float64) (float64, error) {
+	return ix.inner.EstimateAnswerSize(lo, hi)
+}
+
+// RouteInfo explains a QueryAuto access-path decision.
+type RouteInfo struct {
+	// Path is "index" or "scan".
+	Path string
+	// PredictedCandidates is the modeled candidate count of the index
+	// path.
+	PredictedCandidates float64
+	// IndexCost and ScanCost are the modeled I/O times.
+	IndexCost, ScanCost time.Duration
+}
+
+// QueryAuto models both access paths (filter indices vs sequential scan)
+// under the paper's I/O cost model and runs the cheaper one — the
+// Section 6 decision rule (the index wins while the predicted result is
+// below roughly |S|·a/rtn). The scan path is exact; the index path is the
+// usual one-sided approximation.
+func (ix *Index) QueryAuto(elements []string, lo, hi float64) ([]Match, RouteInfo, Stats, error) {
+	if lo < 0 || hi > 1 || lo > hi {
+		return nil, RouteInfo{}, Stats{}, fmt.Errorf("ssr: invalid similarity range [%g, %g]", lo, hi)
+	}
+	model := storage.DefaultCostModel()
+	rp, err := ix.inner.RouteQuery(lo, hi, model)
+	if err != nil {
+		return nil, RouteInfo{}, Stats{}, err
+	}
+	info := RouteInfo{
+		Path:                rp.Route.String(),
+		PredictedCandidates: rp.PredictedCandidates,
+		IndexCost:           rp.IndexCost,
+		ScanCost:            rp.ScanCost,
+	}
+	matches, _, qs, err := ix.inner.QueryAuto(ix.coll.intern(elements), lo, hi, model)
+	if err != nil {
+		return nil, info, Stats{}, err
+	}
+	out := make([]Match, len(matches))
+	for i, m := range matches {
+		out[i] = Match{SID: int(m.SID), Similarity: m.Similarity}
+	}
+	st := Stats{
+		Candidates:          qs.Candidates,
+		Results:             qs.Results,
+		RandomPageReads:     qs.IndexIO.Rand() + qs.FetchIO.Rand(),
+		SequentialPageReads: qs.IndexIO.Seq() + qs.FetchIO.Seq(),
+		SimulatedIOTime:     qs.SimIOTime(model),
+		CPUTime:             qs.CPU,
+	}
+	return out, info, st, nil
+}
+
+// TopK returns the k sets most similar to the query elements, best first
+// (approximate nearest neighbours; similarities of returned matches are
+// exact).
+func (ix *Index) TopK(elements []string, k int) ([]Match, Stats, error) {
+	return ix.topK(ix.coll.intern(elements), k)
+}
+
+// TopKSID uses an existing collection member as the query set.
+func (ix *Index) TopKSID(sid, k int) ([]Match, Stats, error) {
+	ix.coll.mu.Lock()
+	ok := sid >= 0 && sid < len(ix.coll.sets)
+	var q set.Set
+	if ok {
+		q = ix.coll.sets[sid]
+	}
+	ix.coll.mu.Unlock()
+	if !ok {
+		return nil, Stats{}, fmt.Errorf("ssr: sid %d out of range", sid)
+	}
+	return ix.topK(q, k)
+}
+
+func (ix *Index) topK(q set.Set, k int) ([]Match, Stats, error) {
+	matches, qs, err := ix.inner.TopK(q, k)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	out := make([]Match, len(matches))
+	for i, m := range matches {
+		out[i] = Match{SID: int(m.SID), Similarity: m.Similarity}
+	}
+	model := storage.DefaultCostModel()
+	return out, Stats{
+		Candidates:          qs.Candidates,
+		Results:             qs.Results,
+		RandomPageReads:     qs.IndexIO.Rand() + qs.FetchIO.Rand(),
+		SequentialPageReads: qs.IndexIO.Seq() + qs.FetchIO.Seq(),
+		SimulatedIOTime:     qs.SimIOTime(model),
+		CPUTime:             qs.CPU,
+	}, nil
+}
+
+// Remove deletes set sid from the index and collection bookkeeping. The
+// sid is never reused; queries simply stop returning it.
+func (ix *Index) Remove(sid int) error {
+	if sid < 0 {
+		return fmt.Errorf("ssr: sid %d out of range", sid)
+	}
+	return ix.inner.Delete(uint32(sid))
+}
+
+// FilterIndexSummary describes one built filter index.
+type FilterIndexSummary struct {
+	// Point is the partition point on the Jaccard scale.
+	Point float64
+	// Kind is "SFI" or "DFI".
+	Kind string
+	// Tables is the number of hash tables allocated (l).
+	Tables int
+	// SampledBits is the per-table bit sample size (r).
+	SampledBits int
+}
+
+// PlanSummary exposes the tunable layout the optimizer chose.
+type PlanSummary struct {
+	// Cuts are the interior partition points.
+	Cuts []float64
+	// Delta is the equal-mass SFI/DFI split point.
+	Delta float64
+	// FilterIndexes lists the built structures.
+	FilterIndexes []FilterIndexSummary
+	// ExpectedWorstRecall and ExpectedWorstPrecision are the optimizer's
+	// model predictions over interval-aligned queries.
+	ExpectedWorstRecall, ExpectedWorstPrecision float64
+	// RecallMet reports whether the recall target was attainable within
+	// the budget.
+	RecallMet bool
+}
+
+// Plan returns the layout the optimizer chose, for inspection and tuning.
+func (ix *Index) Plan() PlanSummary {
+	p := ix.inner.Plan()
+	sum := PlanSummary{
+		Cuts:                   append([]float64(nil), p.Cuts...),
+		Delta:                  p.Delta,
+		ExpectedWorstRecall:    p.WorstRecall,
+		ExpectedWorstPrecision: p.WorstPrecision,
+		RecallMet:              p.RecallMet,
+	}
+	for _, fi := range ix.inner.FilterIndexes() {
+		sum.FilterIndexes = append(sum.FilterIndexes, FilterIndexSummary{
+			Point:       fi.Point,
+			Kind:        fi.Kind.String(),
+			Tables:      fi.Tables,
+			SampledBits: fi.R,
+		})
+	}
+	return sum
+}
+
+// Distribution returns the similarity histogram the index was tuned to,
+// with the given resolution collapsed to n points (n <= 0 returns the raw
+// bin count). Values are normalized masses per bin.
+func (ix *Index) Distribution() []float64 {
+	h := ix.inner.Distribution()
+	out := make([]float64, h.Bins())
+	total := h.Total()
+	if total == 0 {
+		return out
+	}
+	n := h.Bins()
+	for i := 0; i < n; i++ {
+		lo := float64(i) / float64(n)
+		hi := float64(i+1) / float64(n)
+		out[i] = h.Mass(lo, hi) / total
+	}
+	return out
+}
+
+// Internal exposes the underlying core index for benchmark and experiment
+// code inside this module. It is not part of the stable API.
+func (ix *Index) Internal() *core.Index { return ix.inner }
+
+// Sets returns a copy of the collection's set views (internal use by the
+// benchmark harness).
+func (ix *Index) Sets() []set.Set {
+	ix.coll.mu.Lock()
+	defer ix.coll.mu.Unlock()
+	out := make([]set.Set, len(ix.coll.sets))
+	copy(out, ix.coll.sets)
+	return out
+}
+
+// EstimateDistribution estimates the collection's similarity distribution
+// without building an index — useful for choosing a budget before Build.
+// It returns normalized per-bin masses over [0, 1].
+func EstimateDistribution(c *Collection, bins, samplePairs int, seed int64) ([]float64, error) {
+	c.mu.Lock()
+	sets := make([]set.Set, len(c.sets))
+	copy(sets, c.sets)
+	c.mu.Unlock()
+	if len(sets) < 2 {
+		return nil, fmt.Errorf("ssr: need at least 2 sets")
+	}
+	if samplePairs <= 0 {
+		samplePairs = 20000
+	}
+	maxPairs := len(sets) * (len(sets) - 1) / 2
+	if samplePairs > maxPairs {
+		samplePairs = maxPairs
+	}
+	h, err := simdist.SamplePairs(sets, samplePairs, bins, seed)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, h.Bins())
+	total := h.Total()
+	n := h.Bins()
+	for i := 0; i < n; i++ {
+		out[i] = h.Mass(float64(i)/float64(n), float64(i+1)/float64(n))
+		if total > 0 {
+			out[i] /= total
+		}
+	}
+	return out, nil
+}
