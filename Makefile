@@ -1,0 +1,37 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs the same
+# targets; keep the two in sync.
+
+GO ?= go
+
+.PHONY: all build test vet ssrvet race fuzz-smoke check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The repo-specific analyzer suite: determinism, float-comparison,
+# dropped-error, and lock-aliasing invariants. Exits non-zero on findings.
+ssrvet:
+	$(GO) run ./cmd/ssrvet ./...
+
+# The concurrency suites under the race detector (the mixed read/write
+# stress test in internal/core only means something with -race on). CI
+# runs the full tree; this is the fast local loop.
+race:
+	$(GO) test -race ./internal/core/ ./internal/server/
+
+# A bounded run of every fuzz target; regressions in the corpus fail fast.
+FUZZTIME ?= 20s
+fuzz-smoke:
+	$(GO) test ./internal/storage/ -run '^$$' -fuzz FuzzSetEncoding -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/storage/ -run '^$$' -fuzz FuzzDecodeCorrupt -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/ecc/ -run '^$$' -fuzz FuzzHadamardRoundTrip -fuzztime $(FUZZTIME)
+
+check: build vet ssrvet test

@@ -1,0 +1,142 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// the reported diagnostics against expectations written in the fixtures —
+// the same contract as golang.org/x/tools/go/analysis/analysistest, grown
+// locally because the build environment has no module proxy.
+//
+// Fixtures live under the analyzer's testdata/src/<pkg>/ directory. An
+// expectation is a line comment of the form
+//
+//	x := a == b // want "floating-point"
+//
+// where the quoted string is a regexp that must match the message of a
+// diagnostic reported on that line. Multiple `want` strings on one line
+// demand multiple diagnostics. Lines with no want comment must produce no
+// diagnostics; unmatched expectations and unexpected diagnostics both fail
+// the test.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// wantRE matches a want comment and captures the quoted regexps after it.
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// quotedRE captures each double-quoted or backquoted string.
+var quotedRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// Run loads the fixture package at dir, applies the analyzer, and reports
+// mismatches between diagnostics and want comments as test errors. It
+// returns the diagnostics for any further assertions.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) []analysis.Diagnostic {
+	t.Helper()
+	pkg, err := load.Dir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	pass.BuildIgnores()
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+
+	expects, err := parseExpectations(dir)
+	if err != nil {
+		t.Fatalf("parsing expectations: %v", err)
+	}
+
+	// Match each diagnostic against an unconsumed expectation on its line.
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		base := filepath.Base(pos.Filename)
+		matched := false
+		for i := range expects {
+			e := &expects[i]
+			if e.hit || e.file != base || e.line != pos.Line {
+				continue
+			}
+			if e.re.MatchString(d.Message) {
+				e.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", base, pos.Line, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.raw)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags
+}
+
+// parseExpectations scans the fixture sources for want comments.
+func parseExpectations(dir string) ([]expectation, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []expectation
+	for _, entry := range entries {
+		name := entry.Name()
+		if entry.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			quoted := quotedRE.FindAllStringSubmatch(m[1], -1)
+			if len(quoted) == 0 {
+				return nil, fmt.Errorf("%s:%d: want comment with no quoted pattern", name, i+1)
+			}
+			for _, q := range quoted {
+				raw := q[1]
+				if raw == "" {
+					raw = q[2]
+				}
+				re, err := regexp.Compile(raw)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", name, i+1, raw, err)
+				}
+				out = append(out, expectation{file: name, line: i + 1, re: re, raw: raw})
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,166 @@
+// Package droppederr defines an analyzer forbidding silently discarded
+// errors in the persistence and serving layers.
+//
+// Why this matters here: the storage, textio, snapshot, and HTTP packages
+// are the repo's durability and integration boundary. A dropped write or
+// encode error there does not crash — it truncates a snapshot, emits a
+// half-written response body, or loses a set, and the next reader sees
+// corruption with no trail back to the cause. (The seed repo shipped exactly
+// this bug: server.writeJSON ignored json.Encoder.Encode's error.)
+//
+// The analyzer flags, in non-test code:
+//
+//   - `_ = f()` and `x, _ := f()` where the discarded value is the
+//     predeclared error type;
+//   - a call used as a bare statement whose signature returns an error
+//     (every result discarded).
+//
+// Deliberate discards remain possible and visible: deferred calls are
+// exempt (the `defer f.Close()` idiom has no error path to return on), as
+// are the never-failing writers *bytes.Buffer and *strings.Builder and the
+// fmt.Print family; anything else needs an //ssrvet:ignore directive with a
+// reason.
+package droppederr
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags discarded errors on I/O and persistence call sites.
+var Analyzer = &analysis.Analyzer{
+	Name: "droppederr",
+	Doc:  "forbid discarding errors (blank assignment or bare call statement) in persistence and serving code; dropped I/O errors surface later as silent corruption",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			checkAssign(pass, stmt)
+		case *ast.ExprStmt:
+			if call, ok := stmt.X.(*ast.CallExpr); ok {
+				checkBareCall(pass, call)
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// checkAssign flags blank identifiers bound to error values.
+func checkAssign(pass *analysis.Pass, stmt *ast.AssignStmt) {
+	if len(stmt.Rhs) == 1 && len(stmt.Lhs) > 1 {
+		// x, _ := f(): positions map through the call's result tuple.
+		call, ok := stmt.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return // map/type-assert commas are boolean, not error
+		}
+		sig := callSignature(pass, call)
+		if sig == nil || sig.Results().Len() != len(stmt.Lhs) {
+			return
+		}
+		for i, lhs := range stmt.Lhs {
+			if isBlank(lhs) && analysis.IsErrorType(sig.Results().At(i).Type()) {
+				pass.Reportf(lhs.Pos(), "error result of %s discarded with _: handle it or document the discard with //ssrvet:ignore", calleeName(pass, call))
+			}
+		}
+		return
+	}
+	if len(stmt.Lhs) == len(stmt.Rhs) {
+		for i, lhs := range stmt.Lhs {
+			if !isBlank(lhs) {
+				continue
+			}
+			if tv, ok := pass.TypesInfo.Types[stmt.Rhs[i]]; ok && analysis.IsErrorType(tv.Type) {
+				pass.Reportf(lhs.Pos(), "error value discarded with _: handle it or document the discard with //ssrvet:ignore")
+			}
+		}
+	}
+}
+
+// checkBareCall flags expression statements that drop an error result.
+func checkBareCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sig := callSignature(pass, call)
+	if sig == nil {
+		return
+	}
+	returnsError := false
+	for i := 0; i < sig.Results().Len(); i++ {
+		if analysis.IsErrorType(sig.Results().At(i).Type()) {
+			returnsError = true
+			break
+		}
+	}
+	if !returnsError || isExemptCallee(pass, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "result of %s ignored: it returns an error; handle it or document the discard with //ssrvet:ignore", calleeName(pass, call))
+}
+
+// callSignature resolves the signature of call's callee, or nil for type
+// conversions and builtins.
+func callSignature(pass *analysis.Pass, call *ast.CallExpr) *types.Signature {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// isBlank reports whether e is the blank identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// isExemptCallee allows the never-failing writers and terminal print
+// helpers whose error results are conventionally ignored.
+func isExemptCallee(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel]
+	if !ok {
+		return false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "fmt" {
+		switch fn.Name() {
+		case "Print", "Printf", "Println":
+			return true
+		}
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	switch types.TypeString(sig.Recv().Type(), nil) {
+	case "*bytes.Buffer", "*strings.Builder":
+		return true
+	}
+	return false
+}
+
+// calleeName renders the called function for the diagnostic.
+func calleeName(pass *analysis.Pass, call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if obj, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return obj.FullName()
+		}
+		return fun.Sel.Name
+	default:
+		return "call"
+	}
+}

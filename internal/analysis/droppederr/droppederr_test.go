@@ -1,0 +1,15 @@
+package droppederr_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/droppederr"
+)
+
+func TestDroppedErr(t *testing.T) {
+	diags := analysistest.Run(t, "testdata/src/erruse", droppederr.Analyzer)
+	if len(diags) != 3 {
+		t.Errorf("got %d diagnostics, want 3", len(diags))
+	}
+}

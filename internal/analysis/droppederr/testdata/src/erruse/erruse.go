@@ -1,0 +1,70 @@
+// Package erruse is a droppederr fixture: discarded errors are flagged;
+// handled errors, defers, and never-failing writers pass.
+package erruse
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func write(w io.Writer) error {
+	_, err := w.Write([]byte("x"))
+	return err
+}
+
+func open() (*os.File, error) { return nil, nil }
+
+// BlankAssign flags `_ = f()` on an error-returning call.
+func BlankAssign(w io.Writer) {
+	_ = write(w) // want "error value discarded"
+}
+
+// BlankTupleSlot flags the error position of a multi-value call.
+func BlankTupleSlot() *os.File {
+	f, _ := open() // want "error result of open discarded"
+	return f
+}
+
+// BareStatement flags a call statement that drops its error.
+func BareStatement(w io.Writer) {
+	write(w) // want "result of write ignored"
+}
+
+// Handled is the happy path: the error is consumed.
+func Handled(w io.Writer) error {
+	if err := write(w); err != nil {
+		return err
+	}
+	n, err := fmt.Fprintln(w, "ok")
+	_ = n
+	return err
+}
+
+// Deferred close is exempt: there is no error path to return on.
+func Deferred(f *os.File) {
+	defer f.Close()
+}
+
+// NeverFails allows *bytes.Buffer, *strings.Builder, and fmt.Print*.
+func NeverFails() string {
+	var buf bytes.Buffer
+	buf.WriteString("a")
+	var sb strings.Builder
+	sb.WriteString("b")
+	fmt.Println("done")
+	return buf.String() + sb.String()
+}
+
+// BoolComma is not an error discard: map/type-assert commas are bool.
+func BoolComma(m map[string]int) int {
+	v, _ := m["k"]
+	return v
+}
+
+// Suppressed documents a deliberate discard.
+func Suppressed(w io.Writer) {
+	_ = write(w) //ssrvet:ignore droppederr -- fixture: demonstrating suppression
+}

@@ -1,0 +1,15 @@
+package floatcmp_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/floatcmp"
+)
+
+func TestFloatCmp(t *testing.T) {
+	diags := analysistest.Run(t, "testdata/src/floatuse", floatcmp.Analyzer)
+	if len(diags) != 5 {
+		t.Errorf("got %d diagnostics, want 5", len(diags))
+	}
+}

@@ -1,0 +1,60 @@
+// Package floatuse is a floatcmp fixture: computed-float equality is
+// flagged; exact sentinels, constant folds, and ordered comparisons pass.
+package floatuse
+
+// Computed flags equality between two runtime floats.
+func Computed(a, b float64) bool {
+	if a == b { // want "floating-point == comparison"
+		return true
+	}
+	return a != b // want "floating-point != comparison"
+}
+
+// NamedFloat flags equality on defined float types too.
+type Similarity float64
+
+// SameSim compares two defined-type floats.
+func SameSim(x, y Similarity) bool {
+	return x == y // want "floating-point == comparison"
+}
+
+// ConstantOperand flags comparison against a non-sentinel constant: 0.3 is
+// not exactly representable, so drift on the variable side breaks it.
+func ConstantOperand(a float64) bool {
+	return a == 0.3 // want "floating-point == comparison"
+}
+
+// Float32 flags the narrow type as well.
+func Float32(a, b float32) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+// Sentinels allows the exact 0/1 checks the probability code leans on.
+func Sentinels(mass, target float64) bool {
+	if mass == 0 || target == 1 {
+		return true
+	}
+	return mass != 0.0
+}
+
+// Ordered comparisons are not equality; rounding moves them by at most one
+// ulp, which the math already tolerates.
+func Ordered(a, b float64) bool {
+	return a < b || a >= b
+}
+
+// Ints are not floats.
+func Ints(a, b int) bool {
+	return a == b
+}
+
+// Folded is compile-time constant arithmetic: exact.
+func Folded() bool {
+	const half = 0.5
+	return half == 0.25*2
+}
+
+// Suppressed demonstrates the deliberate-exception directive.
+func Suppressed(a, b float64) bool {
+	return a == b //ssrvet:ignore floatcmp -- fixture: demonstrating suppression
+}

@@ -1,0 +1,15 @@
+package guardedescape_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/guardedescape"
+)
+
+func TestGuardedEscape(t *testing.T) {
+	diags := analysistest.Run(t, "testdata/src/escape", guardedescape.Analyzer)
+	if len(diags) != 4 {
+		t.Errorf("got %d diagnostics, want 4", len(diags))
+	}
+}

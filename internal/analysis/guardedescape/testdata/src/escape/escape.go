@@ -1,0 +1,78 @@
+// Package escape is a guardedescape fixture: returning guarded slices/maps
+// is flagged; copies, scalars, and unguarded structs pass.
+package escape
+
+import "sync"
+
+// Registry guards its containers with a mutex.
+type Registry struct {
+	mu    sync.Mutex
+	items []int
+	index map[string]int
+	meta  struct{ tags []string }
+	name  string
+}
+
+// Items leaks the guarded slice.
+func (r *Registry) Items() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.items // want "aliasing state guarded"
+}
+
+// Index leaks the guarded map.
+func (r *Registry) Index() map[string]int {
+	return r.index // want "aliasing state guarded"
+}
+
+// Tags leaks through a nested selector chain.
+func (r *Registry) Tags() []string {
+	return r.meta.tags // want "aliasing state guarded"
+}
+
+// ItemsCopy returns a copy: the approved pattern.
+func (r *Registry) ItemsCopy() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]int, len(r.items))
+	copy(out, r.items)
+	return out
+}
+
+// Name returns a scalar; strings are immutable.
+func (r *Registry) Name() string {
+	return r.name
+}
+
+// Len derives a scalar from guarded state.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.items)
+}
+
+// Frozen documents an immutable-after-construction escape hatch.
+func (r *Registry) Frozen() []int {
+	return r.items //ssrvet:ignore guardedescape -- fixture: demonstrating suppression
+}
+
+// RW uses an RWMutex: also guarded.
+type RW struct {
+	mu   sync.RWMutex
+	data []byte
+}
+
+// Data leaks from under an RWMutex.
+func (w *RW) Data() []byte {
+	return w.data // want "aliasing state guarded"
+}
+
+// Plain has no mutex: returning its slice is the caller's business.
+type Plain struct {
+	values []int
+}
+
+// Values is allowed: no lock promises concurrency safety here.
+func (p Plain) Values() []int {
+	return p.values
+}

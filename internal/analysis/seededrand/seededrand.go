@@ -1,0 +1,79 @@
+// Package seededrand defines an analyzer forbidding the global math/rand
+// (and math/rand/v2) top-level generator in library code.
+//
+// Why this matters here: the paper's guarantees are statistical. MinHash
+// permutation coefficients (Section 3.1) and SFI/DFI sampled bit positions
+// (Section 4.1) must be a pure function of an explicit seed, or two
+// processes cannot agree on an embedding, snapshots cannot rebuild filter
+// indices deterministically (core's persistence relies on exactly this, and
+// experiment results stop being reproducible). The global generator is
+// process-wide mutable state: any package calling rand.Intn perturbs every
+// other consumer, and since Go 1.20 it is randomly seeded, so "forgot to
+// inject the seed" bugs do not even fail loudly — they silently skew recall.
+//
+// The analyzer flags any reference to a top-level math/rand function that
+// reads or mutates the global source (Intn, Float64, Perm, Shuffle, Seed,
+// ...). Constructing an injected generator (rand.New, rand.NewSource,
+// rand.NewPCG, rand.NewZipf) and type references (rand.Rand, rand.Source)
+// are allowed.
+package seededrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags global math/rand usage in library packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc:  "forbid the global math/rand generator in library code; randomness must flow through an injected *rand.Rand or explicit seed so MinHash permutations and sampled bit positions are reproducible",
+	Run:  run,
+}
+
+// forbidden lists the top-level functions that touch the global generator,
+// across math/rand and math/rand/v2.
+var forbidden = map[string]bool{
+	// math/rand (v1)
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "NormFloat64": true,
+	"ExpFloat64": true, "Perm": true, "Shuffle": true, "Seed": true,
+	"Read": true,
+	// math/rand/v2 additions
+	"IntN": true, "Int32": true, "Int32N": true, "Int64N": true,
+	"Uint": true, "UintN": true, "Uint32N": true, "Uint64N": true,
+	"N": true,
+}
+
+// randPackages are the import paths whose globals are policed.
+var randPackages = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		ident, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+		if !ok || !randPackages[pkgName.Imported().Path()] {
+			return true
+		}
+		if !forbidden[sel.Sel.Name] {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"call to global %s.%s: library code must draw randomness from an injected *rand.Rand (or explicit seed) so results are reproducible",
+			pkgName.Imported().Path(), sel.Sel.Name)
+		return true
+	})
+	return nil
+}

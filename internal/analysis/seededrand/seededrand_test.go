@@ -1,0 +1,15 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/seededrand"
+)
+
+func TestSeededRand(t *testing.T) {
+	diags := analysistest.Run(t, "testdata/src/randuse", seededrand.Analyzer)
+	if len(diags) != 5 {
+		t.Errorf("got %d diagnostics, want 5", len(diags))
+	}
+}

@@ -1,0 +1,37 @@
+// Package randuse is a seededrand fixture: global math/rand calls are
+// flagged, injected generators are allowed.
+package randuse
+
+import (
+	"math/rand"
+)
+
+// GlobalDraws uses the process-wide generator: every call site is flagged.
+func GlobalDraws() int {
+	n := rand.Intn(10)                 // want "global math/rand.Intn"
+	f := rand.Float64()                // want "global math/rand.Float64"
+	rand.Shuffle(n, func(i, j int) {}) // want "global math/rand.Shuffle"
+	rand.Seed(42)                      // want "global math/rand.Seed"
+	return n + int(f)
+}
+
+// PermRef flags even a bare function reference, not just calls.
+var PermRef = rand.Perm // want "global math/rand.Perm"
+
+// Injected draws from an explicitly seeded generator: allowed.
+func Injected(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10) + rng.Perm(3)[0]
+}
+
+// TypeUse references math/rand types without touching the global: allowed.
+func TypeUse(rng *rand.Rand) *rand.Rand {
+	var _ rand.Source
+	return rng
+}
+
+// Suppressed documents a deliberate exception via the ignore directive.
+func Suppressed() int {
+	//ssrvet:ignore seededrand -- fixture: demonstrating suppression
+	return rand.Intn(3)
+}

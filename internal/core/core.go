@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/btree"
@@ -93,9 +94,17 @@ func (st *QueryStats) SimIOTime(m storage.CostModel) time.Duration {
 	return m.Time(st.IndexIO.Seq()+st.FetchIO.Seq(), st.IndexIO.Rand()+st.FetchIO.Rand())
 }
 
-// Index is a built similar-set retrieval index over a fixed collection.
-// It is safe for concurrent queries.
+// Index is a built similar-set retrieval index. It is safe for concurrent
+// use: queries, estimates, and snapshots take a shared (read) lock and run
+// in parallel; Insert and Delete take the exclusive lock and serialize
+// against everything. Public entry points acquire ix.mu exactly once and
+// delegate to unexported *Locked variants, so they must never call one
+// another — a reentrant RLock deadlocks once a writer is queued.
 type Index struct {
+	// mu guards every field below that mutates after Build: sigs, n, the
+	// store heap, the B+tree, filter-index pages, and both pagers. plan,
+	// hist, emb, and buildOpts are immutable after Build.
+	mu    sync.RWMutex
 	emb   *embed.Embedder
 	plan  optimize.Plan
 	sfis  map[float64]*filter.Index
@@ -285,6 +294,8 @@ func Build(sets []set.Set, opt Options) (*Index, error) {
 // (tombstoned sids are skipped, so after deletions the result is dense but
 // renumbered relative to the original sids).
 func (ix *Index) Sets() ([]set.Set, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	out := make([]set.Set, 0, ix.n)
 	err := ix.store.Scan(nil, func(sid storage.SID, s set.Set) bool {
 		out = append(out, s)
@@ -303,7 +314,11 @@ func (ix *Index) Plan() optimize.Plan { return ix.plan }
 func (ix *Index) Distribution() *simdist.Histogram { return ix.hist }
 
 // Len returns the collection size.
-func (ix *Index) Len() int { return ix.n }
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.n
+}
 
 // Store exposes the underlying set store (for the scan baseline and eval).
 func (ix *Index) Store() *storage.SetStore { return ix.store }
@@ -312,7 +327,11 @@ func (ix *Index) Store() *storage.SetStore { return ix.store }
 func (ix *Index) Embedder() *embed.Embedder { return ix.emb }
 
 // IndexPages returns the number of pages consumed by filter-index buckets.
-func (ix *Index) IndexPages() int { return ix.indexPager.NumPages() }
+func (ix *Index) IndexPages() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.indexPager.NumPages()
+}
 
 // enclose finds the partition points minimally enclosing [a, b] among
 // {0} ∪ cuts ∪ {1}.
@@ -378,6 +397,12 @@ func sidUnion(a, b []storage.SID) []storage.SID {
 // the deduplicated candidate sids (the paper's answer set A before
 // verification). Index I/O is charged to stats.
 func (ix *Index) Candidates(q set.Set, s1, s2 float64, stats *QueryStats) ([]storage.SID, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.candidatesLocked(q, s1, s2, stats)
+}
+
+func (ix *Index) candidatesLocked(q set.Set, s1, s2 float64, stats *QueryStats) ([]storage.SID, error) {
 	if s1 > s2 {
 		return nil, fmt.Errorf("core: invalid range [%g, %g]", s1, s2)
 	}
@@ -458,9 +483,15 @@ func (ix *Index) bothKindsPoint() (float64, bool) {
 // Definition 2: filter, fetch, verify. Results are sorted by descending
 // similarity, ties by ascending sid.
 func (ix *Index) Query(q set.Set, s1, s2 float64) ([]Match, QueryStats, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.queryLocked(q, s1, s2)
+}
+
+func (ix *Index) queryLocked(q set.Set, s1, s2 float64) ([]Match, QueryStats, error) {
 	var stats QueryStats
 	start := time.Now()
-	cands, err := ix.Candidates(q, s1, s2, &stats)
+	cands, err := ix.candidatesLocked(q, s1, s2, &stats)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -491,6 +522,8 @@ func (ix *Index) Query(q set.Set, s1, s2 float64) ([]Match, QueryStats, error) {
 // The optimizer's plan is not re-derived; for drastic distribution shifts,
 // rebuild.
 func (ix *Index) Insert(s set.Set) (storage.SID, error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	sid := ix.store.Append(s)
 	if ix.tree != nil {
 		off, length, err := ix.store.Location(sid)
@@ -519,6 +552,8 @@ func (ix *Index) Insert(s set.Set) (storage.SID, error) {
 // allocated (queries simply never return it); heap compaction is out of
 // scope.
 func (ix *Index) Delete(sid storage.SID) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	if int(sid) >= len(ix.sigs) {
 		return fmt.Errorf("core: sid %d out of range", sid)
 	}
@@ -543,6 +578,8 @@ func (ix *Index) Delete(sid storage.SID) error {
 // FilterIndexes reports the built structures as (point, kind, tables, r)
 // rows for inspection, ascending by point with DFIs first.
 func (ix *Index) FilterIndexes() []optimize.FI {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	out := make([]optimize.FI, 0, len(ix.sfis)+len(ix.dfis))
 	for p, f := range ix.dfis {
 		out = append(out, optimize.FI{Point: p, Kind: filter.Dissimilar, Tables: f.Tables(), R: f.SampledBits()})
@@ -563,6 +600,8 @@ func (ix *Index) FilterIndexes() []optimize.FI {
 // touching storage, together with the 95%-confidence Chernoff half-width
 // for the index's signature length.
 func (ix *Index) EstimateSimilarity(q set.Set, sid storage.SID) (est float64, epsAt95 float64, err error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	if int(sid) >= len(ix.sigs) {
 		return 0, 0, fmt.Errorf("core: sid %d out of range", sid)
 	}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/embed"
+	"repro/internal/filter"
+	"repro/internal/optimize"
+	"repro/internal/workload"
+)
+
+// TestBuildDeterminism builds the same collection twice with the same
+// options and requires bit-identical internals: every min-hash signature
+// and every filter index's sampled bit positions. This is the end-to-end
+// form of the guarantee snapshot loading relies on (filter contents are
+// rebuilt, not persisted) and the invariant the seededrand analyzer
+// protects — one stray global-rand call anywhere in the pipeline breaks it.
+func TestBuildDeterminism(t *testing.T) {
+	sets, err := workload.Generate(workload.Set1Params(250))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{
+		Embed:    embed.Options{K: 64, Bits: 8, Seed: 42},
+		Plan:     optimize.Options{Budget: 30, RecallTarget: 0.9},
+		DistSeed: 7,
+	}
+	ix1, err := Build(sets, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := Build(sets, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical signatures, coordinate by coordinate.
+	if len(ix1.sigs) != len(ix2.sigs) {
+		t.Fatalf("signature counts differ: %d vs %d", len(ix1.sigs), len(ix2.sigs))
+	}
+	for sid := range ix1.sigs {
+		a, b := ix1.sigs[sid], ix2.sigs[sid]
+		if len(a) != len(b) {
+			t.Fatalf("sid %d: signature lengths differ", sid)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("sid %d coordinate %d differs across rebuilds: %d vs %d", sid, i, a[i], b[i])
+			}
+		}
+	}
+
+	// Identical sampled bit positions in every filter index, SFI and DFI.
+	comparePositions := func(name string, p1, p2 map[float64]*filter.Index) {
+		t.Helper()
+		if len(p1) != len(p2) {
+			t.Fatalf("%s: point counts differ: %d vs %d", name, len(p1), len(p2))
+		}
+		for point, f1 := range p1 {
+			f2, ok := p2[point]
+			if !ok {
+				t.Fatalf("%s: point %g missing from rebuild", name, point)
+			}
+			if f1.Tables() != f2.Tables() {
+				t.Fatalf("%s point %g: table counts differ", name, point)
+			}
+			for i := 0; i < f1.Tables(); i++ {
+				q1, q2 := f1.Positions(i), f2.Positions(i)
+				if len(q1) != len(q2) {
+					t.Fatalf("%s point %g table %d: position counts differ", name, point, i)
+				}
+				for j := range q1 {
+					if q1[j] != q2[j] {
+						t.Fatalf("%s point %g table %d position %d differs: %d vs %d",
+							name, point, i, j, q1[j], q2[j])
+					}
+				}
+			}
+		}
+	}
+	comparePositions("SFI", ix1.sfis, ix2.sfis)
+	comparePositions("DFI", ix1.dfis, ix2.dfis)
+
+	// And the observable behaviour agrees: identical query answers.
+	for _, r := range [][2]float64{{0.8, 1.0}, {0.3, 0.6}, {0.0, 0.2}} {
+		m1, _, err := ix1.Query(sets[0], r[0], r[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, _, err := ix2.Query(sets[0], r[0], r[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(m1) != len(m2) {
+			t.Fatalf("range %v: %d vs %d results", r, len(m1), len(m2))
+		}
+		for i := range m1 {
+			if m1[i] != m2[i] {
+				t.Fatalf("range %v result %d differs: %+v vs %+v", r, i, m1[i], m2[i])
+			}
+		}
+	}
+}

@@ -42,8 +42,12 @@ type snapshot struct {
 	Sigs [][]uint64
 }
 
-// Save writes the index to w. See Load.
+// Save writes the index to w. See Load. Save holds the read lock for its
+// duration, so the snapshot is a consistent point-in-time view even with
+// concurrent Insert/Delete traffic.
 func (ix *Index) Save(w io.Writer) error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(snapshotMagic); err != nil {
 		return fmt.Errorf("core: writing snapshot header: %w", err)

@@ -15,6 +15,8 @@ import (
 // returns an error if the index was built with a plan override and no
 // distribution.
 func (ix *Index) EstimateAnswerSize(lo, hi float64) (float64, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	if ix.hist == nil {
 		return 0, fmt.Errorf("core: index has no similarity distribution (built with a plan override)")
 	}
@@ -31,6 +33,12 @@ func (ix *Index) EstimateAnswerSize(lo, hi float64) (float64, error) {
 // combination over the whole distribution — answer, in-interval extras,
 // and false positives together.
 func (ix *Index) EstimateCandidates(lo, hi float64) (float64, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.estimateCandidatesLocked(lo, hi)
+}
+
+func (ix *Index) estimateCandidatesLocked(lo, hi float64) (float64, error) {
 	if ix.hist == nil {
 		return 0, fmt.Errorf("core: index has no similarity distribution (built with a plan override)")
 	}
@@ -82,7 +90,13 @@ type RoutePlan struct {
 // the touched filter indices) is included, which the paper's estimate
 // ignores.
 func (ix *Index) RouteQuery(lo, hi float64, m storage.CostModel) (RoutePlan, error) {
-	cand, err := ix.EstimateCandidates(lo, hi)
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.routeQueryLocked(lo, hi, m)
+}
+
+func (ix *Index) routeQueryLocked(lo, hi float64, m storage.CostModel) (RoutePlan, error) {
+	cand, err := ix.estimateCandidatesLocked(lo, hi)
 	if err != nil {
 		return RoutePlan{}, err
 	}
@@ -146,12 +160,16 @@ func (ix *Index) touchedTables(lo, hi float64) int {
 // heap read appears as FetchIO and Candidates is the number of sets
 // examined.
 func (ix *Index) QueryAuto(q set.Set, lo, hi float64, m storage.CostModel) ([]Match, Route, QueryStats, error) {
-	rp, err := ix.RouteQuery(lo, hi, m)
+	// One shared lock spans routing and execution, so a concurrent
+	// Insert/Delete cannot slip between the cost decision and the query.
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	rp, err := ix.routeQueryLocked(lo, hi, m)
 	if err != nil {
 		return nil, RouteIndex, QueryStats{}, err
 	}
 	if rp.Route == RouteIndex {
-		matches, stats, err := ix.Query(q, lo, hi)
+		matches, stats, err := ix.queryLocked(q, lo, hi)
 		return matches, RouteIndex, stats, err
 	}
 	var stats QueryStats

@@ -27,6 +27,8 @@ func (ix *Index) TopK(q set.Set, k int) ([]Match, QueryStats, error) {
 	if k <= 0 {
 		return nil, stats, fmt.Errorf("core: k must be positive, got %d", k)
 	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	start := time.Now()
 	sig := ix.emb.Sign(q)
 	src := ix.emb.Bits(sig)

@@ -90,6 +90,27 @@ func (h *Hadamard) AppendCodeword(dst bitvec.Vector, off int, v uint64) {
 	}
 }
 
+// Decode recovers the b-bit message from a clean Hadamard codeword: message
+// bit i is codeword bit 2^i, because <u, 2^i> = u_i. This is exact-inverse
+// decoding (no error correction); it exists so the encode path is testable
+// as a round trip. It errors if cw is shorter than the code length or is
+// not a codeword at all (bit 0, the <u,0> coordinate, must be zero).
+func (h *Hadamard) Decode(cw bitvec.Vector) (uint64, error) {
+	if cw.Len() < h.m {
+		return 0, fmt.Errorf("ecc: codeword has %d bits, hadamard(b=%d) needs %d", cw.Len(), h.b, h.m)
+	}
+	if cw.Bit(0) != 0 {
+		return 0, fmt.Errorf("ecc: not a hadamard codeword (bit 0 is set)")
+	}
+	var v uint64
+	for i := 0; i < h.b; i++ {
+		if cw.Bit(1<<uint(i)) == 1 {
+			v |= 1 << uint(i)
+		}
+	}
+	return v, nil
+}
+
 // Simplex is the length-(2^b - 1) simplex code: the Hadamard code with the
 // all-zero coordinate punctured. Distinct codewords are at distance exactly
 // 2^(b-1) (slightly more than half the length, since the length is odd).

@@ -1,0 +1,65 @@
+package ecc
+
+import (
+	"testing"
+)
+
+// FuzzHadamardRoundTrip checks, for arbitrary (b, v, w) triples, the two
+// properties Theorem 1 rests on: Encode→Decode is the identity on b-bit
+// messages, and any two distinct codewords sit at Hamming distance exactly
+// m/2 = 2^(b-1). It also cross-checks the lazy Bit access path against the
+// materialised codeword (filter indices only ever use Bit, tests mostly use
+// Encode; they must agree bit for bit).
+func FuzzHadamardRoundTrip(f *testing.F) {
+	f.Add(uint8(1), uint64(0), uint64(1))
+	f.Add(uint8(8), uint64(0x5a), uint64(0xa5))
+	f.Add(uint8(12), uint64(4095), uint64(0))
+	f.Add(uint8(20), uint64(123456), uint64(654321))
+	f.Add(uint8(255), uint64(1), uint64(2)) // b out of range: constructor must reject
+	f.Fuzz(func(t *testing.T, b uint8, v, w uint64) {
+		h, err := NewHadamard(int(b))
+		if err != nil {
+			if b >= 1 && b <= 20 {
+				t.Fatalf("NewHadamard(%d) rejected a valid b: %v", b, err)
+			}
+			return
+		}
+
+		v &= uint64(1)<<b - 1
+		w &= uint64(1)<<b - 1
+
+		// Round trip: Decode(Encode(v)) == v.
+		cv := Encode(h, v)
+		got, err := h.Decode(cv)
+		if err != nil {
+			t.Fatalf("b=%d v=%#x: decode: %v", b, v, err)
+		}
+		if got != v {
+			t.Fatalf("b=%d: round trip %#x -> %#x", b, v, got)
+		}
+
+		// Lazy Bit agrees with the materialised codeword everywhere.
+		for pos := 0; pos < h.Length(); pos++ {
+			if h.Bit(v, pos) != cv.Bit(pos) {
+				t.Fatalf("b=%d v=%#x: Bit(%d)=%d but codeword bit is %d",
+					b, v, pos, h.Bit(v, pos), cv.Bit(pos))
+			}
+		}
+
+		// Equidistance: distinct messages sit at distance exactly m/2.
+		cw := Encode(h, w)
+		dist := 0
+		for pos := 0; pos < h.Length(); pos++ {
+			if cv.Bit(pos) != cw.Bit(pos) {
+				dist++
+			}
+		}
+		switch {
+		case v == w && dist != 0:
+			t.Fatalf("b=%d: equal messages %#x at distance %d", b, v, dist)
+		case v != w && dist != h.Distance():
+			t.Fatalf("b=%d: messages %#x,%#x at distance %d, want exactly %d",
+				b, v, w, dist, h.Distance())
+		}
+	})
+}

@@ -110,6 +110,11 @@ func (ix *Index) Tables() int { return ix.group.L() }
 // SampledBits returns r, the bits sampled per table.
 func (ix *Index) SampledBits() int { return ix.r }
 
+// Positions returns the sampled bit positions of table i (not to be
+// modified). Exposed so that determinism across rebuilds — the property
+// snapshot loading depends on — is directly testable.
+func (ix *Index) Positions(i int) []int { return ix.group.Positions(i) }
+
 // Insert adds a data vector (unchanged, for both kinds) under sid.
 func (ix *Index) Insert(src lsh.BitSource, sid storage.SID) {
 	ix.group.Insert(src, sid)

@@ -1,0 +1,35 @@
+// Package floats is the approved tolerance-comparison helper for the
+// probability-math packages. The ssrvet floatcmp analyzer forbids raw ==/!=
+// between computed floating-point values (rounding makes them meaningless
+// and the bugs skew recall silently); code that genuinely needs an equality
+// predicate routes it through this package, making the tolerance explicit
+// and auditable.
+package floats
+
+import "math"
+
+// DefaultTol is the tolerance used by Eq. Partition points, collision
+// probabilities, and histogram masses in this repo are O(1) quantities
+// computed in a handful of float64 operations; 1e-9 is far above their
+// accumulated rounding error and far below any meaningful similarity
+// difference (the optimizer already deduplicates cuts at 1e-9).
+const DefaultTol = 1e-9
+
+// Eq reports whether a and b are equal within DefaultTol (absolute).
+// It is the predicate for identity checks on O(1) quantities such as
+// partition points; for values of arbitrary magnitude use Within with a
+// scale-aware tolerance.
+func Eq(a, b float64) bool {
+	return Within(a, b, DefaultTol)
+}
+
+// Within reports whether |a-b| <= tol. NaN compares unequal to everything,
+// matching IEEE semantics.
+func Within(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+// Zero reports whether x is within DefaultTol of zero.
+func Zero(x float64) bool {
+	return math.Abs(x) <= DefaultTol
+}

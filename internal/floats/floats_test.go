@@ -1,0 +1,46 @@
+package floats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEq(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{0.3, 0.1 + 0.2, true}, // the canonical rounding case raw == misses
+		{0.5, 0.5, true},
+		{0.5, 0.5 + 2e-9, false},
+		{0, 0, true},
+		{1, 1 + 1e-12, true},
+		{math.NaN(), math.NaN(), false},
+		// |Inf - Inf| is NaN, which is not <= tol: infinities never
+		// compare equal under Eq; documented behaviour.
+		{math.Inf(1), math.Inf(1), false},
+	}
+	for _, c := range cases {
+		if got := Eq(c.a, c.b); got != c.want {
+			t.Errorf("Eq(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestWithin(t *testing.T) {
+	if !Within(10, 10.5, 0.5) {
+		t.Error("Within(10, 10.5, 0.5) should hold at the boundary")
+	}
+	if Within(10, 10.6, 0.5) {
+		t.Error("Within(10, 10.6, 0.5) should fail")
+	}
+}
+
+func TestZero(t *testing.T) {
+	if !Zero(0) || !Zero(1e-12) {
+		t.Error("Zero should accept exact zero and sub-tolerance values")
+	}
+	if Zero(1e-6) {
+		t.Error("Zero(1e-6) should fail")
+	}
+}

@@ -34,6 +34,11 @@ type GroupOptions struct {
 	L int
 	// Seed drives position sampling; the same seed reproduces the group.
 	Seed int64
+	// Rand, if non-nil, supplies position sampling directly and Seed is
+	// ignored — the injection point for callers threading one random
+	// stream through a pipeline. The rng is consumed during construction
+	// and not retained; two rngs in the same state yield identical groups.
+	Rand *rand.Rand
 	// ExpectedEntries sizes each table's bucket directory.
 	ExpectedEntries int
 	// Mode selects bucket probe semantics (default ExactKey).
@@ -64,7 +69,10 @@ func NewGroup(pager *storage.Pager, opt GroupOptions) (*Group, error) {
 	if opt.L < 1 {
 		return nil, fmt.Errorf("lsh: l must be >= 1, got %d", opt.L)
 	}
-	rng := rand.New(rand.NewSource(opt.Seed))
+	rng := opt.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(opt.Seed))
+	}
 	g := &Group{
 		positions: make([][]int, opt.L),
 		tables:    make([]*hashtable.Table, opt.L),

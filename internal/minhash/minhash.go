@@ -36,10 +36,20 @@ type Family struct {
 // NewFamily creates a family of k permutations from a seed. The same
 // (seed, k) always yields the same family.
 func NewFamily(k int, seed int64) (*Family, error) {
+	return NewFamilyRand(k, rand.New(rand.NewSource(seed)))
+}
+
+// NewFamilyRand creates a family of k permutations drawing coefficients
+// from rng. It is the injection point for callers that thread one random
+// stream through a whole pipeline; rng is consumed (k·2 draws) and not
+// retained. Two rngs in the same state yield identical families.
+func NewFamilyRand(k int, rng *rand.Rand) (*Family, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("minhash: k must be >= 1, got %d", k)
 	}
-	rng := rand.New(rand.NewSource(seed))
+	if rng == nil {
+		return nil, fmt.Errorf("minhash: nil rng")
+	}
 	f := &Family{a: make([]uint64, k), b: make([]uint64, k), k: k}
 	for i := 0; i < k; i++ {
 		a := uint64(rng.Int63n(mersenne61-1)) + 1 // a in [1, p-1]

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/embed"
 	"repro/internal/filter"
+	"repro/internal/floats"
 	"repro/internal/lsh"
 	"repro/internal/simdist"
 )
@@ -648,7 +649,7 @@ func (p *Plan) guardedRecall(obj RecallObjective) float64 {
 // fiAt returns the planned FI of the given kind at point p, if any.
 func fiAt(fis []FI, p float64, kind filter.Kind) (FI, bool) {
 	for _, fi := range fis {
-		if fi.Point == p && fi.Kind == kind {
+		if floats.Eq(fi.Point, p) && fi.Kind == kind {
 			return fi, true
 		}
 	}

@@ -21,6 +21,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"strings"
@@ -63,9 +64,21 @@ type errorBody struct {
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	// Marshal before touching the ResponseWriter: once WriteHeader runs the
+	// status is on the wire and a failed body can only be logged, so encode
+	// errors must be caught while a 500 is still possible.
+	body, err := json.Marshal(v)
+	if err != nil {
+		log.Printf("server: encoding %T response: %v", v, err)
+		http.Error(w, `{"error":"internal encoding failure"}`, http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	if _, err := w.Write(append(body, '\n')); err != nil {
+		// Headers are gone; the client likely hung up. Log for the trail.
+		log.Printf("server: writing %T response: %v", v, err)
+	}
 }
 
 func writeErr(w http.ResponseWriter, status int, err error) {
