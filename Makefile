@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet ssrvet race fuzz-smoke check
+.PHONY: all build test vet ssrvet race fuzz-smoke bench-json check
 
 all: check
 
@@ -33,5 +33,15 @@ fuzz-smoke:
 	$(GO) test ./internal/storage/ -run '^$$' -fuzz FuzzSetEncoding -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/storage/ -run '^$$' -fuzz FuzzDecodeCorrupt -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/ecc/ -run '^$$' -fuzz FuzzHadamardRoundTrip -fuzztime $(FUZZTIME)
+
+# The parallel-pipeline benchmark report (build speedup, batched query
+# latency, recall, simulated I/O, screening saving) as one JSON document.
+# Tune scale with BENCH_N / BENCH_QUERIES / BENCH_BUDGET; the defaults are
+# the laptop-scale Figure 6 configuration.
+BENCH_N ?= 2000
+BENCH_QUERIES ?= 256
+BENCH_BUDGET ?= 500
+bench-json:
+	$(GO) run ./cmd/ssrbench -json -n $(BENCH_N) -queries $(BENCH_QUERIES) -budget $(BENCH_BUDGET) -out BENCH_parallel.json
 
 check: build vet ssrvet test

@@ -1,0 +1,131 @@
+package ssr
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestQueryBatchMatchesQuery checks the public batch API returns, per
+// entry, exactly what the single-query path returns.
+func TestQueryBatchMatchesQuery(t *testing.T) {
+	ix, err := Build(bookstore(), Options{Budget: 24, RecallTarget: 0.9, MinHashes: 48, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []BatchQuery{
+		{Elements: []string{"dune", "foundation", "hyperion", "neuromancer"}, Lo: 0.9, Hi: 1.0},
+		{Elements: []string{"dune", "foundation", "hyperion", "snowcrash"}, Lo: 0.5, Hi: 1.0},
+		{Elements: []string{"cookbook", "gardening", "carpentry"}, Lo: 0.9, Hi: 1.0},
+	}
+	for _, workers := range []int{1, 4} {
+		results := ix.QueryBatch(queries, QueryOptions{Workers: workers})
+		if len(results) != len(queries) {
+			t.Fatalf("workers=%d: %d results", workers, len(results))
+		}
+		for i, q := range queries {
+			want, wantSt, err := ix.Query(q.Elements, q.Lo, q.Hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := results[i]
+			if r.Err != nil {
+				t.Fatalf("workers=%d entry %d: %v", workers, i, r.Err)
+			}
+			if len(r.Matches) != len(want) {
+				t.Fatalf("workers=%d entry %d: %d vs %d matches", workers, i, len(r.Matches), len(want))
+			}
+			for j := range want {
+				if r.Matches[j] != want[j] {
+					t.Fatalf("workers=%d entry %d match %d differs", workers, i, j)
+				}
+			}
+			if r.Stats.RandomPageReads != wantSt.RandomPageReads ||
+				r.Stats.SequentialPageReads != wantSt.SequentialPageReads {
+				t.Fatalf("workers=%d entry %d: I/O differs: %d/%d vs %d/%d", workers, i,
+					r.Stats.RandomPageReads, r.Stats.SequentialPageReads,
+					wantSt.RandomPageReads, wantSt.SequentialPageReads)
+			}
+		}
+	}
+}
+
+// TestQueryBatchRangeValidation checks invalid ranges fail their own entry
+// only.
+func TestQueryBatchRangeValidation(t *testing.T) {
+	ix, err := Build(bookstore(), Options{Budget: 24, MinHashes: 48, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := ix.QueryBatch([]BatchQuery{
+		{Elements: []string{"dune"}, Lo: -0.5, Hi: 1.0},
+		{Elements: []string{"dune", "foundation", "hyperion", "neuromancer"}, Lo: 0.9, Hi: 1.0},
+	}, QueryOptions{})
+	if results[0].Err == nil {
+		t.Error("negative lo accepted")
+	}
+	if results[1].Err != nil {
+		t.Errorf("valid entry failed: %v", results[1].Err)
+	}
+	if len(results[1].Matches) != 2 {
+		t.Errorf("valid entry matches = %+v", results[1].Matches)
+	}
+}
+
+// TestQueryWithOptionsScreening smoke-tests the public screening knob: a
+// full-width margin screens nothing and changes nothing.
+func TestQueryWithOptionsScreening(t *testing.T) {
+	ix, err := Build(bookstore(), Options{Budget: 24, MinHashes: 48, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elems := []string{"dune", "foundation", "hyperion", "neuromancer"}
+	plain, _, err := ix.Query(elems, 0.9, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	screened, st, err := ix.QueryWithOptions(elems, 0.9, 1.0, QueryOptions{Screen: true, ScreenMargin: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Screened != 0 {
+		t.Errorf("margin=1 screened %d", st.Screened)
+	}
+	if len(screened) != len(plain) {
+		t.Errorf("screening changed results: %d vs %d", len(screened), len(plain))
+	}
+}
+
+// TestBuildWorkersIdentical checks the public Workers knob preserves
+// results: serial and parallel builds answer identically.
+func TestBuildWorkersIdentical(t *testing.T) {
+	c := NewCollection()
+	for i := 0; i < 150; i++ {
+		c.Add(fmt.Sprintf("e-%d", i), fmt.Sprintf("e-%d", i+1), fmt.Sprintf("e-%d", i/2))
+	}
+	serial, err := Build(c, Options{Budget: 30, MinHashes: 48, Seed: 9, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Build(c, Options{Budget: 30, MinHashes: 48, Seed: 9, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sid := 0; sid < 150; sid += 17 {
+		a, _, err := serial.QuerySID(sid, 0.3, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := par.QuerySID(sid, 0.3, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("sid %d: %d vs %d matches", sid, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("sid %d match %d differs: %+v vs %+v", sid, i, a[i], b[i])
+			}
+		}
+	}
+}

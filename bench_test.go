@@ -329,6 +329,99 @@ func BenchmarkBuildIndex(b *testing.B) {
 	}
 }
 
+// BenchmarkBuild compares serial and parallel construction on the Figure 6
+// fixture parameters (Set1 at 2000 sets, k=64, 500 tables). The parallel
+// variant uses every CPU; the sub-benchmark ratio is the build speedup
+// (bit-identical output is pinned by TestParallelBuildDeterminism).
+func BenchmarkBuild(b *testing.B) {
+	sets, err := workload.Generate(workload.Set1Params(2000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	bench := func(workers int) func(*testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := core.Build(sets, core.Options{
+					Embed:   embed.Options{K: 64, Bits: 8, Seed: 1},
+					Plan:    optimize.Options{Budget: 500, RecallTarget: 0.75},
+					Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("serial", bench(1))
+	b.Run("parallel", bench(0))
+}
+
+// BenchmarkQueryBatch compares a serial query loop with one QueryBatch
+// call over the same 256-query workload.
+func BenchmarkQueryBatch(b *testing.B) {
+	f := benchFixture(b, "batch", workload.Set1Params(2000), 500)
+	batch := make([]core.BatchQuery, len(f.queries))
+	for i, q := range f.queries {
+		batch[i] = core.BatchQuery{Q: f.sets[q.SID], Lo: q.Lo, Hi: q.Hi}
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := batch[i%len(batch)]
+			if _, _, err := f.ix.QueryWithOptions(q.Q, q.Lo, q.Hi, core.QueryOptions{Workers: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, r := range f.ix.QueryBatch(batch, core.QueryOptions{}) {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+		// Normalize to per-query so the two sub-benchmarks compare directly.
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(batch)), "ns/query")
+	})
+}
+
+// BenchmarkQuerySteadyState measures the pooled-scratch query path with
+// allocation reporting: steady-state queries should allocate only their
+// result slices (run with -benchmem to verify).
+func BenchmarkQuerySteadyState(b *testing.B) {
+	f := benchFixture(b, "steady", workload.Set1Params(2000), 500)
+	// Warm the scratch pool.
+	for i := 0; i < 4; i++ {
+		q := f.queries[i]
+		if _, _, err := f.ix.Query(f.sets[q.SID], q.Lo, q.Hi); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := f.queries[i%len(f.queries)]
+		if _, _, err := f.ix.Query(f.sets[q.SID], q.Lo, q.Hi); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryScreened is BenchmarkQuerySteadyState with signature
+// screening at the default margin, isolating the screening saving.
+func BenchmarkQueryScreened(b *testing.B) {
+	f := benchFixture(b, "steady", workload.Set1Params(2000), 500)
+	opt := core.QueryOptions{Screen: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := f.queries[i%len(f.queries)]
+		if _, _, err := f.ix.QueryWithOptions(f.sets[q.SID], q.Lo, q.Hi, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkPublicAPIQuery measures an end-to-end query through the public
 // ssr API.
 func BenchmarkPublicAPIQuery(b *testing.B) {

@@ -6,6 +6,8 @@
 //	ssrbench -exp fig6a                 # Figure 6(a): 500-table budget
 //	ssrbench -exp fig7a -n 20000        # Figure 7(a) at a larger scale
 //	ssrbench -exp all                   # everything, in order
+//	ssrbench -exp bench -json -out BENCH_parallel.json
+//	                                    # parallel-pipeline report as JSON
 //
 // The paper's experiments used 200,000-set collections; the defaults here
 // are laptop-scale but preserve the reported shapes. Raise -n and -queries
@@ -13,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -24,14 +27,16 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig6a, fig6b, fig7a, fig7b, filtercurve, rltradeoff, placement, allocation, intervals, dfigain, embedding, profile, all")
-		n       = flag.Int("n", 0, "collection size per dataset (0 = default)")
-		queries = flag.Int("queries", 0, "number of random queries (0 = default)")
-		budget  = flag.Int("budget", 0, "hash-table budget override (0 = per-experiment default)")
-		k       = flag.Int("k", 0, "min-hash signature length (0 = default)")
-		seed    = flag.Int64("seed", 0, "random seed (0 = default)")
-		recall  = flag.Float64("recall", 0, "optimizer recall target (0 = default 0.9)")
-		sstar   = flag.Float64("sstar", 0.8, "turning point for filter-curve experiments")
+		exp      = flag.String("exp", "all", "experiment: fig6a, fig6b, fig7a, fig7b, filtercurve, rltradeoff, placement, allocation, intervals, dfigain, embedding, profile, bench, all")
+		n        = flag.Int("n", 0, "collection size per dataset (0 = default)")
+		queries  = flag.Int("queries", 0, "number of random queries (0 = default)")
+		budget   = flag.Int("budget", 0, "hash-table budget override (0 = per-experiment default)")
+		k        = flag.Int("k", 0, "min-hash signature length (0 = default)")
+		seed     = flag.Int64("seed", 0, "random seed (0 = default)")
+		recall   = flag.Float64("recall", 0, "optimizer recall target (0 = default 0.9)")
+		sstar    = flag.Float64("sstar", 0.8, "turning point for filter-curve experiments")
+		jsonFlag = flag.Bool("json", false, "emit the bench report as JSON (implies -exp bench)")
+		outPath  = flag.String("out", "", "write output to this file instead of stdout")
 	)
 	flag.Parse()
 
@@ -43,7 +48,38 @@ func main() {
 		Seed:         *seed,
 		RecallTarget: *recall,
 	}
-	if err := run(os.Stdout, strings.ToLower(*exp), cfg, *sstar); err != nil {
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ssrbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "ssrbench: closing %s: %v\n", *outPath, err)
+				os.Exit(1)
+			}
+		}()
+		out = f
+	}
+	if *jsonFlag {
+		// JSON mode: the bench report goes to out as one JSON document; the
+		// human-readable table stays on stderr for the build log.
+		rep, err := experiments.Bench(os.Stderr, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ssrbench: %v\n", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "ssrbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(out, strings.ToLower(*exp), cfg, *sstar); err != nil {
 		fmt.Fprintf(os.Stderr, "ssrbench: %v\n", err)
 		os.Exit(1)
 	}
@@ -68,6 +104,7 @@ func run(w io.Writer, exp string, cfg experiments.Config, sstar float64) error {
 		{"dfigain", func(w io.Writer) error { _, err := experiments.DFIGain(w, cfg); return err }},
 		{"embedding", func(w io.Writer) error { _, err := experiments.Embedding(w, cfg); return err }},
 		{"profile", func(w io.Writer) error { _, err := experiments.Profile(w, cfg); return err }},
+		{"bench", func(w io.Writer) error { _, err := experiments.Bench(w, cfg); return err }},
 	}
 	if exp != "all" {
 		for _, j := range jobs {

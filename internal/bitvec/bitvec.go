@@ -73,6 +73,14 @@ func (v Vector) SetTo(i int, val bool) {
 	}
 }
 
+// Reset zeroes every bit, so the vector's backing array can be reused for a
+// fresh embedding without reallocating.
+func (v Vector) Reset() {
+	for i := range v.bits {
+		v.bits[i] = 0
+	}
+}
+
 // OnesCount returns the number of 1 bits.
 func (v Vector) OnesCount() int {
 	n := 0

@@ -7,7 +7,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"sort"
 	"sync"
 	"time"
@@ -58,6 +57,13 @@ type Options struct {
 	// DisableBTree skips the B+tree and resolves sids from the in-memory
 	// directory (candidate page I/O is still charged identically).
 	DisableBTree bool
+	// Workers bounds build parallelism: min-hash signing, distribution
+	// sampling, and filter-index population all fan across up to Workers
+	// goroutines. 0 selects runtime.GOMAXPROCS(0); 1 forces the serial
+	// build. Every value produces a bit-identical index (signing writes are
+	// index-addressed, pair sampling is pre-drawn from the seeded rng, and
+	// each filter index is populated serially by one goroutine).
+	Workers int
 	// CountLocatorIO additionally charges B+tree lookup page reads when
 	// fetching candidates. The default (off) matches the paper's cost
 	// model: one random access per candidate set, sid index cached.
@@ -78,6 +84,10 @@ type QueryStats struct {
 	Candidates int
 	// Results is the number of candidates that verified into the range.
 	Results int
+	// Screened is the number of candidates whose page fetch was skipped by
+	// signature screening (QueryOptions.Screen); always 0 when screening is
+	// off.
+	Screened int
 	// IndexIO counts bucket-page reads performed by filter probes.
 	IndexIO storage.Counter
 	// FetchIO counts page reads performed fetching candidate sets.
@@ -114,10 +124,15 @@ type Index struct {
 	hist  *simdist.Histogram
 	sigs  []minhash.Signature
 	n     int
-	// indexPager holds filter-index bucket pages; dataPager holds B+tree
-	// nodes. The set heap lives inside the SetStore.
-	indexPager *storage.Pager
-	dataPager  *storage.Pager
+	// fiPagers holds one bucket-page pager per filter index (giving each
+	// index its own pager is what makes concurrent population race-free and
+	// page layout deterministic); dataPager holds B+tree nodes. The set
+	// heap lives inside the SetStore.
+	fiPagers  []*storage.Pager
+	dataPager *storage.Pager
+	// scratch pools per-query buffers (query signature, probe vectors,
+	// merge outputs) so steady-state queries allocate only their results.
+	scratch sync.Pool
 	// buildOpts records how the index was built, for snapshots. The Embed
 	// options stored are the resolved ones (defaults applied).
 	buildOpts Options
@@ -161,16 +176,17 @@ func Build(sets []set.Set, opt Options) (*Index, error) {
 
 	resolved := opt
 	resolved.Embed = eopt
+	workers := resolveWorkers(opt.Workers)
 	ix := &Index{
-		buildOpts:  resolved,
-		emb:        emb,
-		sfis:       make(map[float64]*filter.Index),
-		dfis:       make(map[float64]*filter.Index),
-		store:      storage.NewSetStoreWithPayload(opt.PageSize, opt.PayloadPerElem),
-		n:          len(sets),
-		indexPager: storage.NewPager(opt.PageSize),
-		dataPager:  storage.NewPager(opt.PageSize),
+		buildOpts: resolved,
+		emb:       emb,
+		sfis:      make(map[float64]*filter.Index),
+		dfis:      make(map[float64]*filter.Index),
+		store:     storage.NewSetStoreWithPayload(opt.PageSize, opt.PayloadPerElem),
+		n:         len(sets),
+		dataPager: storage.NewPager(opt.PageSize),
 	}
+	ix.scratch.New = func() any { return &queryScratch{sig: make(minhash.Signature, emb.K())} }
 
 	// 1. Persist the collection; sids are dense append order.
 	if !opt.DisableBTree {
@@ -208,10 +224,7 @@ func Build(sets []set.Set, opt Options) (*Index, error) {
 		}
 		ix.sigs = opt.PrecomputedSignatures
 	} else {
-		ix.sigs = make([]minhash.Signature, len(sets))
-		for i, s := range sets {
-			ix.sigs[i] = emb.Sign(s)
-		}
+		ix.sigs = signCollection(emb, sets, workers)
 	}
 
 	// 3. Similarity distribution D_S (skipped under a plan override).
@@ -235,7 +248,7 @@ func Build(sets []set.Set, opt Options) (*Index, error) {
 			if sample < 1 {
 				sample = 1
 			}
-			h, err := simdist.SampleSignaturePairs(ix.sigs, sample, opt.DistBins, opt.DistSeed+7)
+			h, err := simdist.SampleSignaturePairsN(ix.sigs, sample, opt.DistBins, opt.DistSeed+7, workers)
 			if err != nil {
 				return nil, err
 			}
@@ -259,9 +272,14 @@ func Build(sets []set.Set, opt Options) (*Index, error) {
 		ix.plan = plan
 	}
 
-	// 5. Materialize the filter indices and insert every signature.
+	// 5. Materialize the filter indices and insert every signature. Each
+	// index draws bucket pages from its own pager and is populated serially
+	// by one goroutine, so the batteries fill concurrently with no shared
+	// mutable state and a page layout independent of scheduling.
+	fidxs := make([]*filter.Index, len(ix.plan.FIs))
 	for i, fi := range ix.plan.FIs {
-		fidx, err := filter.New(ix.indexPager, filter.Options{
+		pager := storage.NewPager(opt.PageSize)
+		fidx, err := filter.New(pager, filter.Options{
 			Kind:            fi.Kind,
 			Threshold:       embed.HammingFromJaccard(fi.Point),
 			Dim:             emb.Dimension(),
@@ -272,21 +290,15 @@ func Build(sets []set.Set, opt Options) (*Index, error) {
 		if err != nil {
 			return nil, err
 		}
+		ix.fiPagers = append(ix.fiPagers, pager)
+		fidxs[i] = fidx
 		if fi.Kind == filter.Dissimilar {
 			ix.dfis[fi.Point] = fidx
 		} else {
 			ix.sfis[fi.Point] = fidx
 		}
 	}
-	for sid, sig := range ix.sigs {
-		src := emb.Bits(sig)
-		for _, f := range ix.sfis {
-			f.Insert(src, storage.SID(sid))
-		}
-		for _, f := range ix.dfis {
-			f.Insert(src, storage.SID(sid))
-		}
-	}
+	populateFilters(emb, ix.sigs, fidxs, workers)
 	return ix, nil
 }
 
@@ -326,11 +338,16 @@ func (ix *Index) Store() *storage.SetStore { return ix.store }
 // Embedder exposes the embedding pipeline (queries must use the same one).
 func (ix *Index) Embedder() *embed.Embedder { return ix.emb }
 
-// IndexPages returns the number of pages consumed by filter-index buckets.
+// IndexPages returns the number of pages consumed by filter-index buckets,
+// summed across the per-index pagers.
 func (ix *Index) IndexPages() int {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	return ix.indexPager.NumPages()
+	n := 0
+	for _, p := range ix.fiPagers {
+		n += p.NumPages()
+	}
+	return n
 }
 
 // enclose finds the partition points minimally enclosing [a, b] among
@@ -348,17 +365,15 @@ func (ix *Index) enclose(a, b float64) (lo, hi float64) {
 	return lo, hi
 }
 
-// sidDiff returns a \ b for sorted sid slices.
-func sidDiff(a, b []storage.SID) []storage.SID {
-	if len(b) == 0 {
-		return a
-	}
-	out := a[:0:0]
+// sidDiffInto appends a \ b to dst for sorted sid slices and returns the
+// grown slice (sorted-merge, no maps, no per-call allocation once dst has
+// capacity).
+func sidDiffInto(dst, a, b []storage.SID) []storage.SID {
 	i, j := 0, 0
 	for i < len(a) {
 		switch {
 		case j >= len(b) || a[i] < b[j]:
-			out = append(out, a[i])
+			dst = append(dst, a[i])
 			i++
 		case a[i] == b[j]:
 			i++
@@ -367,30 +382,30 @@ func sidDiff(a, b []storage.SID) []storage.SID {
 			j++
 		}
 	}
-	return out
+	return dst
 }
 
-// sidUnion returns a ∪ b for sorted sid slices.
-func sidUnion(a, b []storage.SID) []storage.SID {
-	out := make([]storage.SID, 0, len(a)+len(b))
+// sidUnionInto appends a ∪ b to dst for sorted sid slices and returns the
+// grown slice.
+func sidUnionInto(dst, a, b []storage.SID) []storage.SID {
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
 		case a[i] == b[j]:
-			out = append(out, a[i])
+			dst = append(dst, a[i])
 			i++
 			j++
 		case a[i] < b[j]:
-			out = append(out, a[i])
+			dst = append(dst, a[i])
 			i++
 		default:
-			out = append(out, b[j])
+			dst = append(dst, b[j])
 			j++
 		}
 	}
-	out = append(out, a[i:]...)
-	out = append(out, b[j:]...)
-	return out
+	dst = append(dst, a[i:]...)
+	dst = append(dst, b[j:]...)
+	return dst
 }
 
 // Candidates runs only the filter stage for the range [s1, s2], returning
@@ -407,27 +422,44 @@ func (ix *Index) candidatesLocked(q set.Set, s1, s2 float64, stats *QueryStats) 
 		return nil, fmt.Errorf("core: invalid range [%g, %g]", s1, s2)
 	}
 	sig := ix.emb.Sign(q)
-	return ix.candidatesFromSignature(sig, s1, s2, stats)
+	return ix.candidatesFromSignature(sig, s1, s2, stats, nil)
 }
 
-func (ix *Index) candidatesFromSignature(sig minhash.Signature, s1, s2 float64, stats *QueryStats) ([]storage.SID, error) {
+// candidatesFromSignature runs the Section 4.3 filter combination. When sc
+// is non-nil, probe vectors and merge outputs are written into its reusable
+// buffers and the returned slice aliases sc (valid until sc's next use);
+// with a nil sc every slice is freshly allocated.
+func (ix *Index) candidatesFromSignature(sig minhash.Signature, s1, s2 float64, stats *QueryStats, sc *queryScratch) ([]storage.SID, error) {
 	src := ix.emb.Bits(sig)
 	lo, hi := ix.enclose(s1, s2)
 	stats.EnclosedLo, stats.EnclosedHi = lo, hi
 
-	dissim := func(p float64) []storage.SID {
-		f, ok := ix.dfis[p]
+	// probe fills buffer slot with the filter vector at point p (nil when
+	// the battery has no index there).
+	probe := func(m map[float64]*filter.Index, p float64, slot int) []storage.SID {
+		f, ok := m[p]
 		if !ok {
 			return nil
 		}
-		return f.Vector(src, &stats.IndexIO)
+		if sc == nil {
+			return f.Vector(src, &stats.IndexIO)
+		}
+		sc.bufs[slot] = f.VectorAppend(src, &stats.IndexIO, sc.bufs[slot][:0])
+		return sc.bufs[slot]
 	}
-	sim := func(p float64) []storage.SID {
-		f, ok := ix.sfis[p]
-		if !ok {
+	// merged stores a merge output back into its slot (retaining grown
+	// capacity for the next query) and returns it.
+	out := func(slot int) []storage.SID {
+		if sc == nil {
 			return nil
 		}
-		return f.Vector(src, &stats.IndexIO)
+		return sc.bufs[slot][:0]
+	}
+	merged := func(slot int, v []storage.SID) []storage.SID {
+		if sc != nil {
+			sc.bufs[slot] = v
+		}
+		return v
 	}
 
 	_, hiIsDFI := ix.dfis[hi]
@@ -437,15 +469,15 @@ func (ix *Index) candidatesFromSignature(sig minhash.Signature, s1, s2 float64, 
 	case hiIsDFI:
 		// lo = r_i, up = r_j: A = DissimVector(up) \ DissimVector(lo);
 		// DissimVector(0) is empty.
-		a = sidDiff(dissim(hi), dissim(lo))
+		a = merged(4, sidDiffInto(out(4), probe(ix.dfis, hi, 0), probe(ix.dfis, lo, 1)))
 	case loIsSFI:
 		// lo = t_i, up = t_j: A = SimVector(lo) \ SimVector(up);
 		// SimVector(1) is empty.
 		var upper []storage.SID
 		if hi < 1 {
-			upper = sim(hi)
+			upper = probe(ix.sfis, hi, 1)
 		}
-		a = sidDiff(sim(lo), upper)
+		a = merged(4, sidDiffInto(out(4), probe(ix.sfis, lo, 0), upper))
 	default:
 		// Mixed: combine around the δ point carrying both kinds
 		// (Section 4.3 third case).
@@ -455,16 +487,15 @@ func (ix *Index) candidatesFromSignature(sig minhash.Signature, s1, s2 float64, 
 		}
 		var loVec []storage.SID
 		if lo > 0 {
-			loVec = dissim(lo)
+			loVec = probe(ix.dfis, lo, 1)
 		}
 		var hiVec []storage.SID
 		if hi < 1 {
-			hiVec = sim(hi)
+			hiVec = probe(ix.sfis, hi, 3)
 		}
-		a = sidUnion(
-			sidDiff(dissim(dPoint), loVec),
-			sidDiff(sim(dPoint), hiVec),
-		)
+		d1 := merged(4, sidDiffInto(out(4), probe(ix.dfis, dPoint, 0), loVec))
+		d2 := merged(5, sidDiffInto(out(5), probe(ix.sfis, dPoint, 2), hiVec))
+		a = merged(6, sidUnionInto(out(6), d1, d2))
 	}
 	stats.Candidates = len(a)
 	return a, nil
@@ -483,38 +514,51 @@ func (ix *Index) bothKindsPoint() (float64, bool) {
 // Definition 2: filter, fetch, verify. Results are sorted by descending
 // similarity, ties by ascending sid.
 func (ix *Index) Query(q set.Set, s1, s2 float64) ([]Match, QueryStats, error) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.queryLocked(q, s1, s2)
+	return ix.QueryWithOptions(q, s1, s2, QueryOptions{})
 }
 
-func (ix *Index) queryLocked(q set.Set, s1, s2 float64) ([]Match, QueryStats, error) {
+// QueryWithOptions is Query with the processor tunables of QueryOptions:
+// signature screening and bounded verification parallelism. The zero value
+// reproduces Query exactly.
+func (ix *Index) QueryWithOptions(q set.Set, s1, s2 float64, opt QueryOptions) ([]Match, QueryStats, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.queryLocked(q, s1, s2, opt)
+}
+
+func (ix *Index) queryLocked(q set.Set, s1, s2 float64, opt QueryOptions) ([]Match, QueryStats, error) {
 	var stats QueryStats
 	start := time.Now()
-	cands, err := ix.candidatesLocked(q, s1, s2, &stats)
+	if s1 > s2 {
+		return nil, stats, fmt.Errorf("core: invalid range [%g, %g]", s1, s2)
+	}
+	sc := ix.scratch.Get().(*queryScratch)
+	defer ix.scratch.Put(sc)
+	ix.emb.SignInto(q, sc.sig)
+	cands, err := ix.candidatesFromSignature(sc.sig, s1, s2, &stats, sc)
 	if err != nil {
 		return nil, stats, err
 	}
-	matches := make([]Match, 0, len(cands)/4+1)
-	for _, sid := range cands {
-		s, err := ix.store.Fetch(sid, &stats.FetchIO)
-		if err != nil {
-			return nil, stats, fmt.Errorf("core: fetching candidate %d: %w", sid, err)
-		}
-		sim := q.Jaccard(s)
-		if sim >= s1 && sim <= s2 {
-			matches = append(matches, Match{SID: sid, Similarity: sim})
-		}
+	matches, err := ix.verifyCandidates(q, sc.sig, cands, s1, s2, opt, &stats)
+	if err != nil {
+		return nil, stats, err
 	}
+	sortMatches(matches)
+	stats.Results = len(matches)
+	stats.CPU = time.Since(start)
+	return matches, stats, nil
+}
+
+// sortMatches orders results by descending similarity, ties by ascending
+// sid — a deterministic total order, so serial and parallel verification
+// return identical slices.
+func sortMatches(matches []Match) {
 	sort.Slice(matches, func(i, j int) bool {
 		if matches[i].Similarity != matches[j].Similarity {
 			return matches[i].Similarity > matches[j].Similarity
 		}
 		return matches[i].SID < matches[j].SID
 	})
-	stats.Results = len(matches)
-	stats.CPU = time.Since(start)
-	return matches, stats, nil
 }
 
 // Insert adds a new set to the collection and all filter indices, returning
@@ -610,8 +654,5 @@ func (ix *Index) EstimateSimilarity(q set.Set, sid storage.SID) (est float64, ep
 	if err != nil {
 		return 0, 0, err
 	}
-	// Solve 2·exp(-2k·eps²) = 0.05 for eps.
-	k := float64(ix.emb.K())
-	eps := math.Sqrt(math.Log(2/0.05) / (2 * k))
-	return est, eps, nil
+	return est, chernoffEps95(ix.emb.K()), nil
 }

@@ -213,6 +213,11 @@ func TestQueryInvalidRange(t *testing.T) {
 	}
 }
 
+// sidDiff and sidUnion are the allocating views of the append-style merge
+// kernels, kept as test helpers so the set-algebra checks exercise them.
+func sidDiff(a, b []uint32) []uint32  { return sidDiffInto(nil, a, b) }
+func sidUnion(a, b []uint32) []uint32 { return sidUnionInto(nil, a, b) }
+
 func TestSidSetOps(t *testing.T) {
 	a := []uint32{1, 2, 3, 5, 8}
 	b := []uint32{2, 3, 4, 8}

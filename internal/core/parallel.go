@@ -1,0 +1,356 @@
+// Deterministic parallelism for the build and query hot paths.
+//
+// The paper's preprocessing (Section 3 signing, Section 5 filter-index
+// population) and its query processor (Section 4.3 filter → fetch → verify)
+// are embarrassingly parallel. This file fans both across bounded worker
+// pools while keeping every observable bit identical to the serial code:
+//
+//   - Signing writes are index-addressed (worker i writes only sigs[i]),
+//     so chunk scheduling cannot reorder anything.
+//   - Distribution sampling pre-draws its pair sequence from the seeded rng
+//     before fan-out (see simdist.SampleSignaturePairsN).
+//   - Each filter index is populated serially by one goroutine from its own
+//     pager, so its bucket chains and page layout are a pure function of
+//     (plan, seed, signatures) — exactly what snapshot rebuilds require.
+//   - Parallel verification merges per-worker I/O counters with atomics
+//     after the workers join, so IndexIO/FetchIO accounting stays exact,
+//     and the final sort is a total order, so result slices are identical.
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/embed"
+	"repro/internal/filter"
+	"repro/internal/minhash"
+	"repro/internal/set"
+	"repro/internal/storage"
+)
+
+// defaultMinParallelVerify is the candidate count below which per-query
+// verification stays serial: under ~50 simulated fetches the goroutine
+// hand-off costs more than it saves.
+const defaultMinParallelVerify = 48
+
+// QueryOptions tunes the query processor beyond the basic range. The zero
+// value reproduces Query's default behaviour (no screening, GOMAXPROCS
+// verification workers above the default candidate threshold).
+type QueryOptions struct {
+	// Screen enables signature screening: before paying a random-access
+	// fetch, a candidate's similarity is estimated from the stored min-hash
+	// signatures (the Section 3.1 agreement estimator, k coordinate
+	// compares, no I/O) and the fetch is skipped when the estimate falls
+	// outside [s1−ε, s2+ε]. Skipped candidates are counted in
+	// QueryStats.Screened. Screening trades a small recall loss (true
+	// matches whose estimate errs by more than ε) for one random page read
+	// per screened candidate; all returned matches remain exact.
+	Screen bool
+	// ScreenMargin is ε on the Jaccard scale. 0 selects the 95%-confidence
+	// Chernoff half-width for the index's signature length (the same bound
+	// EstimateSimilarity reports), which keeps the extra false-negative
+	// rate under 5% per candidate.
+	ScreenMargin float64
+	// Workers bounds query parallelism: the batch fan-out pool of
+	// QueryBatch and per-query candidate verification. 0 selects
+	// runtime.GOMAXPROCS(0); 1 forces serial processing.
+	Workers int
+	// MinParallelVerify is the candidate count at or above which
+	// verification fans across workers (0 selects a built-in default).
+	MinParallelVerify int
+}
+
+// resolveWorkers maps an Options/QueryOptions worker count to a concrete
+// pool size.
+func resolveWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// chernoffEps95 solves 2·exp(-2k·eps²) = 0.05 for eps: the 95%-confidence
+// half-width of the k-coordinate agreement estimator.
+func chernoffEps95(k int) float64 {
+	return math.Sqrt(math.Log(2/0.05) / (2 * float64(k)))
+}
+
+// parallelFor invokes fn over [0, n) in contiguous chunks of the given
+// size, fanned across up to workers goroutines (workers <= 1 runs inline).
+// fn must only write state addressed by its own index range.
+func parallelFor(n, workers, chunk int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// signChunk is the work-stealing granularity of the signing pool: large
+// enough to amortize the cursor bump, small enough to balance skewed set
+// sizes.
+const signChunk = 64
+
+// signCollection computes every set's min-hash signature across a worker
+// pool. Writes are index-addressed, so the result is bit-identical to the
+// serial loop for every worker count. Each chunk's signatures share one
+// flat coordinate block (a single allocation per chunk instead of one per
+// set).
+func signCollection(emb *embed.Embedder, sets []set.Set, workers int) []minhash.Signature {
+	sigs := make([]minhash.Signature, len(sets))
+	k := emb.K()
+	parallelFor(len(sets), workers, signChunk, func(lo, hi int) {
+		buf := make([]uint64, (hi-lo)*k)
+		for i := lo; i < hi; i++ {
+			sig := minhash.Signature(buf[(i-lo)*k : (i-lo+1)*k : (i-lo+1)*k])
+			emb.SignInto(sets[i], sig)
+			sigs[i] = sig
+		}
+	})
+	return sigs
+}
+
+// populateFilters inserts every signature into every filter index, one
+// goroutine per index (bounded by workers). Indices are independent
+// structures drawing pages from their own pagers, and each goroutine
+// inserts sids in ascending order — the same per-index insertion sequence
+// as the serial build, so bucket chains come out identical.
+func populateFilters(emb *embed.Embedder, sigs []minhash.Signature, fis []*filter.Index, workers int) {
+	populate := func(f *filter.Index) {
+		// One reusable BitSource view per goroutine: swapping the signature
+		// in place avoids an interface allocation per (index, sid) pair.
+		src := &embed.SigBits{E: emb}
+		for sid, sig := range sigs {
+			if sig == nil {
+				continue
+			}
+			src.Sig = sig
+			f.Insert(src, storage.SID(sid))
+		}
+	}
+	if workers <= 1 || len(fis) <= 1 {
+		for _, f := range fis {
+			populate(f)
+		}
+		return
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for _, f := range fis {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(f *filter.Index) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			populate(f)
+		}(f)
+	}
+	wg.Wait()
+}
+
+// queryScratch holds the reusable per-query buffers pooled on the index:
+// the query signature and the probe/merge sid vectors of the Section 4.3
+// filter combination. Steady-state queries allocate only their results.
+type queryScratch struct {
+	sig  minhash.Signature
+	bufs [7][]storage.SID
+}
+
+// verifyChunk runs the fetch-and-verify loop (with optional signature
+// screening) over one candidate slice, appending matches to dst and
+// charging fetches to io.
+func (ix *Index) verifyChunk(q set.Set, qsig minhash.Signature, cands []storage.SID, s1, s2 float64, screen bool, screenLo, screenHi float64, dst []Match, io *storage.Counter, screened *int) ([]Match, error) {
+	for _, sid := range cands {
+		if screen {
+			est, err := minhash.Estimate(qsig, ix.sigs[sid])
+			if err != nil {
+				return dst, fmt.Errorf("core: screening candidate %d: %w", sid, err)
+			}
+			if est < screenLo || est > screenHi {
+				*screened++
+				continue
+			}
+		}
+		s, err := ix.store.Fetch(sid, io)
+		if err != nil {
+			return dst, fmt.Errorf("core: fetching candidate %d: %w", sid, err)
+		}
+		sim := q.Jaccard(s)
+		if sim >= s1 && sim <= s2 {
+			dst = append(dst, Match{SID: sid, Similarity: sim})
+		}
+	}
+	return dst, nil
+}
+
+// verifyCandidates fetches and verifies the candidate set, in parallel
+// above the candidate-count threshold. Per-worker I/O counters and screened
+// counts are merged into stats with atomics after the workers join, so the
+// totals equal the serial accounting exactly.
+func (ix *Index) verifyCandidates(q set.Set, qsig minhash.Signature, cands []storage.SID, s1, s2 float64, opt QueryOptions, stats *QueryStats) ([]Match, error) {
+	var screenLo, screenHi float64
+	if opt.Screen {
+		eps := opt.ScreenMargin
+		if eps <= 0 {
+			eps = chernoffEps95(ix.emb.K())
+		}
+		screenLo, screenHi = s1-eps, s2+eps
+	}
+	minPar := opt.MinParallelVerify
+	if minPar <= 0 {
+		minPar = defaultMinParallelVerify
+	}
+	workers := resolveWorkers(opt.Workers)
+	if workers <= 1 || len(cands) < minPar {
+		matches := make([]Match, 0, len(cands)/4+1)
+		var screened int
+		matches, err := ix.verifyChunk(q, qsig, cands, s1, s2, opt.Screen, screenLo, screenHi, matches, &stats.FetchIO, &screened)
+		stats.Screened += screened
+		return matches, err
+	}
+
+	var (
+		wg                  sync.WaitGroup
+		fetchSeq, fetchRand atomic.Int64
+		screenedN           atomic.Int64
+		chunkMatches        = make([][]Match, workers)
+		chunkErrs           = make([]error, workers)
+	)
+	for w := 0; w < workers; w++ {
+		lo := w * len(cands) / workers
+		hi := (w + 1) * len(cands) / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var io storage.Counter
+			var screened int
+			m, err := ix.verifyChunk(q, qsig, cands[lo:hi], s1, s2, opt.Screen, screenLo, screenHi, nil, &io, &screened)
+			chunkMatches[w], chunkErrs[w] = m, err
+			fetchSeq.Add(io.Seq())
+			fetchRand.Add(io.Rand())
+			screenedN.Add(int64(screened))
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	stats.FetchIO.RecordSeq(fetchSeq.Load())
+	stats.FetchIO.RecordRand(fetchRand.Load())
+	stats.Screened += int(screenedN.Load())
+	total := 0
+	for _, m := range chunkMatches {
+		total += len(m)
+	}
+	matches := make([]Match, 0, total)
+	for w := 0; w < workers; w++ {
+		if chunkErrs[w] != nil {
+			return nil, chunkErrs[w]
+		}
+		matches = append(matches, chunkMatches[w]...)
+	}
+	return matches, nil
+}
+
+// BatchQuery is one entry of a QueryBatch call.
+type BatchQuery struct {
+	// Q is the query set.
+	Q set.Set
+	// Lo, Hi is the Jaccard similarity range [s1, s2].
+	Lo, Hi float64
+}
+
+// BatchResult is the outcome of one batch entry: exactly what Query would
+// have returned for it.
+type BatchResult struct {
+	Matches []Match
+	Stats   QueryStats
+	Err     error
+}
+
+// QueryBatch answers a slice of range queries concurrently under a single
+// shared (read) lock, fanning them across a bounded worker pool. Each entry
+// produces exactly the matches and I/O accounting a serial Query call would
+// have (results are a consistent point-in-time view: concurrent Insert and
+// Delete calls serialize before or after the whole batch). Options apply to
+// every entry; when the batch saturates the pool, per-query verification
+// parallelism is disabled rather than oversubscribing.
+func (ix *Index) QueryBatch(queries []BatchQuery, opt QueryOptions) []BatchResult {
+	results := make([]BatchResult, len(queries))
+	if len(queries) == 0 {
+		return results
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	pool := resolveWorkers(opt.Workers)
+	workers := pool
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	inner := opt
+	if workers > 1 {
+		// Split the pool: a saturated batch leaves one verification worker
+		// per query; a small batch on a wide machine still fans each
+		// query's verification across the idle remainder.
+		inner.Workers = pool / workers
+		if inner.Workers < 1 {
+			inner.Workers = 1
+		}
+	}
+	if workers <= 1 {
+		for i := range queries {
+			r := &results[i]
+			r.Matches, r.Stats, r.Err = ix.queryLocked(queries[i].Q, queries[i].Lo, queries[i].Hi, inner)
+		}
+		return results
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				r := &results[i]
+				r.Matches, r.Stats, r.Err = ix.queryLocked(queries[i].Q, queries[i].Lo, queries[i].Hi, inner)
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}

@@ -169,7 +169,7 @@ func (ix *Index) QueryAuto(q set.Set, lo, hi float64, m storage.CostModel) ([]Ma
 		return nil, RouteIndex, QueryStats{}, err
 	}
 	if rp.Route == RouteIndex {
-		matches, stats, err := ix.queryLocked(q, lo, hi)
+		matches, stats, err := ix.queryLocked(q, lo, hi, QueryOptions{})
 		return matches, RouteIndex, stats, err
 	}
 	var stats QueryStats

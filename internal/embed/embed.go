@@ -92,6 +92,10 @@ func (e *Embedder) CodeLength() int { return e.m }
 // Sign computes just the min-hash signature of s (the V-space vector).
 func (e *Embedder) Sign(s set.Set) minhash.Signature { return e.family.Sign(s) }
 
+// SignInto computes the signature of s into dst (length K) without
+// allocating — the build workers' and batch query path's signing primitive.
+func (e *Embedder) SignInto(s set.Set, dst minhash.Signature) { e.family.SignInto(s, dst) }
+
 // Embed maps a set all the way to its D-bit Hamming vector.
 func (e *Embedder) Embed(s set.Set) bitvec.Vector {
 	return e.EmbedSignature(e.family.Sign(s))
@@ -100,10 +104,25 @@ func (e *Embedder) Embed(s set.Set) bitvec.Vector {
 // EmbedSignature maps an existing signature to its D-bit Hamming vector.
 func (e *Embedder) EmbedSignature(sig minhash.Signature) bitvec.Vector {
 	v := bitvec.New(e.d)
+	e.appendCodewords(v, sig)
+	return v
+}
+
+// EmbedSignatureInto writes the D-bit Hamming vector of sig into dst,
+// reusing dst's backing storage (it is zeroed first). dst must have
+// dimension D; the result is identical to EmbedSignature.
+func (e *Embedder) EmbedSignatureInto(sig minhash.Signature, dst bitvec.Vector) {
+	if dst.Len() != e.d {
+		panic(fmt.Sprintf("embed: EmbedSignatureInto dst has %d bits, embedding has D=%d", dst.Len(), e.d))
+	}
+	dst.Reset()
+	e.appendCodewords(dst, sig)
+}
+
+func (e *Embedder) appendCodewords(v bitvec.Vector, sig minhash.Signature) {
 	for i := 0; i < e.k; i++ {
 		e.code.AppendCodeword(v, i*e.m, sig.Truncate(i, e.b))
 	}
-	return v
 }
 
 // Bit returns bit pos of the embedded vector directly from the signature,

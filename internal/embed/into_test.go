@@ -1,0 +1,62 @@
+package embed
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/set"
+)
+
+// TestSignIntoMatchesSign checks the embedder-level allocation-free signing
+// agrees with Sign.
+func TestSignIntoMatchesSign(t *testing.T) {
+	e := mkEmbedder(t, 12, 6, 9)
+	s := set.New(4, 8, 15, 16, 23, 42)
+	want := e.Sign(s)
+	dst := make([]uint64, e.K())
+	e.SignInto(s, dst)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("coordinate %d: SignInto %d, Sign %d", i, dst[i], want[i])
+		}
+	}
+}
+
+// TestEmbedSignatureIntoMatches checks the in-place embedding is
+// bit-identical to the allocating one, including when the destination is
+// dirty from a previous vector.
+func TestEmbedSignatureIntoMatches(t *testing.T) {
+	e := mkEmbedder(t, 10, 6, 3)
+	a := e.Sign(set.New(1, 2, 3, 4))
+	b := e.Sign(set.New(100, 200))
+
+	dst := bitvec.New(e.Dimension())
+	e.EmbedSignatureInto(a, dst)
+	want := e.EmbedSignature(a)
+	for i := 0; i < e.Dimension(); i++ {
+		if dst.Get(i) != want.Get(i) {
+			t.Fatalf("bit %d differs after first embed", i)
+		}
+	}
+
+	// Reuse with a different signature: every stale bit must be cleared.
+	e.EmbedSignatureInto(b, dst)
+	want = e.EmbedSignature(b)
+	for i := 0; i < e.Dimension(); i++ {
+		if dst.Get(i) != want.Get(i) {
+			t.Fatalf("bit %d differs after reuse", i)
+		}
+	}
+}
+
+// TestEmbedSignatureIntoWrongDimPanics pins the destination contract.
+func TestEmbedSignatureIntoWrongDimPanics(t *testing.T) {
+	e := mkEmbedder(t, 10, 6, 3)
+	sig := e.Sign(set.New(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong-dimension destination accepted")
+		}
+	}()
+	e.EmbedSignatureInto(sig, bitvec.New(e.Dimension()-64))
+}

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/embed"
+	"repro/internal/eval"
+	"repro/internal/optimize"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// BenchReport quantifies the parallel build pipeline and the concurrent
+// query paths on one machine: build throughput serial vs parallel, query
+// latency serial vs batched, answer quality, and the simulated-I/O saving
+// of signature screening. The JSON shape is consumed by `make bench-json`
+// and the CI bench-smoke artifact.
+type BenchReport struct {
+	// GOMAXPROCS is the worker ceiling the parallel paths ran with.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// N, Budget, MinHashes, Queries echo the configuration.
+	N         int `json:"n"`
+	Budget    int `json:"budget"`
+	MinHashes int `json:"minHashes"`
+	Queries   int `json:"queries"`
+
+	// SerialBuildMillis and ParallelBuildMillis are wall times of one
+	// Workers=1 and one Workers=GOMAXPROCS build of the same collection.
+	SerialBuildMillis   float64 `json:"serialBuildMillis"`
+	ParallelBuildMillis float64 `json:"parallelBuildMillis"`
+	// BuildSpeedup is serial/parallel.
+	BuildSpeedup float64 `json:"buildSpeedup"`
+	// BuildSetsPerSec is parallel build throughput.
+	BuildSetsPerSec float64 `json:"buildSetsPerSec"`
+
+	// SerialQueryMicros and BatchQueryMicros are mean wall microseconds per
+	// query: a serial Query loop versus one QueryBatch call over the same
+	// workload.
+	SerialQueryMicros float64 `json:"serialQueryMicros"`
+	BatchQueryMicros  float64 `json:"batchQueryMicros"`
+	// QuerySpeedup is serial/batch.
+	QuerySpeedup float64 `json:"querySpeedup"`
+
+	// MeanRecall and MeanPrecision are measured against exact answers over
+	// the query workload (recall averaged over queries with non-empty
+	// truth).
+	MeanRecall    float64 `json:"meanRecall"`
+	MeanPrecision float64 `json:"meanPrecision"`
+
+	// SimIOMicrosPerQuery is the simulated I/O time per query under the
+	// paper's cost model (rtn = 8), unscreened.
+	SimIOMicrosPerQuery float64 `json:"simIOMicrosPerQuery"`
+	// ScreenedSimIOMicros is the same with signature screening at the
+	// default (Chernoff 95%) margin.
+	ScreenedSimIOMicros float64 `json:"screenedSimIOMicros"`
+	// ScreenedFraction is screened candidates / produced candidates.
+	ScreenedFraction float64 `json:"screenedFraction"`
+}
+
+// Bench builds the Set1 collection serially and in parallel, replays the
+// query workload through the serial and batched paths, and reports the
+// measurements. Both builds must be bit-identical (guaranteed by
+// core.Options.Workers and pinned by the core determinism tests), so every
+// quality number applies to both.
+func Bench(w io.Writer, cfg Config) (*BenchReport, error) {
+	cfg = cfg.withDefaults()
+	budget := cfg.Budget
+	if budget <= 0 {
+		budget = 500
+	}
+	sets, err := workload.Generate(workload.Set1Params(cfg.N))
+	if err != nil {
+		return nil, err
+	}
+	opts := core.Options{
+		Embed:          embed.Options{K: cfg.MinHashes, Bits: 8, Seed: cfg.Seed},
+		Plan:           optimize.Options{Budget: budget, RecallTarget: cfg.RecallTarget},
+		DistSeed:       cfg.Seed,
+		PayloadPerElem: 110,
+	}
+
+	build := func(workers int) (*core.Index, time.Duration, error) {
+		o := opts
+		o.Workers = workers
+		start := time.Now()
+		ix, err := core.Build(sets, o)
+		return ix, time.Since(start), err
+	}
+	_, serialBuild, err := build(1)
+	if err != nil {
+		return nil, err
+	}
+	ix, parallelBuild, err := build(0)
+	if err != nil {
+		return nil, err
+	}
+
+	qs, err := workload.Queries(len(sets), workload.QueryParams{Count: cfg.Queries, Seed: cfg.Seed + 31})
+	if err != nil {
+		return nil, err
+	}
+	batch := make([]core.BatchQuery, len(qs))
+	for i, q := range qs {
+		batch[i] = core.BatchQuery{Q: sets[q.SID], Lo: q.Lo, Hi: q.Hi}
+	}
+
+	// Serial loop: one query at a time, the pre-batch baseline.
+	model := storage.DefaultCostModel()
+	var simIO time.Duration
+	serialStart := time.Now()
+	for i, q := range qs {
+		_, stats, err := ix.Query(sets[q.SID], q.Lo, q.Hi)
+		if err != nil {
+			return nil, fmt.Errorf("query %d: %w", i, err)
+		}
+		simIO += stats.SimIOTime(model)
+	}
+	serialWall := time.Since(serialStart)
+
+	// Batched: one QueryBatch call over the same workload.
+	batchStart := time.Now()
+	results := ix.QueryBatch(batch, core.QueryOptions{})
+	batchWall := time.Since(batchStart)
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("batch query %d: %w", i, r.Err)
+		}
+	}
+
+	// Screened: same batch with the default margin; measure the fetch
+	// saving and how much was screened.
+	var screenedIO time.Duration
+	var screened, candidates int
+	for i, r := range ix.QueryBatch(batch, core.QueryOptions{Screen: true}) {
+		if r.Err != nil {
+			return nil, fmt.Errorf("screened query %d: %w", i, r.Err)
+		}
+		screenedIO += r.Stats.SimIOTime(model)
+		screened += r.Stats.Screened
+		candidates += r.Stats.Candidates
+	}
+
+	runner := eval.NewRunner(ix, sets)
+	outcomes, err := runner.Run(qs)
+	if err != nil {
+		return nil, err
+	}
+	var recall, precision float64
+	withTruth := 0
+	for _, o := range outcomes {
+		if o.Truth > 0 {
+			recall += o.Recall
+			withTruth++
+		}
+		precision += o.Precision
+	}
+
+	nq := float64(len(qs))
+	rep := &BenchReport{
+		GOMAXPROCS:          runtime.GOMAXPROCS(0),
+		N:                   cfg.N,
+		Budget:              budget,
+		MinHashes:           cfg.MinHashes,
+		Queries:             len(qs),
+		SerialBuildMillis:   float64(serialBuild.Microseconds()) / 1e3,
+		ParallelBuildMillis: float64(parallelBuild.Microseconds()) / 1e3,
+		BuildSetsPerSec:     float64(len(sets)) / parallelBuild.Seconds(),
+		SerialQueryMicros:   float64(serialWall.Microseconds()) / nq,
+		BatchQueryMicros:    float64(batchWall.Microseconds()) / nq,
+		SimIOMicrosPerQuery: float64(simIO.Microseconds()) / nq,
+		ScreenedSimIOMicros: float64(screenedIO.Microseconds()) / nq,
+		MeanPrecision:       precision / nq,
+	}
+	if parallelBuild > 0 {
+		rep.BuildSpeedup = serialBuild.Seconds() / parallelBuild.Seconds()
+	}
+	if batchWall > 0 {
+		rep.QuerySpeedup = serialWall.Seconds() / batchWall.Seconds()
+	}
+	if withTruth > 0 {
+		rep.MeanRecall = recall / float64(withTruth)
+	}
+	if candidates > 0 {
+		rep.ScreenedFraction = float64(screened) / float64(candidates)
+	}
+
+	fmt.Fprintf(w, "Parallel pipeline bench (N=%d, budget %d, k=%d, %d queries, GOMAXPROCS=%d)\n",
+		rep.N, rep.Budget, rep.MinHashes, rep.Queries, rep.GOMAXPROCS)
+	fmt.Fprintf(w, "  build     serial %8.1fms   parallel %8.1fms   speedup %.2fx   (%.0f sets/s)\n",
+		rep.SerialBuildMillis, rep.ParallelBuildMillis, rep.BuildSpeedup, rep.BuildSetsPerSec)
+	fmt.Fprintf(w, "  query     serial %8.1fµs   batched  %8.1fµs   speedup %.2fx\n",
+		rep.SerialQueryMicros, rep.BatchQueryMicros, rep.QuerySpeedup)
+	fmt.Fprintf(w, "  quality   recall %.3f   precision %.3f\n", rep.MeanRecall, rep.MeanPrecision)
+	fmt.Fprintf(w, "  sim I/O   plain %8.1fµs/q   screened %8.1fµs/q   (%.1f%% of candidates screened)\n",
+		rep.SimIOMicrosPerQuery, rep.ScreenedSimIOMicros, 100*rep.ScreenedFraction)
+	return rep, nil
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"testing"
+)
+
+// TestBenchReport smoke-tests the parallel-pipeline report at a small
+// scale: sane measurements, quality in range, and a JSON shape that
+// round-trips (the contract of `make bench-json`).
+func TestBenchReport(t *testing.T) {
+	rep, err := Bench(io.Discard, Config{N: 600, Queries: 40, Budget: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SerialBuildMillis <= 0 || rep.ParallelBuildMillis <= 0 {
+		t.Errorf("non-positive build times: %+v", rep)
+	}
+	if rep.BuildSpeedup <= 0 || rep.QuerySpeedup <= 0 {
+		t.Errorf("non-positive speedups: %+v", rep)
+	}
+	if rep.MeanRecall < 0 || rep.MeanRecall > 1 || rep.MeanPrecision < 0 || rep.MeanPrecision > 1 {
+		t.Errorf("quality out of range: recall %g precision %g", rep.MeanRecall, rep.MeanPrecision)
+	}
+	if rep.ScreenedFraction < 0 || rep.ScreenedFraction > 1 {
+		t.Errorf("screened fraction out of range: %g", rep.ScreenedFraction)
+	}
+	// Screening may only reduce simulated I/O (it skips fetches).
+	if rep.ScreenedSimIOMicros > rep.SimIOMicrosPerQuery {
+		t.Errorf("screening increased simulated I/O: %g > %g", rep.ScreenedSimIOMicros, rep.SimIOMicrosPerQuery)
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BenchReport
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != *rep {
+		t.Errorf("JSON round-trip changed the report")
+	}
+}

@@ -130,10 +130,18 @@ func (ix *Index) Delete(src lsh.BitSource, sid storage.SID) int {
 // DFI: the deduplicated sids the filter identifies for query vector q.
 // Bucket page reads are charged to io (which may be nil).
 func (ix *Index) Vector(q lsh.BitSource, io *storage.Counter) []storage.SID {
+	return ix.VectorAppend(q, io, nil)
+}
+
+// VectorAppend is Vector writing into dst's backing array (dst must be
+// empty; its capacity is reused). The result aliases dst and is only valid
+// until dst's next reuse — the allocation-free probe path of the query
+// processor's scratch buffers.
+func (ix *Index) VectorAppend(q lsh.BitSource, io *storage.Counter, dst []storage.SID) []storage.SID {
 	if ix.kind == Dissimilar {
-		return ix.group.Query(lsh.Complement{Src: q}, io)
+		return ix.group.QueryAppend(lsh.Complement{Src: q}, io, dst)
 	}
-	return ix.group.Query(q, io)
+	return ix.group.QueryAppend(q, io, dst)
 }
 
 // CaptureProb returns the probability that a vector at Hamming similarity

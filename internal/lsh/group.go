@@ -3,6 +3,7 @@ package lsh
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"sort"
 
 	"repro/internal/hashtable"
@@ -179,7 +180,15 @@ func (g *Group) Delete(src BitSource, sid storage.SID) int {
 // bucket contents — SimVector for this group's threshold. Page reads are
 // charged to io (which may be nil).
 func (g *Group) Query(src BitSource, io *storage.Counter) []storage.SID {
-	var raw []storage.SID
+	return g.QueryAppend(src, io, nil)
+}
+
+// QueryAppend is Query writing into dst's backing array: dst must be empty
+// (length 0) but may carry capacity from a previous probe, which is reused
+// instead of growing a fresh slice. The returned slice aliases dst's
+// backing array and is only valid until the next reuse.
+func (g *Group) QueryAppend(src BitSource, io *storage.Counter, dst []storage.SID) []storage.SID {
+	raw := dst[:0:cap(dst)]
 	for i := range g.tables {
 		raw = g.tables[i].Probe(g.key(i, src), io, raw)
 	}
@@ -191,7 +200,7 @@ func dedupe(sids []storage.SID) []storage.SID {
 	if len(sids) < 2 {
 		return sids
 	}
-	sort.Slice(sids, func(i, j int) bool { return sids[i] < sids[j] })
+	slices.Sort(sids)
 	out := sids[:1]
 	for _, s := range sids[1:] {
 		if s != out[len(out)-1] {

@@ -101,8 +101,19 @@ type Signature []uint64
 // which collides with nothing but another empty set.
 func (f *Family) Sign(s set.Set) Signature {
 	sig := make(Signature, f.k)
-	for i := range sig {
-		sig[i] = ^uint64(0)
+	f.SignInto(s, sig)
+	return sig
+}
+
+// SignInto computes the signature of s into dst, which must have length k.
+// It performs no allocations, so hot paths (build workers, query signing)
+// can reuse one buffer per worker. The result is identical to Sign.
+func (f *Family) SignInto(s set.Set, dst Signature) {
+	if len(dst) != f.k {
+		panic(fmt.Sprintf("minhash: SignInto dst has %d coordinates, family has k=%d", len(dst), f.k))
+	}
+	for i := range dst {
+		dst[i] = ^uint64(0)
 	}
 	for _, e := range s.Elems() {
 		x := splitmix64(uint64(e)) % mersenne61
@@ -111,12 +122,11 @@ func (f *Family) Sign(s set.Set) Signature {
 			if v >= mersenne61 {
 				v -= mersenne61
 			}
-			if v < sig[i] {
-				sig[i] = v
+			if v < dst[i] {
+				dst[i] = v
 			}
 		}
 	}
-	return sig
 }
 
 // Estimate returns the fraction of coordinates on which the two signatures

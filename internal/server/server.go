@@ -9,6 +9,8 @@
 //	GET  /plan                 → the optimizer's layout
 //	POST /query                {"elements":[...],"lo":0.8,"hi":1.0}
 //	POST /query/sid            {"sid":7,"lo":0.8,"hi":1.0}
+//	POST /query/batch          {"queries":[{"elements":[...],"lo":0.8,"hi":1.0},...],
+//	                            "screen":true,"screenMargin":0.1}
 //	POST /topk                 {"elements":[...],"k":5}
 //	POST /sets                 {"elements":[...]} → {"sid":N}
 //	DELETE /sets/{sid}
@@ -47,6 +49,7 @@ func New(ix *ssr.Index) *Server {
 	s.mux.HandleFunc("/plan", s.handlePlan)
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/query/sid", s.handleQuerySID)
+	s.mux.HandleFunc("/query/batch", s.handleQueryBatch)
 	s.mux.HandleFunc("/topk", s.handleTopK)
 	s.mux.HandleFunc("/sets", s.handleSets)
 	s.mux.HandleFunc("/sets/", s.handleSetByID)
@@ -141,6 +144,7 @@ type queryResponse struct {
 type queryStatView struct {
 	Candidates        int    `json:"candidates"`
 	Results           int    `json:"results"`
+	Screened          int    `json:"screened,omitempty"`
 	RandomPageReads   int64  `json:"randomPageReads"`
 	SequentialReads   int64  `json:"sequentialPageReads"`
 	SimulatedIOMicros int64  `json:"simulatedIOMicros"`
@@ -152,6 +156,7 @@ func statView(st ssr.Stats, elapsed time.Duration) queryStatView {
 	return queryStatView{
 		Candidates:        st.Candidates,
 		Results:           st.Results,
+		Screened:          st.Screened,
 		RandomPageReads:   st.RandomPageReads,
 		SequentialReads:   st.SequentialPageReads,
 		SimulatedIOMicros: st.SimulatedIOTime.Microseconds(),
@@ -200,6 +205,76 @@ func (s *Server) handleQuerySID(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, queryResponse{Matches: orEmpty(matches), Stats: statView(stats, time.Since(start))})
+}
+
+// maxBatchQueries caps one /query/batch request; larger workloads should
+// paginate rather than hold one handler goroutine for minutes.
+const maxBatchQueries = 1024
+
+// batchRequest is the /query/batch payload. Screen, screenMargin, and
+// workers apply to every entry (see ssr.QueryOptions).
+type batchRequest struct {
+	Queries      []queryRequest `json:"queries"`
+	Screen       bool           `json:"screen"`
+	ScreenMargin float64        `json:"screenMargin"`
+	Workers      int            `json:"workers"`
+}
+
+// batchEntryResponse is one positional result of /query/batch.
+type batchEntryResponse struct {
+	Matches []ssr.Match   `json:"matches"`
+	Stats   queryStatView `json:"stats"`
+	Error   string        `json:"error,omitempty"`
+}
+
+// batchResponse is the /query/batch payload: results[i] answers queries[i].
+type batchResponse struct {
+	Results []batchEntryResponse `json:"results"`
+	Elapsed string               `json:"elapsed"`
+}
+
+func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var req batchRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("queries required"))
+		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("batch of %d exceeds limit %d", len(req.Queries), maxBatchQueries))
+		return
+	}
+	batch := make([]ssr.BatchQuery, len(req.Queries))
+	for i, q := range req.Queries {
+		if len(q.Elements) == 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("query %d: elements required", i))
+			return
+		}
+		batch[i] = ssr.BatchQuery{Elements: q.Elements, Lo: q.Lo, Hi: q.Hi}
+	}
+	start := time.Now()
+	results := s.ix.QueryBatch(batch, ssr.QueryOptions{
+		Screen:       req.Screen,
+		ScreenMargin: req.ScreenMargin,
+		Workers:      req.Workers,
+	})
+	elapsed := time.Since(start)
+	resp := batchResponse{Results: make([]batchEntryResponse, len(results)), Elapsed: elapsed.String()}
+	for i, res := range results {
+		entry := batchEntryResponse{Matches: orEmpty(res.Matches), Stats: statView(res.Stats, elapsed)}
+		if res.Err != nil {
+			entry.Error = res.Err.Error()
+		}
+		resp.Results[i] = entry
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,40 @@
+package simdist
+
+import (
+	"testing"
+
+	"repro/internal/minhash"
+	"repro/internal/set"
+)
+
+// TestSampleSignaturePairsNMatchesSerial requires the parallel estimator to
+// produce a bin-for-bin identical histogram for every worker count: the
+// pair sequence is pre-drawn and unit weights merge exactly.
+func TestSampleSignaturePairsNMatchesSerial(t *testing.T) {
+	f, err := minhash.NewFamily(32, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs := make([]minhash.Signature, 120)
+	for i := range sigs {
+		sigs[i] = f.Sign(set.New(uint64(i), uint64(i/2), uint64(i/3), 7))
+	}
+	serial, err := SampleSignaturePairsN(sigs, 1000, 50, 99, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, 64, 5000} {
+		par, err := SampleSignaturePairsN(sigs, 1000, 50, 99, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if par.Total() != serial.Total() {
+			t.Fatalf("workers=%d: total %g vs %g", workers, par.Total(), serial.Total())
+		}
+		for b := range serial.bins {
+			if par.bins[b] != serial.bins[b] {
+				t.Fatalf("workers=%d bin %d: %g vs %g", workers, b, par.bins[b], serial.bins[b])
+			}
+		}
+	}
+}

@@ -9,6 +9,7 @@ package simdist
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/minhash"
 	"repro/internal/set"
@@ -232,6 +233,16 @@ func SamplePairs(sets []set.Set, sample int, bins int, seed int64) (*Histogram, 
 // pair's similarity from min-hash signatures instead of exact sets — the
 // cheapest preprocessing path once signatures exist anyway for the index.
 func SampleSignaturePairs(sigs []minhash.Signature, sample int, bins int, seed int64) (*Histogram, error) {
+	return SampleSignaturePairsN(sigs, sample, bins, seed, 1)
+}
+
+// SampleSignaturePairsN is SampleSignaturePairs with the pair estimation
+// fanned across up to `workers` goroutines (workers <= 1 runs inline). The
+// pair sequence is drawn serially from the seeded rng before fan-out, and
+// per-worker histograms accumulate unit weights (exact integer counts in
+// float64, associative far below 2^53), so the result is bit-identical to
+// the serial computation for every worker count.
+func SampleSignaturePairsN(sigs []minhash.Signature, sample, bins int, seed int64, workers int) (*Histogram, error) {
 	n := len(sigs)
 	if n < 2 {
 		return nil, fmt.Errorf("simdist: need at least 2 signatures, got %d", n)
@@ -240,18 +251,60 @@ func SampleSignaturePairs(sigs []minhash.Signature, sample int, bins int, seed i
 		return nil, fmt.Errorf("simdist: sample must be >= 1, got %d", sample)
 	}
 	rng := rand.New(rand.NewSource(seed))
-	h := NewHistogram(bins)
-	for k := 0; k < sample; k++ {
+	pairs := make([][2]int, sample)
+	for k := range pairs {
 		i := rng.Intn(n)
 		j := rng.Intn(n - 1)
 		if j >= i {
 			j++
 		}
-		est, err := minhash.Estimate(sigs[i], sigs[j])
-		if err != nil {
+		pairs[k] = [2]int{i, j}
+	}
+	if workers > sample {
+		workers = sample
+	}
+	h := NewHistogram(bins)
+	if workers <= 1 {
+		if err := estimatePairs(sigs, pairs, h); err != nil {
 			return nil, err
+		}
+		return h, nil
+	}
+	parts := make([]*Histogram, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * sample / workers
+		hi := (w + 1) * sample / workers
+		parts[w] = NewHistogram(bins)
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = estimatePairs(sigs, pairs[lo:hi], parts[w])
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			return nil, errs[w]
+		}
+		for b, m := range parts[w].bins {
+			h.bins[b] += m
+		}
+		h.total += parts[w].total
+	}
+	return h, nil
+}
+
+// estimatePairs records the signature-agreement estimate of every pair
+// into h.
+func estimatePairs(sigs []minhash.Signature, pairs [][2]int, h *Histogram) error {
+	for _, p := range pairs {
+		est, err := minhash.Estimate(sigs[p[0]], sigs[p[1]])
+		if err != nil {
+			return err
 		}
 		h.Add(est, 1)
 	}
-	return h, nil
+	return nil
 }

@@ -75,6 +75,10 @@ type Options struct {
 	// UniformAllocation switches hash-table budgeting from greedy
 	// (the paper's choice) to uniform. For ablation studies.
 	UniformAllocation bool
+	// Workers bounds build parallelism (signing, distribution sampling,
+	// filter population). 0 uses every CPU, 1 forces a serial build; every
+	// value produces a bit-identical index.
+	Workers int
 }
 
 // Collection accumulates sets before building an index. Elements are
@@ -154,6 +158,9 @@ type Stats struct {
 	Candidates int
 	// Results is how many verified into the requested range.
 	Results int
+	// Screened is how many candidates signature screening rejected without
+	// a page fetch (0 unless QueryOptions.Screen is set).
+	Screened int
 	// RandomPageReads and SequentialPageReads count simulated disk I/O.
 	RandomPageReads, SequentialPageReads int64
 	// SimulatedIOTime converts those reads under the default cost model
@@ -211,6 +218,7 @@ func Build(c *Collection, opt Options) (*Index, error) {
 		PayloadPerElem: opt.PayloadBytesPerElement,
 		DistSample:     opt.DistSample,
 		DistSeed:       opt.Seed,
+		Workers:        opt.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -245,27 +253,124 @@ func (ix *Index) QueryIDs(elements []uint64, lo, hi float64) ([]Match, Stats, er
 }
 
 func (ix *Index) query(q set.Set, lo, hi float64) ([]Match, Stats, error) {
+	return ix.queryOpts(q, lo, hi, QueryOptions{})
+}
+
+func (ix *Index) queryOpts(q set.Set, lo, hi float64, opt QueryOptions) ([]Match, Stats, error) {
 	if lo < 0 || hi > 1 || lo > hi {
 		return nil, Stats{}, fmt.Errorf("ssr: invalid similarity range [%g, %g]", lo, hi)
 	}
-	matches, qs, err := ix.inner.Query(q, lo, hi)
+	matches, qs, err := ix.inner.QueryWithOptions(q, lo, hi, opt.toCore())
 	if err != nil {
 		return nil, Stats{}, err
 	}
+	return convertMatches(matches), convertStats(qs), nil
+}
+
+// convertMatches maps internal matches to the public type.
+func convertMatches(matches []core.Match) []Match {
 	out := make([]Match, len(matches))
 	for i, m := range matches {
 		out[i] = Match{SID: int(m.SID), Similarity: m.Similarity}
 	}
+	return out
+}
+
+// convertStats maps internal query stats to the public type under the
+// default cost model.
+func convertStats(qs core.QueryStats) Stats {
 	model := storage.DefaultCostModel()
-	st := Stats{
+	return Stats{
 		Candidates:          qs.Candidates,
 		Results:             qs.Results,
+		Screened:            qs.Screened,
 		RandomPageReads:     qs.IndexIO.Rand() + qs.FetchIO.Rand(),
 		SequentialPageReads: qs.IndexIO.Seq() + qs.FetchIO.Seq(),
 		SimulatedIOTime:     qs.SimIOTime(model),
 		CPUTime:             qs.CPU,
 	}
-	return out, st, nil
+}
+
+// QueryOptions tunes the query processor. The zero value reproduces Query's
+// default behaviour.
+type QueryOptions struct {
+	// Screen skips the page fetch for candidates whose similarity, estimated
+	// from the stored min-hash signatures alone, falls outside the query
+	// range widened by ScreenMargin. Returned matches stay exact; a small
+	// fraction of true matches (those whose estimate errs by more than the
+	// margin) may additionally be missed. Screened counts appear in Stats.
+	Screen bool
+	// ScreenMargin is the widening ε on the Jaccard scale; 0 selects the
+	// 95%-confidence bound for the index's signature length.
+	ScreenMargin float64
+	// Workers bounds query parallelism (batch fan-out and per-query
+	// candidate verification). 0 uses every CPU, 1 forces serial processing.
+	Workers int
+}
+
+func (o QueryOptions) toCore() core.QueryOptions {
+	return core.QueryOptions{
+		Screen:       o.Screen,
+		ScreenMargin: o.ScreenMargin,
+		Workers:      o.Workers,
+	}
+}
+
+// QueryWithOptions is Query with explicit processor tunables.
+func (ix *Index) QueryWithOptions(elements []string, lo, hi float64, opt QueryOptions) ([]Match, Stats, error) {
+	return ix.queryOpts(ix.coll.intern(elements), lo, hi, opt)
+}
+
+// BatchQuery is one entry of a QueryBatch call.
+type BatchQuery struct {
+	// Elements is the query set.
+	Elements []string
+	// Lo, Hi is the Jaccard similarity range.
+	Lo, Hi float64
+}
+
+// BatchResult is the outcome of one batch entry — exactly what Query would
+// have returned for it.
+type BatchResult struct {
+	Matches []Match
+	Stats   Stats
+	Err     error
+}
+
+// QueryBatch answers many range queries concurrently over a consistent
+// point-in-time view of the index (concurrent Add/Remove calls order before
+// or after the whole batch). Results are positional: result i answers query
+// i. Options apply to every entry.
+func (ix *Index) QueryBatch(queries []BatchQuery, opt QueryOptions) []BatchResult {
+	inner := make([]core.BatchQuery, len(queries))
+	results := make([]BatchResult, len(queries))
+	ok := make([]bool, len(queries))
+	for i, bq := range queries {
+		if bq.Lo < 0 || bq.Hi > 1 || bq.Lo > bq.Hi {
+			results[i].Err = fmt.Errorf("ssr: invalid similarity range [%g, %g]", bq.Lo, bq.Hi)
+			continue
+		}
+		inner[i] = core.BatchQuery{Q: ix.coll.intern(bq.Elements), Lo: bq.Lo, Hi: bq.Hi}
+		ok[i] = true
+	}
+	// Invalid entries keep their error; valid ones run in one core batch.
+	valid := make([]core.BatchQuery, 0, len(inner))
+	pos := make([]int, 0, len(inner))
+	for i, v := range ok {
+		if v {
+			valid = append(valid, inner[i])
+			pos = append(pos, i)
+		}
+	}
+	for j, r := range ix.inner.QueryBatch(valid, opt.toCore()) {
+		i := pos[j]
+		if r.Err != nil {
+			results[i].Err = r.Err
+			continue
+		}
+		results[i] = BatchResult{Matches: convertMatches(r.Matches), Stats: convertStats(r.Stats)}
+	}
+	return results
 }
 
 // Add inserts a new set into the collection and the live index, returning
@@ -329,19 +434,7 @@ func (ix *Index) QueryAuto(elements []string, lo, hi float64) ([]Match, RouteInf
 	if err != nil {
 		return nil, info, Stats{}, err
 	}
-	out := make([]Match, len(matches))
-	for i, m := range matches {
-		out[i] = Match{SID: int(m.SID), Similarity: m.Similarity}
-	}
-	st := Stats{
-		Candidates:          qs.Candidates,
-		Results:             qs.Results,
-		RandomPageReads:     qs.IndexIO.Rand() + qs.FetchIO.Rand(),
-		SequentialPageReads: qs.IndexIO.Seq() + qs.FetchIO.Seq(),
-		SimulatedIOTime:     qs.SimIOTime(model),
-		CPUTime:             qs.CPU,
-	}
-	return out, info, st, nil
+	return convertMatches(matches), info, convertStats(qs), nil
 }
 
 // TopK returns the k sets most similar to the query elements, best first
@@ -371,19 +464,7 @@ func (ix *Index) topK(q set.Set, k int) ([]Match, Stats, error) {
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	out := make([]Match, len(matches))
-	for i, m := range matches {
-		out[i] = Match{SID: int(m.SID), Similarity: m.Similarity}
-	}
-	model := storage.DefaultCostModel()
-	return out, Stats{
-		Candidates:          qs.Candidates,
-		Results:             qs.Results,
-		RandomPageReads:     qs.IndexIO.Rand() + qs.FetchIO.Rand(),
-		SequentialPageReads: qs.IndexIO.Seq() + qs.FetchIO.Seq(),
-		SimulatedIOTime:     qs.SimIOTime(model),
-		CPUTime:             qs.CPU,
-	}, nil
+	return convertMatches(matches), convertStats(qs), nil
 }
 
 // Remove deletes set sid from the index and collection bookkeeping. The
