@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet ssrvet race fuzz-smoke bench-json check
+.PHONY: all build test vet ssrvet race crash fuzz-smoke bench-json check
 
 all: check
 
@@ -25,7 +25,13 @@ ssrvet:
 # stress test in internal/core only means something with -race on). CI
 # runs the full tree; this is the fast local loop.
 race:
-	$(GO) test -race ./internal/core/ ./internal/server/
+	$(GO) test -race ./internal/core/ ./internal/server/ ./internal/wal/ ./internal/recovery/
+
+# The durability stack: WAL torn-tail/bit-flip sweeps, chained-checkpoint
+# recovery, and the crash-injection harness — all under -race.
+crash:
+	$(GO) test -race ./internal/wal/ ./internal/recovery/
+	$(GO) test -race -run 'Durable|CrashInjection' .
 
 # A bounded run of every fuzz target; regressions in the corpus fail fast.
 FUZZTIME ?= 20s
@@ -33,6 +39,8 @@ fuzz-smoke:
 	$(GO) test ./internal/storage/ -run '^$$' -fuzz FuzzSetEncoding -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/storage/ -run '^$$' -fuzz FuzzDecodeCorrupt -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/ecc/ -run '^$$' -fuzz FuzzHadamardRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wal/ -run '^$$' -fuzz FuzzReplay -fuzztime $(FUZZTIME)
+	$(GO) test . -run '^$$' -fuzz FuzzLoad -fuzztime $(FUZZTIME)
 
 # The parallel-pipeline benchmark report (build speedup, batched query
 # latency, recall, simulated I/O, screening saving) as one JSON document.

@@ -120,9 +120,13 @@ func run(w io.Writer, exp string, cfg experiments.Config, sstar float64) error {
 	}
 	for i, j := range jobs {
 		if i > 0 {
-			fmt.Fprintln(w)
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
 		}
-		fmt.Fprintf(w, "=== %s ===\n", j.name)
+		if _, err := fmt.Fprintf(w, "=== %s ===\n", j.name); err != nil {
+			return err
+		}
 		if err := j.fn(w); err != nil {
 			return fmt.Errorf("%s: %w", j.name, err)
 		}

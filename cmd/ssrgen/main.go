@@ -48,17 +48,25 @@ func main() {
 	}
 
 	var w io.Writer = os.Stdout
+	var f *os.File
 	if *out != "" {
-		f, err := os.Create(*out)
+		f, err = os.Create(*out)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ssrgen: %v\n", err)
 			os.Exit(1)
 		}
-		defer f.Close()
 		w = f
 	}
 	if err := textio.WriteSets(w, sets); err != nil {
 		fmt.Fprintf(os.Stderr, "ssrgen: %v\n", err)
 		os.Exit(1)
+	}
+	// Close carries the final flush: a deferred, unchecked Close here would
+	// report success on a workload file the kernel never finished writing.
+	if f != nil {
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "ssrgen: closing %s: %v\n", *out, err)
+			os.Exit(1)
+		}
 	}
 }

@@ -7,10 +7,15 @@
 //	ssrgen -n 5000 -o sets.txt
 //	ssrindex -data sets.txt -budget 200 -query 17 -lo 0.8 -hi 1.0
 //	ssrindex -data sets.txt -budget 200 -plan        # just show the layout
+//	ssrindex -data sets.txt -wal ./idx               # bootstrap a durable dir
+//	ssrindex -wal ./idx -query 17                    # recover and query it
 //
 // The query set is referenced by line number (-query) so the tool stays
 // format-agnostic; library users would pass their own sets through the
-// public API.
+// public API. With -wal the index lives in a durability directory
+// (write-ahead log + checkpoints, shared with ssrserver): the first run
+// bootstraps it from -data, later runs recover from the directory alone
+// and a clean exit flushes a final checkpoint.
 package main
 
 import (
@@ -37,33 +42,52 @@ func main() {
 		limit    = flag.Int("limit", 20, "max matches to print")
 		save     = flag.String("save", "", "write an index snapshot to this file after building")
 		load     = flag.String("load", "", "load the index from a snapshot instead of building")
+		walDir   = flag.String("wal", "", "durability directory (bootstrap from -data, or recover if it has state)")
 	)
 	flag.Parse()
-	if *data == "" && *load == "" {
-		fmt.Fprintln(os.Stderr, "ssrindex: -data or -load is required")
+	if *data == "" && *load == "" && *walDir == "" {
+		fmt.Fprintln(os.Stderr, "ssrindex: -data, -load, or -wal is required")
 		os.Exit(1)
 	}
-	if err := run(*data, *budget, *recall, *k, *seed, *queryIdx, *lo, *hi, *plan, *limit, *save, *load); err != nil {
+	if *walDir != "" && *load != "" {
+		fmt.Fprintln(os.Stderr, "ssrindex: -wal and -load are mutually exclusive (the durability directory has its own checkpoints)")
+		os.Exit(1)
+	}
+	if err := run(*data, *budget, *recall, *k, *seed, *queryIdx, *lo, *hi, *plan, *limit, *save, *load, *walDir); err != nil {
 		fmt.Fprintf(os.Stderr, "ssrindex: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, budget int, recall float64, k int, seed int64, queryIdx int, lo, hi float64, planOnly bool, limit int, savePath, loadPath string) error {
+func run(path string, budget int, recall float64, k int, seed int64, queryIdx int, lo, hi float64, planOnly bool, limit int, savePath, loadPath, walDir string) (err error) {
 	var ix *ssr.Index
-	if loadPath != "" {
+	switch {
+	case walDir != "":
+		ix, err = openDurable(walDir, path, budget, recall, k, seed)
+		if err != nil {
+			return err
+		}
+		// A clean exit checkpoints; its error matters as much as the run's.
+		defer func() {
+			if cerr := ix.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+	case loadPath != "":
 		f, err := os.Open(loadPath)
 		if err != nil {
 			return err
 		}
 		start := time.Now()
 		ix, err = ssr.Load(f)
-		f.Close()
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
 		if err != nil {
 			return err
 		}
 		fmt.Printf("loaded snapshot %s (%d sets) in %v\n", loadPath, ix.Internal().Len(), time.Since(start).Round(time.Millisecond))
-	} else {
+	default:
 		coll, err := loadCollection(path)
 		if err != nil {
 			return err
@@ -88,13 +112,18 @@ func run(path string, budget int, recall float64, k int, seed int64, queryIdx in
 			return err
 		}
 		if err := ix.Save(f); err != nil {
-			f.Close()
+			if cerr := f.Close(); cerr != nil {
+				return fmt.Errorf("%w (and closing %s: %v)", err, savePath, cerr)
+			}
 			return err
 		}
 		if err := f.Close(); err != nil {
 			return err
 		}
-		st, _ := os.Stat(savePath)
+		st, err := os.Stat(savePath)
+		if err != nil {
+			return err
+		}
 		fmt.Printf("snapshot written to %s (%d bytes)\n", savePath, st.Size())
 	}
 
@@ -129,13 +158,50 @@ func run(path string, budget int, recall float64, k int, seed int64, queryIdx in
 	return nil
 }
 
+// openDurable recovers the durability directory, bootstrapping it from the
+// collection file on first use.
+func openDurable(walDir, path string, budget int, recall float64, k int, seed int64) (*ssr.Index, error) {
+	has, err := ssr.HasDurableState(walDir)
+	if err != nil {
+		return nil, err
+	}
+	if has {
+		start := time.Now()
+		ix, err := ssr.OpenDurable(walDir, ssr.DurableOptions{})
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("recovered durable index from %s (%d sets) in %v\n", walDir, ix.Internal().Len(), time.Since(start).Round(time.Millisecond))
+		return ix, nil
+	}
+	if path == "" {
+		return nil, fmt.Errorf("%s holds no durable state; pass -data <file> to bootstrap it", walDir)
+	}
+	coll, err := loadCollection(path)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	ix, err := ssr.CreateDurable(walDir, coll, ssr.Options{
+		Budget:       budget,
+		RecallTarget: recall,
+		MinHashes:    k,
+		Seed:         seed,
+	}, ssr.DurableOptions{})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("bootstrapped durable index over %d sets into %s in %v\n", coll.Len(), walDir, time.Since(start).Round(time.Millisecond))
+	return ix, nil
+}
+
 // loadCollection reads the one-set-per-line format via internal/textio.
 func loadCollection(path string) (*ssr.Collection, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close() //ssrvet:ignore droppederr -- read-only fd; ReadSets fails on any read error
 	sets, err := textio.ReadSets(f, path)
 	if err != nil {
 		return nil, err

@@ -9,15 +9,29 @@
 //	curl -s -X POST localhost:8080/query/sid -d '{"sid":7,"lo":0.8,"hi":1.0}'
 //
 // A previously saved snapshot (see ssrindex -save) can be served directly
-// with -snapshot, skipping the build.
+// with -snapshot, skipping the build. With -wal the index is durable:
+// mutations (POST /sets, DELETE /sets/{sid}) are write-ahead logged to the
+// given directory before they are acknowledged, the log is checkpointed
+// and compacted as it grows, and a restart recovers everything up to the
+// -wal-sync horizon. The first run against an empty -wal directory
+// bootstraps it from -data; later runs ignore -data and recover from the
+// directory alone.
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// drain (bounded by -shutdown-timeout) and, when durability is enabled, a
+// final checkpoint is flushed so the next start skips log replay.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	ssr "repro"
@@ -34,10 +48,21 @@ func main() {
 		recall   = flag.Float64("recall", 0.85, "optimizer recall target")
 		k        = flag.Int("k", 100, "min-hash signature length")
 		seed     = flag.Int64("seed", 1, "build seed")
+
+		walDir       = flag.String("wal", "", "durability directory (write-ahead log + checkpoints)")
+		walSync      = flag.String("wal-sync", "always", "log sync policy: always, interval, never")
+		walSyncEvery = flag.Duration("wal-sync-interval", 100*time.Millisecond, "fsync period under -wal-sync=interval")
+		walCkptBytes = flag.Int64("wal-checkpoint-bytes", 8<<20, "checkpoint + rotate once the live log exceeds this size")
+
+		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
-	ix, err := buildOrLoad(*data, *snapshot, *budget, *recall, *k, *seed)
+	if *walDir != "" && *snapshot != "" {
+		log.Fatal("ssrserver: -wal and -snapshot are mutually exclusive (the durability directory has its own checkpoints)")
+	}
+
+	ix, err := openIndex(*data, *snapshot, *walDir, *walSync, *walSyncEvery, *walCkptBytes, *budget, *recall, *k, *seed)
 	if err != nil {
 		log.Fatalf("ssrserver: %v", err)
 	}
@@ -47,7 +72,76 @@ func main() {
 		Handler:           server.New(ix),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Fatal(srv.ListenAndServe())
+
+	// Graceful shutdown: stop accepting, drain in-flight requests, then
+	// flush a final checkpoint so restart skips replay.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := <-stop
+		log.Printf("received %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("ssrserver: draining requests: %v", err)
+		}
+		if err := ix.Close(); err != nil {
+			log.Printf("ssrserver: closing index: %v", err)
+		}
+	}()
+
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("ssrserver: %v", err)
+	}
+	<-done
+}
+
+// openIndex resolves the three serving modes: durable (-wal), snapshot
+// (-snapshot), or ephemeral build (-data).
+func openIndex(data, snapshot, walDir, walSync string, walSyncEvery time.Duration, walCkptBytes int64, budget int, recall float64, k int, seed int64) (*ssr.Index, error) {
+	if walDir == "" {
+		return buildOrLoad(data, snapshot, budget, recall, k, seed)
+	}
+	mode, err := ssr.ParseSyncMode(walSync)
+	if err != nil {
+		return nil, err
+	}
+	dopt := ssr.DurableOptions{
+		Sync:            mode,
+		SyncEvery:       walSyncEvery,
+		CheckpointBytes: walCkptBytes,
+	}
+	has, err := ssr.HasDurableState(walDir)
+	if err != nil {
+		return nil, err
+	}
+	if has {
+		start := time.Now()
+		ix, err := ssr.OpenDurable(walDir, dopt)
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("recovered durable index from %s in %v", walDir, time.Since(start).Round(time.Millisecond))
+		return ix, nil
+	}
+	if data == "" {
+		return nil, fmt.Errorf("%s holds no durable state; pass -data <file> to bootstrap it", walDir)
+	}
+	coll, err := loadCollection(data)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	ix, err := ssr.CreateDurable(walDir, coll, ssr.Options{
+		Budget: budget, RecallTarget: recall, MinHashes: k, Seed: seed,
+	}, dopt)
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("bootstrapped durable index over %d sets into %s in %v", coll.Len(), walDir, time.Since(start).Round(time.Millisecond))
+	return ix, nil
 }
 
 func buildOrLoad(data, snapshot string, budget int, recall float64, k int, seed int64) (*ssr.Index, error) {
@@ -57,7 +151,7 @@ func buildOrLoad(data, snapshot string, budget int, recall float64, k int, seed 
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
+		defer f.Close() //ssrvet:ignore droppederr -- read-only fd; Load fails on any read error
 		return ssr.Load(f)
 	case data != "":
 		coll, err := loadCollection(data)
@@ -74,7 +168,7 @@ func buildOrLoad(data, snapshot string, budget int, recall float64, k int, seed 
 		log.Printf("built index over %d sets in %v", coll.Len(), time.Since(start).Round(time.Millisecond))
 		return ix, nil
 	default:
-		return nil, fmt.Errorf("pass -data <file> or -snapshot <file>")
+		return nil, fmt.Errorf("pass -data <file>, -snapshot <file>, or -wal <dir>")
 	}
 }
 
@@ -84,7 +178,7 @@ func loadCollection(path string) (*ssr.Collection, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close() //ssrvet:ignore droppederr -- read-only fd; ReadSets fails on any read error
 	sets, err := textio.ReadSets(f, path)
 	if err != nil {
 		return nil, err

@@ -18,7 +18,7 @@
 //
 //	seededrand     repro/internal/... (all library code)
 //	floatcmp       repro/internal/{lsh,optimize,simdist,eval}
-//	droppederr     repro (persist.go and friends), repro/internal/{storage,textio,server}
+//	droppederr     repro (persist.go and friends), repro/internal/{storage,textio,server,wal,recovery}, repro/cmd/...
 //	guardedescape  everywhere
 //
 // The analyzers themselves are policy-free; this binary is where the repo
@@ -76,6 +76,9 @@ var suite = []scopedAnalyzer{
 			"repro/internal/storage",
 			"repro/internal/textio",
 			"repro/internal/server",
+			"repro/internal/wal",
+			"repro/internal/recovery",
+			"repro/cmd",
 		)(path)
 	}},
 	{guardedescape.Analyzer, everywhere},

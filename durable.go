@@ -1,0 +1,241 @@
+package ssr
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/recovery"
+	"repro/internal/wal"
+)
+
+// SyncMode selects when logged mutations are forced to stable storage.
+type SyncMode int
+
+const (
+	// SyncAlways fsyncs the log after every mutation: nothing acknowledged
+	// is ever lost. The default.
+	SyncAlways SyncMode = iota
+	// SyncInterval fsyncs at most once per DurableOptions.SyncEvery: crash
+	// loss is bounded by roughly one interval of mutations.
+	SyncInterval
+	// SyncNever leaves flushing to the OS: fastest, widest loss window.
+	// Recovery is still always clean — only the amount of replayable tail
+	// differs.
+	SyncNever
+)
+
+// String names the mode with the same spellings ParseSyncMode accepts.
+func (m SyncMode) String() string { return wal.Policy(m).String() }
+
+// ParseSyncMode maps the flag spellings "always", "interval", "never".
+func ParseSyncMode(s string) (SyncMode, error) {
+	p, err := wal.ParsePolicy(s)
+	return SyncMode(p), err
+}
+
+// DurableOptions tunes the durability layer of OpenDurable/CreateDurable.
+// The zero value is a safe default: fsync per mutation, 8MB checkpoint
+// threshold, one spare generation retained.
+type DurableOptions struct {
+	// Sync is the log's fsync policy.
+	Sync SyncMode
+	// SyncEvery is the SyncInterval period (default 100ms).
+	SyncEvery time.Duration
+	// CheckpointBytes triggers an automatic checkpoint (snapshot + log
+	// rotation + compaction) once the live log exceeds this size. 0 selects
+	// an 8MB default; negative disables automatic checkpoints (explicit
+	// Checkpoint/Close still rotate).
+	CheckpointBytes int64
+	// Keep is how many generations before the current one compaction
+	// retains (default 1, so a damaged newest checkpoint still recovers
+	// through its predecessor plus the chained logs).
+	Keep int
+}
+
+func (o DurableOptions) recoveryOptions(dir string) recovery.Options {
+	return recovery.Options{
+		Dir:          dir,
+		Sync:         wal.Policy(o.Sync),
+		SyncEvery:    o.SyncEvery,
+		CompactBytes: o.CheckpointBytes,
+		Keep:         o.Keep,
+	}
+}
+
+// ErrNoDurableState reports that OpenDurable found nothing to open; use
+// CreateDurable to bootstrap the directory from a built collection.
+var ErrNoDurableState = errors.New("ssr: durability directory holds no state")
+
+// durable is the logging side of a durable Index. Its mutex serializes
+// mutations end to end: apply to the in-memory index, then append to the
+// log — so log order always equals apply order, the invariant replay
+// depends on.
+type durable struct {
+	mu     sync.Mutex
+	log    *recovery.Log
+	closed bool
+}
+
+// HasDurableState reports whether dir already holds durable index state —
+// the open-vs-bootstrap decision for servers and CLIs.
+func HasDurableState(dir string) (bool, error) {
+	return recovery.DirHasState(dir)
+}
+
+// hooks binds the recovery machinery to ix. The checkpoint payload is
+// exactly the public snapshot format (Save/Load), so a checkpoint file's
+// payload and an explicit Save of the same state are byte-identical.
+func (ix *Index) hooks() recovery.Hooks {
+	return recovery.Hooks{
+		Load: func(r io.Reader) error {
+			loaded, err := Load(r)
+			if err != nil {
+				return err
+			}
+			ix.coll, ix.inner = loaded.coll, loaded.inner
+			return nil
+		},
+		Apply: func(rec wal.Record) error {
+			switch rec.Op {
+			case wal.OpInsert:
+				sid, err := ix.add(rec.Elements)
+				if err != nil {
+					return err
+				}
+				if sid != int(rec.SID) {
+					return fmt.Errorf("ssr: replayed insert landed on sid %d, log recorded %d", sid, rec.SID)
+				}
+				return nil
+			case wal.OpDelete:
+				return ix.remove(int(rec.SID))
+			default:
+				return fmt.Errorf("ssr: cannot apply %s record", rec.Op)
+			}
+		},
+		Save: func(w io.Writer) error { return ix.Save(w) },
+	}
+}
+
+// OpenDurable opens the durable index stored in dir: it loads the newest
+// valid checkpoint, replays the log tail (stopping cleanly at a torn or
+// corrupt frame), and returns an index identical to the pre-crash state up
+// to the sync horizon of opt.Sync. Mutations on the returned index are
+// logged before they are acknowledged; call Close to flush a final
+// checkpoint and release the log. If dir holds no state the error is
+// ErrNoDurableState.
+func OpenDurable(dir string, opt DurableOptions) (*Index, error) {
+	ix := &Index{}
+	log, found, err := recovery.Open(opt.recoveryOptions(dir), ix.hooks())
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, errors.Join(ErrNoDurableState, log.Close())
+	}
+	ix.dur = &durable{log: log}
+	return ix, nil
+}
+
+// CreateDurable builds an index over the collection (as Build does) and
+// bootstraps dir with its first checkpoint. It refuses to run on a
+// directory that already holds durable state — open that with OpenDurable
+// instead.
+func CreateDurable(dir string, c *Collection, bopt Options, dopt DurableOptions) (*Index, error) {
+	has, err := HasDurableState(dir)
+	if err != nil {
+		return nil, err
+	}
+	if has {
+		return nil, fmt.Errorf("ssr: %s already holds durable state (use OpenDurable)", dir)
+	}
+	ix, err := Build(c, bopt)
+	if err != nil {
+		return nil, err
+	}
+	log, found, err := recovery.Open(dopt.recoveryOptions(dir), ix.hooks())
+	if err != nil {
+		return nil, err
+	}
+	if found {
+		// Lost the bootstrap race with another creator.
+		return nil, errors.Join(fmt.Errorf("ssr: %s gained durable state concurrently", dir), log.Close())
+	}
+	if err := log.Checkpoint(); err != nil {
+		return nil, errors.Join(err, log.Close())
+	}
+	ix.dur = &durable{log: log}
+	return ix, nil
+}
+
+// add applies the insert in memory, then logs it. The logged record
+// carries the caller's raw elements in original order so replay re-interns
+// them into identical dictionary ids.
+func (d *durable) add(ix *Index, elements []string) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return 0, fmt.Errorf("ssr: index is closed")
+	}
+	sid, err := ix.add(elements)
+	if err != nil {
+		return 0, err
+	}
+	if err := d.log.Append(wal.Record{Op: wal.OpInsert, SID: uint32(sid), Elements: elements}); err != nil {
+		// The in-memory insert stands (queries will see it), but it is not
+		// durable — the caller must treat the mutation as failed.
+		return 0, fmt.Errorf("ssr: insert applied but not logged: %w", err)
+	}
+	return sid, nil
+}
+
+func (d *durable) remove(ix *Index, sid int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return fmt.Errorf("ssr: index is closed")
+	}
+	if err := ix.remove(sid); err != nil {
+		return err
+	}
+	if err := d.log.Append(wal.Record{Op: wal.OpDelete, SID: uint32(sid)}); err != nil {
+		return fmt.Errorf("ssr: delete applied but not logged: %w", err)
+	}
+	return nil
+}
+
+// Checkpoint forces a checkpoint now: snapshot the current state, rotate
+// to a fresh log segment, compact old generations. Errors for indices not
+// opened durably.
+func (ix *Index) Checkpoint() error {
+	if ix.dur == nil {
+		return fmt.Errorf("ssr: index is not durable (no checkpoint target)")
+	}
+	ix.dur.mu.Lock()
+	defer ix.dur.mu.Unlock()
+	if ix.dur.closed {
+		return fmt.Errorf("ssr: index is closed")
+	}
+	return ix.dur.log.Checkpoint()
+}
+
+// Close flushes a final checkpoint and releases the log of a durable
+// index; the next OpenDurable then loads the snapshot with no tail to
+// replay. Close is idempotent, and a nil or non-durable index closes as a
+// no-op. Queries keep working after Close; mutations error.
+func (ix *Index) Close() error {
+	if ix == nil || ix.dur == nil {
+		return nil
+	}
+	d := ix.dur
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	ckptErr := d.log.Checkpoint()
+	return errors.Join(ckptErr, d.log.Close())
+}

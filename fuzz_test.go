@@ -1,0 +1,41 @@
+package ssr
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoad feeds arbitrary bytes to the public snapshot loader: corrupt or
+// truncated snapshots must return an error, never panic, and never
+// allocate unboundedly. Mirrors internal/storage's FuzzDecodeCorrupt
+// discipline at the top of the persistence stack.
+func FuzzLoad(f *testing.F) {
+	// Seed with a genuine snapshot (with a tombstone, exercising the
+	// sid-preserving layout) so mutations explore near-valid encodings.
+	c := bookstore()
+	ix, err := Build(c, Options{Budget: 24, MinHashes: 32, Seed: 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := ix.Remove(1); err != nil {
+		f.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := ix.Save(&snap); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(snap.Bytes())
+	f.Add(snap.Bytes()[:len(snap.Bytes())/2])
+	f.Add([]byte("SSRPUB1\n"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		loaded, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// The rare mutation that still decodes must yield a usable index.
+		if _, _, qerr := loaded.Query([]string{"dune"}, 0.5, 1.0); qerr != nil {
+			t.Fatalf("loaded index cannot query: %v", qerr)
+		}
+	})
+}

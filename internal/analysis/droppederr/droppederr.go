@@ -13,13 +13,20 @@
 //   - `_ = f()` and `x, _ := f()` where the discarded value is the
 //     predeclared error type;
 //   - a call used as a bare statement whose signature returns an error
-//     (every result discarded).
+//     (every result discarded);
+//   - `defer f.Close()` and `defer f.Sync()` on an *os.File. Deferred
+//     calls are otherwise exempt (there is usually no error path to
+//     return on), but these two are the write-ahead-log bug class: a
+//     file that buffered writes silently loses its final flush, and the
+//     loss surfaces as a truncated log or snapshot on the next restart.
+//     Close such files explicitly and surface the error (see
+//     internal/wal.Writer.Close), or annotate read-only fds with
+//     //ssrvet:ignore and the reason.
 //
-// Deliberate discards remain possible and visible: deferred calls are
-// exempt (the `defer f.Close()` idiom has no error path to return on), as
-// are the never-failing writers *bytes.Buffer and *strings.Builder and the
-// fmt.Print family; anything else needs an //ssrvet:ignore directive with a
-// reason.
+// Deliberate discards remain possible and visible: the never-failing
+// writers *bytes.Buffer and *strings.Builder, the fmt.Print family, and
+// fmt.Fprint* aimed at os.Stdout/os.Stderr (terminal diagnostics) are
+// exempt; anything else needs an //ssrvet:ignore directive with a reason.
 package droppederr
 
 import (
@@ -45,10 +52,34 @@ func run(pass *analysis.Pass) error {
 			if call, ok := stmt.X.(*ast.CallExpr); ok {
 				checkBareCall(pass, call)
 			}
+		case *ast.DeferStmt:
+			checkDefer(pass, stmt)
 		}
 		return true
 	})
 	return nil
+}
+
+// checkDefer flags `defer f.Close()` / `defer f.Sync()` on *os.File: the
+// deferred error vanishes, and for a written file that error is the only
+// signal that buffered data never reached the disk.
+func checkDefer(pass *analysis.Pass, stmt *ast.DeferStmt) {
+	sel, ok := stmt.Call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || (fn.Name() != "Close" && fn.Name() != "Sync") {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	if types.TypeString(sig.Recv().Type(), nil) != "*os.File" {
+		return
+	}
+	pass.Reportf(stmt.Pos(), "deferred (*os.File).%s discards its error: a failed flush is silent data loss; close explicitly and check, or document a read-only fd with //ssrvet:ignore", fn.Name())
 }
 
 // checkAssign flags blank identifiers bound to error values.
@@ -137,6 +168,11 @@ func isExemptCallee(pass *analysis.Pass, call *ast.CallExpr) bool {
 		switch fn.Name() {
 		case "Print", "Printf", "Println":
 			return true
+		case "Fprint", "Fprintf", "Fprintln":
+			// Terminal diagnostics: writing to the process's own stdout or
+			// stderr is the Print family with the stream spelled out. Any
+			// other writer (a file, a response body) keeps the check.
+			return len(call.Args) > 0 && isStdStream(pass, call.Args[0])
 		}
 	}
 	sig, ok := fn.Type().(*types.Signature)
@@ -146,6 +182,31 @@ func isExemptCallee(pass *analysis.Pass, call *ast.CallExpr) bool {
 	switch types.TypeString(sig.Recv().Type(), nil) {
 	case "*bytes.Buffer", "*strings.Builder":
 		return true
+	}
+	return false
+}
+
+// isStdStream reports whether e names os.Stdout, os.Stderr, or
+// flag.CommandLine.Output() — the process's own terminal streams.
+func isStdStream(pass *analysis.Pass, e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		obj, ok := pass.TypesInfo.Uses[x.Sel]
+		if !ok {
+			return false
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.Pkg() == nil || v.Pkg().Path() != "os" {
+			return false
+		}
+		return v.Name() == "Stdout" || v.Name() == "Stderr"
+	case *ast.CallExpr:
+		sel, ok := x.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		return ok && fn.FullName() == "(*flag.FlagSet).Output"
 	}
 	return false
 }

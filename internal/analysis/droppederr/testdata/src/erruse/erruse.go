@@ -43,9 +43,25 @@ func Handled(w io.Writer) error {
 	return err
 }
 
-// Deferred close is exempt: there is no error path to return on.
+// Deferred file close/sync is the WAL bug class: the flush error vanishes.
 func Deferred(f *os.File) {
-	defer f.Close()
+	defer f.Close() // want `deferred \(\*os.File\).Close discards its error`
+}
+
+// DeferredSync is the same hole on the fsync side.
+func DeferredSync(f *os.File) {
+	defer f.Sync() // want `deferred \(\*os.File\).Sync discards its error`
+}
+
+// DeferredOther stays exempt: deferring a non-file Close (or any other
+// error-returning call) usually has no error path worth plumbing.
+func DeferredOther(w io.WriteCloser) {
+	defer w.Close()
+}
+
+// DeferredReadOnly documents a read-only fd.
+func DeferredReadOnly(f *os.File) {
+	defer f.Close() //ssrvet:ignore droppederr -- fixture: read-only fd
 }
 
 // NeverFails allows *bytes.Buffer, *strings.Builder, and fmt.Print*.
@@ -56,6 +72,14 @@ func NeverFails() string {
 	sb.WriteString("b")
 	fmt.Println("done")
 	return buf.String() + sb.String()
+}
+
+// TerminalDiagnostics allows Fprint* to the process's own streams but not
+// to an arbitrary writer, where the error is a real delivery signal.
+func TerminalDiagnostics(w io.Writer) {
+	fmt.Fprintln(os.Stderr, "usage: ...")
+	fmt.Fprintf(os.Stdout, "%d\n", 1)
+	fmt.Fprintln(w, "payload") // want "result of fmt.Fprintln ignored"
 }
 
 // BoolComma is not an error discard: map/type-assert commas are bool.

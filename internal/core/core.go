@@ -53,7 +53,16 @@ type Options struct {
 	// PrecomputedSignatures, if non-nil, must hold one signature per set
 	// computed under exactly the Embed options given; min-hash signing
 	// (the dominant build cost) is then skipped. Used by snapshot loading.
+	// Positions marked in Tombstones must hold nil signatures.
 	PrecomputedSignatures []minhash.Signature
+	// Tombstones, if non-nil, marks positions of sets[i] whose sid was
+	// allocated and later deleted: the placeholder is appended to the store
+	// and immediately tombstoned, keeping every later sid at its original
+	// value, but it enters no filter index and the B+tree skips it. This is
+	// what lets the durability layer replay logged operations that name
+	// original sids against a reloaded snapshot. Requires PlanOverride and
+	// PrecomputedSignatures.
+	Tombstones []bool
 	// DisableBTree skips the B+tree and resolves sids from the in-memory
 	// directory (candidate page I/O is still charged identically).
 	DisableBTree bool
@@ -174,8 +183,25 @@ func Build(sets []set.Set, opt Options) (*Index, error) {
 		return nil, err
 	}
 
+	if opt.Tombstones != nil {
+		if len(opt.Tombstones) != len(sets) {
+			return nil, fmt.Errorf("core: %d tombstone marks for %d sets", len(opt.Tombstones), len(sets))
+		}
+		if opt.PlanOverride == nil || opt.PrecomputedSignatures == nil {
+			return nil, fmt.Errorf("core: Tombstones requires PlanOverride and PrecomputedSignatures")
+		}
+	}
+	tombstoned := func(i int) bool { return opt.Tombstones != nil && opt.Tombstones[i] }
+	live := len(sets)
+	for _, dead := range opt.Tombstones {
+		if dead {
+			live--
+		}
+	}
+
 	resolved := opt
 	resolved.Embed = eopt
+	resolved.Tombstones = nil // transient load instruction, not a build parameter
 	workers := resolveWorkers(opt.Workers)
 	ix := &Index{
 		buildOpts: resolved,
@@ -183,12 +209,14 @@ func Build(sets []set.Set, opt Options) (*Index, error) {
 		sfis:      make(map[float64]*filter.Index),
 		dfis:      make(map[float64]*filter.Index),
 		store:     storage.NewSetStoreWithPayload(opt.PageSize, opt.PayloadPerElem),
-		n:         len(sets),
+		n:         live,
 		dataPager: storage.NewPager(opt.PageSize),
 	}
 	ix.scratch.New = func() any { return &queryScratch{sig: make(minhash.Signature, emb.K())} }
 
-	// 1. Persist the collection; sids are dense append order.
+	// 1. Persist the collection; sids are dense append order. Tombstoned
+	// positions keep their sid allocated but are deleted on the spot and
+	// never enter the locator.
 	if !opt.DisableBTree {
 		tree, err := btree.New(ix.dataPager)
 		if err != nil {
@@ -196,8 +224,14 @@ func Build(sets []set.Set, opt Options) (*Index, error) {
 		}
 		ix.tree = tree
 	}
-	for _, s := range sets {
+	for i, s := range sets {
 		sid := ix.store.Append(s)
+		if tombstoned(i) {
+			if err := ix.store.Delete(sid); err != nil {
+				return nil, err
+			}
+			continue
+		}
 		if ix.tree != nil {
 			off, length, err := ix.store.Location(sid)
 			if err != nil {
@@ -218,6 +252,12 @@ func Build(sets []set.Set, opt Options) (*Index, error) {
 			return nil, fmt.Errorf("core: %d precomputed signatures for %d sets", len(opt.PrecomputedSignatures), len(sets))
 		}
 		for i, sig := range opt.PrecomputedSignatures {
+			if tombstoned(i) {
+				if sig != nil {
+					return nil, fmt.Errorf("core: tombstoned position %d carries a signature", i)
+				}
+				continue
+			}
 			if len(sig) != emb.K() {
 				return nil, fmt.Errorf("core: signature %d has %d coordinates, embedding has k=%d", i, len(sig), emb.K())
 			}
@@ -311,6 +351,26 @@ func (ix *Index) Sets() ([]set.Set, error) {
 	out := make([]set.Set, 0, ix.n)
 	err := ix.store.Scan(nil, func(sid storage.SID, s set.Set) bool {
 		out = append(out, s)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SetsBySID returns the collection indexed by original sid: slot i holds
+// sid i's set, with tombstoned sids left as nil pointers. Unlike Sets, no
+// renumbering happens after deletions, which is what sid-addressed callers
+// (the durability layer's replay, the public snapshot's name alignment)
+// need.
+func (ix *Index) SetsBySID() ([]*set.Set, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]*set.Set, len(ix.sigs))
+	err := ix.store.Scan(nil, func(sid storage.SID, s set.Set) bool {
+		cp := s
+		out[sid] = &cp
 		return true
 	})
 	if err != nil {

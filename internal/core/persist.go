@@ -16,6 +16,18 @@ import (
 // snapshotMagic guards the persistence format.
 const snapshotMagic = "SSRIDX1\n"
 
+// Sanity ceilings applied when decoding a snapshot. Corrupt or hostile
+// input must fail with an error before it can drive a huge allocation or a
+// non-terminating rebuild; these bounds sit far above anything the paper's
+// experiments (or this repo's tests) produce.
+const (
+	maxSnapshotK      = 1 << 16 // signature coordinates
+	maxSnapshotBits   = 20      // matches ecc's Hadamard limit
+	maxSnapshotSIDs   = 1 << 26 // allocated sid space
+	maxSnapshotFIs    = 1 << 10 // filter indices in a plan
+	maxSnapshotTables = 1 << 16 // hash tables per filter index
+)
+
 // snapshot is the durable form of an index: everything needed to rebuild
 // it exactly. Filter-index contents are not stored — they are a pure
 // function of (sets, embedding seed, plan, per-FI seeds) and are rebuilt
@@ -35,11 +47,18 @@ type snapshot struct {
 	CountLocatorIO bool
 	// Plan is installed verbatim (the optimizer is not re-run).
 	Plan optimize.Plan
-	// Sets is the live collection; deleted sids are compacted out, so
-	// loading a snapshot of an index with deletions renumbers sids.
+	// Sets is the live collection in sid order; tombstoned sids are not
+	// stored.
 	Sets [][]uint64
 	// Sigs caches the per-set min-hash signatures, aligned with Sets.
 	Sigs [][]uint64
+	// SIDs, aligned with Sets, records each live set's original sid, and
+	// NumSIDs the total allocated sid space. Gaps are deleted sids; Load
+	// reconstructs them as tombstones so sid-addressed replay (the
+	// durability layer) stays valid. Legacy snapshots without these fields
+	// decode with NumSIDs == 0 and load densely renumbered, as before.
+	SIDs    []uint32
+	NumSIDs int
 }
 
 // Save writes the index to w. See Load. Save holds the read lock for its
@@ -62,12 +81,14 @@ func (ix *Index) Save(w io.Writer) error {
 		DisableBTree:   ix.buildOpts.DisableBTree,
 		CountLocatorIO: ix.buildOpts.CountLocatorIO,
 		Plan:           ix.plan,
+		NumSIDs:        len(ix.sigs),
 	}
 	err := ix.store.Scan(nil, func(sid storage.SID, s set.Set) bool {
 		elems := make([]uint64, s.Len())
 		copy(elems, s.Elems())
 		snap.Sets = append(snap.Sets, elems)
 		snap.Sigs = append(snap.Sigs, ix.sigs[sid])
+		snap.SIDs = append(snap.SIDs, uint32(sid))
 		return true
 	})
 	if err != nil {
@@ -79,10 +100,74 @@ func (ix *Index) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
+// validate rejects structurally or semantically corrupt snapshots before
+// any rebuild work happens. gob guarantees type shape but nothing about
+// values, so every field that sizes an allocation or parameterizes a loop
+// is bounded here.
+func (snap *snapshot) validate() error {
+	if snap.EmbedK < 1 || snap.EmbedK > maxSnapshotK {
+		return fmt.Errorf("core: snapshot embedding k=%d out of range [1, %d]", snap.EmbedK, maxSnapshotK)
+	}
+	if snap.EmbedBits < 0 || snap.EmbedBits > maxSnapshotBits {
+		return fmt.Errorf("core: snapshot embedding bits=%d out of range [0, %d]", snap.EmbedBits, maxSnapshotBits)
+	}
+	if snap.PageSize < 0 || snap.PayloadPerElem < 0 {
+		return fmt.Errorf("core: snapshot has negative storage parameters")
+	}
+	if len(snap.Sets) == 0 && snap.NumSIDs == 0 {
+		return fmt.Errorf("core: snapshot holds no sets")
+	}
+	if len(snap.Sigs) != len(snap.Sets) {
+		// Legacy snapshots may omit signatures entirely (they are re-signed);
+		// anything else is truncation.
+		if len(snap.Sigs) != 0 || snap.NumSIDs != 0 {
+			return fmt.Errorf("core: snapshot has %d signatures for %d sets", len(snap.Sigs), len(snap.Sets))
+		}
+	}
+	for i, sig := range snap.Sigs {
+		if len(sig) != snap.EmbedK {
+			return fmt.Errorf("core: snapshot signature %d has %d coordinates, embedding has k=%d", i, len(sig), snap.EmbedK)
+		}
+	}
+	if snap.NumSIDs != 0 {
+		if snap.NumSIDs < 0 || snap.NumSIDs > maxSnapshotSIDs {
+			return fmt.Errorf("core: snapshot sid space %d out of range", snap.NumSIDs)
+		}
+		if len(snap.SIDs) != len(snap.Sets) {
+			return fmt.Errorf("core: snapshot has %d sids for %d sets", len(snap.SIDs), len(snap.Sets))
+		}
+		prev := -1
+		for i, sid := range snap.SIDs {
+			if int(sid) <= prev || int(sid) >= snap.NumSIDs {
+				return fmt.Errorf("core: snapshot sid %d at position %d breaks ordering (space %d)", sid, i, snap.NumSIDs)
+			}
+			prev = int(sid)
+		}
+	} else if len(snap.SIDs) != 0 {
+		return fmt.Errorf("core: snapshot has sids but no sid space")
+	}
+	if len(snap.Plan.FIs) > maxSnapshotFIs {
+		return fmt.Errorf("core: snapshot plan has %d filter indices (max %d)", len(snap.Plan.FIs), maxSnapshotFIs)
+	}
+	for i, fi := range snap.Plan.FIs {
+		// NaN fails both comparisons of a naive lo/hi check, so the bound is
+		// phrased positively: inside (0,1) or rejected.
+		if !(fi.Point > 0 && fi.Point < 1) {
+			return fmt.Errorf("core: snapshot plan FI %d at point %g outside (0,1)", i, fi.Point)
+		}
+		if fi.Tables < 1 || fi.Tables > maxSnapshotTables {
+			return fmt.Errorf("core: snapshot plan FI %d has %d tables (range [1, %d])", i, fi.Tables, maxSnapshotTables)
+		}
+	}
+	return nil
+}
+
 // Load reconstructs an index from a snapshot written by Save. The rebuild
 // is deterministic: the same embedding family, sampled bit positions and
-// plan are restored, so query results match the saved index exactly
-// (modulo sid renumbering if the saved index had deletions).
+// plan are restored, and original sids are preserved — deleted sids come
+// back as tombstones, so an operation log recorded against the saved index
+// replays against the loaded one. (Legacy snapshots without sid metadata
+// load densely renumbered.)
 func Load(r io.Reader) (*Index, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(snapshotMagic))
@@ -96,29 +181,50 @@ func Load(r io.Reader) (*Index, error) {
 	if err := gob.NewDecoder(br).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
 	}
-	if len(snap.Sets) == 0 {
-		return nil, fmt.Errorf("core: snapshot holds no sets")
+	if err := snap.validate(); err != nil {
+		return nil, err
 	}
-	sets := make([]set.Set, len(snap.Sets))
-	for i, elems := range snap.Sets {
-		sets[i] = set.New(elems...)
-	}
-	var sigs []minhash.Signature
-	if len(snap.Sigs) == len(snap.Sets) {
-		sigs = make([]minhash.Signature, len(snap.Sigs))
-		for i, sig := range snap.Sigs {
-			sigs[i] = minhash.Signature(sig)
-		}
+	opt := Options{
+		Embed:          embed.Options{K: snap.EmbedK, Bits: snap.EmbedBits, Seed: snap.EmbedSeed},
+		PageSize:       snap.PageSize,
+		PayloadPerElem: snap.PayloadPerElem,
+		DistSeed:       snap.DistSeed,
+		DisableBTree:   snap.DisableBTree,
+		CountLocatorIO: snap.CountLocatorIO,
 	}
 	plan := snap.Plan
-	return Build(sets, Options{
-		Embed:                 embed.Options{K: snap.EmbedK, Bits: snap.EmbedBits, Seed: snap.EmbedSeed},
-		PageSize:              snap.PageSize,
-		PayloadPerElem:        snap.PayloadPerElem,
-		DistSeed:              snap.DistSeed,
-		DisableBTree:          snap.DisableBTree,
-		CountLocatorIO:        snap.CountLocatorIO,
-		PlanOverride:          &plan,
-		PrecomputedSignatures: sigs,
-	})
+	opt.PlanOverride = &plan
+
+	if snap.NumSIDs == 0 {
+		// Legacy dense layout.
+		sets := make([]set.Set, len(snap.Sets))
+		for i, elems := range snap.Sets {
+			sets[i] = set.New(elems...)
+		}
+		if len(snap.Sigs) == len(snap.Sets) {
+			sigs := make([]minhash.Signature, len(snap.Sigs))
+			for i, sig := range snap.Sigs {
+				sigs[i] = minhash.Signature(sig)
+			}
+			opt.PrecomputedSignatures = sigs
+		}
+		return Build(sets, opt)
+	}
+
+	// Sid-preserving layout: expand to the full sid space, tombstoning the
+	// gaps.
+	sets := make([]set.Set, snap.NumSIDs)
+	sigs := make([]minhash.Signature, snap.NumSIDs)
+	tombs := make([]bool, snap.NumSIDs)
+	for i := range tombs {
+		tombs[i] = true
+	}
+	for i, sid := range snap.SIDs {
+		sets[sid] = set.New(snap.Sets[i]...)
+		sigs[sid] = minhash.Signature(snap.Sigs[i])
+		tombs[sid] = false
+	}
+	opt.PrecomputedSignatures = sigs
+	opt.Tombstones = tombs
+	return Build(sets, opt)
 }

@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"encoding/gob"
+	"math"
 	"strings"
 	"testing"
 
@@ -107,5 +109,130 @@ func TestSaveLoadPreservesEmbedding(t *testing.T) {
 	}
 	if loaded.Embedder().Dimension() != 48*64 {
 		t.Errorf("dimension = %d after reload", loaded.Embedder().Dimension())
+	}
+}
+
+// TestSaveLoadPreservesSIDs pins the sid-preserving layout: deleted sids
+// come back as tombstones, so sid-addressed operations (replay from a log,
+// a follow-up Insert) behave exactly as on the saved index, and a second
+// Save emits byte-identical output.
+func TestSaveLoadPreservesSIDs(t *testing.T) {
+	ix, sets := buildSmall(t, 200, 40)
+	for _, sid := range []uint32{5, 0, 123} {
+		if err := ix.Delete(sid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != len(sets)-3 {
+		t.Fatalf("loaded %d live sets, want %d", loaded.Len(), len(sets)-3)
+	}
+	// Tombstones survive: re-deleting errors, live sids delete fine.
+	if err := loaded.Delete(5); err == nil {
+		t.Fatal("deleting a tombstoned sid succeeded after reload")
+	}
+	if err := loaded.Delete(7); err != nil {
+		t.Fatalf("deleting live sid 7 after reload: %v", err)
+	}
+	if err := ix.Delete(7); err != nil {
+		t.Fatal(err)
+	}
+	// The next insert lands on the same sid in both.
+	a, err := ix.Insert(sets[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Insert(sets[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("insert sid diverged after reload: %d vs %d", a, b)
+	}
+	// Both indices now hold identical state: snapshots are byte-identical.
+	var sa, sb bytes.Buffer
+	if err := ix.Save(&sa); err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Save(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sa.Bytes(), sb.Bytes()) {
+		t.Fatal("snapshots diverge after reload + identical mutations")
+	}
+	// And queries agree.
+	q := sets[42]
+	ra, _, err := ix.Query(q, 0.3, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, _, err := loaded.Query(q, 0.3, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ra) != len(rb) {
+		t.Fatalf("query results differ: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("result %d differs: %+v vs %+v", i, ra[i], rb[i])
+		}
+	}
+}
+
+// TestLoadRejectsBadSnapshots drives the semantic validation: structurally
+// valid gob with hostile values must error, not panic or allocate wildly.
+func TestLoadRejectsBadSnapshots(t *testing.T) {
+	base := func() snapshot {
+		return snapshot{
+			EmbedK:    4,
+			EmbedBits: 6,
+			Sets:      [][]uint64{{1, 2}},
+			Sigs:      [][]uint64{{1, 2, 3, 4}},
+			SIDs:      []uint32{0},
+			NumSIDs:   1,
+		}
+	}
+	cases := map[string]func(*snapshot){
+		"zero k":          func(s *snapshot) { s.EmbedK = 0 },
+		"huge k":          func(s *snapshot) { s.EmbedK = 1 << 30 },
+		"huge bits":       func(s *snapshot) { s.EmbedBits = 64 },
+		"negative page":   func(s *snapshot) { s.PageSize = -1 },
+		"sig mismatch":    func(s *snapshot) { s.Sigs = [][]uint64{{1}} },
+		"sig count":       func(s *snapshot) { s.Sigs = nil },
+		"sid count":       func(s *snapshot) { s.SIDs = nil },
+		"sid out of room": func(s *snapshot) { s.SIDs = []uint32{9} },
+		"huge sid space":  func(s *snapshot) { s.NumSIDs = 1 << 30 },
+		"nan fi point": func(s *snapshot) {
+			s.Plan.FIs = []optimize.FI{{Point: math.NaN(), Tables: 1}}
+		},
+		"fi point 0": func(s *snapshot) {
+			s.Plan.FIs = []optimize.FI{{Point: 0, Tables: 1}}
+		},
+		"fi zero tables": func(s *snapshot) {
+			s.Plan.FIs = []optimize.FI{{Point: 0.5, Tables: 0}}
+		},
+		"fi huge tables": func(s *snapshot) {
+			s.Plan.FIs = []optimize.FI{{Point: 0.5, Tables: 1 << 20}}
+		},
+	}
+	for name, mutate := range cases {
+		snap := base()
+		mutate(&snap)
+		var buf bytes.Buffer
+		buf.WriteString(snapshotMagic)
+		if err := gob.NewEncoder(&buf).Encode(&snap); err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		if _, err := Load(&buf); err == nil {
+			t.Errorf("%s: hostile snapshot accepted", name)
+		}
 	}
 }

@@ -1,0 +1,78 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Replay scans framed records from r, invoking fn for each intact one in
+// order. It returns the byte length of the valid prefix and the number of
+// records delivered.
+//
+// Torn-tail tolerance: a short header, short payload, oversized length
+// field, checksum mismatch, or malformed body ends the scan cleanly —
+// valid then points at the last intact frame boundary and err is nil.
+// Everything from that offset on is a casualty of the crash (or of media
+// corruption) and the caller is expected to truncate it away. Only an
+// error returned by fn, or a read error other than EOF, is propagated.
+func Replay(r io.Reader, fn func(Record) error) (valid int64, n int, err error) {
+	var header [frameHeaderSize]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(r, header[:]); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return valid, n, nil // clean end or torn header
+			}
+			return valid, n, fmt.Errorf("wal: reading frame header: %w", err)
+		}
+		length := binary.LittleEndian.Uint32(header[:4])
+		sum := binary.LittleEndian.Uint32(header[4:])
+		if length == 0 || length > MaxFrameSize {
+			return valid, n, nil // corrupt length field
+		}
+		if uint32(cap(payload)) < length {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return valid, n, nil // torn payload
+			}
+			return valid, n, fmt.Errorf("wal: reading frame payload: %w", err)
+		}
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return valid, n, nil // bit rot or torn write inside the frame
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			return valid, n, nil // frame verified but body malformed
+		}
+		if err := fn(rec); err != nil {
+			return valid, n, err
+		}
+		valid += int64(frameHeaderSize) + int64(length)
+		n++
+	}
+}
+
+// ReplayFile replays the log at path. A missing file replays as empty.
+func ReplayFile(path string, fn func(Record) error) (valid int64, n int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, 0, nil
+		}
+		return 0, 0, fmt.Errorf("wal: opening log: %w", err)
+	}
+	valid, n, err = Replay(f, fn)
+	if cerr := f.Close(); cerr != nil && err == nil {
+		// The file was only read; a close failure cannot lose data, but it
+		// can signal a dying device, so it is not swallowed.
+		err = fmt.Errorf("wal: closing log after replay: %w", cerr)
+	}
+	return valid, n, err
+}

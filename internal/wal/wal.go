@@ -1,0 +1,351 @@
+// Package wal implements the durable write-ahead log under the dynamic
+// index: a flat stream of CRC32C-framed Insert/Delete/Checkpoint records
+// appended by the mutation path and replayed at startup.
+//
+// # Frame format
+//
+// Every record is one self-checking frame:
+//
+//	frame   := length(uint32 LE) ‖ crc(uint32 LE) ‖ payload
+//	payload := op(1 byte) ‖ body
+//
+// where crc is the CRC32C (Castagnoli) checksum of payload and length its
+// byte count. Bodies are varint-coded:
+//
+//	Insert     sid, element count, then (byte length, raw bytes) per element
+//	Delete     sid
+//	Checkpoint checkpoint sequence number (the segment header record)
+//
+// The framing is what makes torn tails recoverable: a crash can truncate
+// the file mid-frame or leave a frame whose payload never fully reached the
+// platter, and replay detects either case (short read or checksum mismatch)
+// and stops cleanly at the last intact record. See Replay.
+//
+// # Sync policy
+//
+// A Writer offers the three standard durability/throughput trade-offs:
+// fsync after every record (SyncAlways, no acknowledged write is ever
+// lost), fsync at most once per interval (SyncInterval, bounded loss
+// window), or never fsync explicitly (SyncNever, loss bounded only by the
+// OS writeback horizon). Every policy writes whole frames straight to the
+// file and syncs on Close, and replay semantics are identical under every
+// policy — only the loss window differs.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+	"time"
+)
+
+// Op identifies a record type.
+type Op byte
+
+const (
+	// OpInsert records the addition of a set (sid + string elements).
+	OpInsert Op = 1
+	// OpDelete records the removal of a sid.
+	OpDelete Op = 2
+	// OpCheckpoint is the segment header: the first record of every log
+	// segment, naming the checkpoint generation the segment follows.
+	OpCheckpoint Op = 3
+)
+
+// String names the op for diagnostics.
+func (op Op) String() string {
+	switch op {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpCheckpoint:
+		return "checkpoint"
+	default:
+		return fmt.Sprintf("op(%d)", byte(op))
+	}
+}
+
+// Record is one logged operation.
+type Record struct {
+	// Op is the record type.
+	Op Op
+	// SID is the target set id for OpInsert (the id the insert was
+	// assigned — replay verifies it) and OpDelete.
+	SID uint32
+	// Seq is the checkpoint generation for OpCheckpoint records.
+	Seq uint64
+	// Elements holds the inserted set's elements for OpInsert.
+	Elements []string
+}
+
+// frameHeaderSize is the fixed prefix of every frame: uint32 payload
+// length + uint32 CRC32C.
+const frameHeaderSize = 8
+
+// MaxFrameSize bounds one frame's payload. It exists so that replay of a
+// corrupt length field cannot be tricked into a giant allocation; it
+// comfortably exceeds the server's 16MB request cap, the largest legitimate
+// record source.
+const MaxFrameSize = 32 << 20
+
+// castagnoli is the CRC32C polynomial table shared by writer and reader.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Policy selects when appended records are forced to stable storage.
+type Policy int
+
+const (
+	// SyncAlways fsyncs after every Append: no acknowledged record is lost
+	// on crash. The default.
+	SyncAlways Policy = iota
+	// SyncInterval fsyncs on the first Append after the configured interval
+	// has elapsed since the previous sync (and on Sync/Close): crash loss
+	// is bounded by roughly one interval of traffic.
+	SyncInterval
+	// SyncNever leaves flushing to the OS (and to explicit Sync/Close
+	// calls): fastest, loss bounded only by kernel writeback.
+	SyncNever
+)
+
+// String names the policy for flags and logs.
+func (p Policy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy maps the flag spellings "always", "interval", "never".
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown sync policy %q (have: always, interval, never)", s)
+	}
+}
+
+// Writer appends framed records to a log file. It is safe for concurrent
+// use; record order is the lock acquisition order. Errors are sticky: once
+// a write or sync fails, every later call reports the first failure, so a
+// caller cannot silently keep acknowledging writes into a broken log.
+type Writer struct {
+	mu       sync.Mutex
+	f        *os.File
+	policy   Policy
+	interval time.Duration
+	lastSync time.Time
+	size     int64
+	buf      []byte // frame scratch, reused across appends
+	err      error  // first write/sync failure, sticky
+}
+
+// DefaultSyncInterval is the SyncInterval period when none is given.
+const DefaultSyncInterval = 100 * time.Millisecond
+
+// OpenWriter opens (creating if absent) the log file at path for
+// appending, truncated to size bytes first — the recovery path passes the
+// verified prefix length so a torn tail is physically discarded before new
+// records follow it. A fresh log uses size 0.
+func OpenWriter(path string, size int64, policy Policy, interval time.Duration) (*Writer, error) {
+	if interval <= 0 {
+		interval = DefaultSyncInterval
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: opening log: %w", err)
+	}
+	if err := f.Truncate(size); err != nil {
+		return nil, errors.Join(fmt.Errorf("wal: truncating log to %d: %w", size, err), f.Close())
+	}
+	if _, err := f.Seek(size, 0); err != nil {
+		return nil, errors.Join(fmt.Errorf("wal: seeking log to %d: %w", size, err), f.Close())
+	}
+	return &Writer{f: f, policy: policy, interval: interval, size: size}, nil
+}
+
+// appendFrame encodes rec as one frame into dst.
+func appendFrame(dst []byte, rec Record) []byte {
+	// Reserve the header; payload length and CRC are patched in after the
+	// payload is known.
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0)
+	dst = append(dst, byte(rec.Op))
+	switch rec.Op {
+	case OpInsert:
+		dst = binary.AppendUvarint(dst, uint64(rec.SID))
+		dst = binary.AppendUvarint(dst, uint64(len(rec.Elements)))
+		for _, e := range rec.Elements {
+			dst = binary.AppendUvarint(dst, uint64(len(e)))
+			dst = append(dst, e...)
+		}
+	case OpDelete:
+		dst = binary.AppendUvarint(dst, uint64(rec.SID))
+	case OpCheckpoint:
+		dst = binary.AppendUvarint(dst, rec.Seq)
+	}
+	payload := dst[start+frameHeaderSize:]
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.Checksum(payload, castagnoli))
+	return dst
+}
+
+// decodePayload parses a verified frame payload into a Record.
+func decodePayload(b []byte) (Record, error) {
+	if len(b) == 0 {
+		return Record{}, fmt.Errorf("wal: empty payload")
+	}
+	rec := Record{Op: Op(b[0])}
+	b = b[1:]
+	uvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(b)
+		if n <= 0 {
+			return 0, fmt.Errorf("wal: truncated %s body", rec.Op)
+		}
+		b = b[n:]
+		return v, nil
+	}
+	switch rec.Op {
+	case OpInsert:
+		sid, err := uvarint()
+		if err != nil {
+			return Record{}, err
+		}
+		if sid > 1<<32-1 {
+			return Record{}, fmt.Errorf("wal: insert sid %d overflows uint32", sid)
+		}
+		rec.SID = uint32(sid)
+		count, err := uvarint()
+		if err != nil {
+			return Record{}, err
+		}
+		// Every element costs at least one length byte, so a count beyond
+		// the remaining payload is corruption — checked before allocating.
+		if count > uint64(len(b)) {
+			return Record{}, fmt.Errorf("wal: insert claims %d elements in %d bytes", count, len(b))
+		}
+		rec.Elements = make([]string, count)
+		for i := range rec.Elements {
+			n, err := uvarint()
+			if err != nil {
+				return Record{}, err
+			}
+			if n > uint64(len(b)) {
+				return Record{}, fmt.Errorf("wal: element %d overruns payload", i)
+			}
+			rec.Elements[i] = string(b[:n])
+			b = b[n:]
+		}
+	case OpDelete:
+		sid, err := uvarint()
+		if err != nil {
+			return Record{}, err
+		}
+		if sid > 1<<32-1 {
+			return Record{}, fmt.Errorf("wal: delete sid %d overflows uint32", sid)
+		}
+		rec.SID = uint32(sid)
+	case OpCheckpoint:
+		seq, err := uvarint()
+		if err != nil {
+			return Record{}, err
+		}
+		rec.Seq = seq
+	default:
+		return Record{}, fmt.Errorf("wal: unknown op %d", byte(rec.Op))
+	}
+	if len(b) != 0 {
+		return Record{}, fmt.Errorf("wal: %d trailing bytes after %s record", len(b), rec.Op)
+	}
+	return rec, nil
+}
+
+// Append writes rec as one frame and applies the sync policy. On return
+// under SyncAlways the record is on stable storage; under the other
+// policies it is at least in the kernel. The first failed write or sync
+// poisons the writer (see Writer).
+func (w *Writer) Append(rec Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	w.buf = appendFrame(w.buf[:0], rec)
+	if _, err := w.f.Write(w.buf); err != nil {
+		w.err = fmt.Errorf("wal: appending %s record: %w", rec.Op, err)
+		return w.err
+	}
+	w.size += int64(len(w.buf))
+	switch w.policy {
+	case SyncAlways:
+		return w.syncLocked()
+	case SyncInterval:
+		if time.Since(w.lastSync) >= w.interval {
+			return w.syncLocked()
+		}
+	}
+	return nil
+}
+
+// Sync forces everything appended so far to stable storage.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	return w.syncLocked()
+}
+
+func (w *Writer) syncLocked() error {
+	if err := w.f.Sync(); err != nil {
+		w.err = fmt.Errorf("wal: fsync: %w", err)
+		return w.err
+	}
+	w.lastSync = time.Now()
+	return nil
+}
+
+// Size returns the log length in bytes (valid frames only; the writer
+// never leaves partial frames behind short of a crash or write error).
+func (w *Writer) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
+// Close syncs and closes the log. A close without a successful sync is a
+// durability hole, so both error paths are surfaced.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	syncErr := w.err
+	if syncErr == nil {
+		if err := w.f.Sync(); err != nil {
+			syncErr = fmt.Errorf("wal: fsync on close: %w", err)
+			w.err = syncErr
+		}
+	}
+	closeErr := w.f.Close()
+	if closeErr != nil {
+		closeErr = fmt.Errorf("wal: close: %w", closeErr)
+		if w.err == nil {
+			w.err = closeErr
+		}
+	}
+	return errors.Join(syncErr, closeErr)
+}

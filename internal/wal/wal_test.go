@@ -1,0 +1,329 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// testRecords covers all three ops including edge shapes: empty set,
+// empty-string element, max sid.
+func testRecords() []Record {
+	return []Record{
+		{Op: OpCheckpoint, Seq: 7},
+		{Op: OpInsert, SID: 0, Elements: []string{"apple", "banana"}},
+		{Op: OpInsert, SID: 1, Elements: nil},
+		{Op: OpInsert, SID: 2, Elements: []string{""}},
+		{Op: OpInsert, SID: 1<<32 - 1, Elements: []string{"x"}},
+		{Op: OpDelete, SID: 1},
+		{Op: OpCheckpoint, Seq: 0},
+	}
+}
+
+// normalize maps nil and empty element slices together for comparison.
+func normalize(r Record) Record {
+	if len(r.Elements) == 0 {
+		r.Elements = nil
+	}
+	return r
+}
+
+func writeLog(t *testing.T, recs []Record, policy Policy) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.log")
+	w, err := OpenWriter(path, 0, policy, 0)
+	if err != nil {
+		t.Fatalf("OpenWriter: %v", err)
+	}
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatalf("Append(%v): %v", r, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return path
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, policy := range []Policy{SyncAlways, SyncInterval, SyncNever} {
+		t.Run(policy.String(), func(t *testing.T) {
+			recs := testRecords()
+			path := writeLog(t, recs, policy)
+			var got []Record
+			valid, n, err := ReplayFile(path, func(r Record) error {
+				got = append(got, normalize(r))
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("ReplayFile: %v", err)
+			}
+			if n != len(recs) {
+				t.Fatalf("replayed %d records, want %d", n, len(recs))
+			}
+			fi, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if valid != fi.Size() {
+				t.Fatalf("valid prefix %d, file size %d", valid, fi.Size())
+			}
+			for i := range recs {
+				if !reflect.DeepEqual(normalize(recs[i]), got[i]) {
+					t.Errorf("record %d: got %+v, want %+v", i, got[i], recs[i])
+				}
+			}
+		})
+	}
+}
+
+func TestSizeAccounting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "size.log")
+	w, err := OpenWriter(path, 0, SyncNever, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range testRecords() {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	size := w.Size()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != fi.Size() {
+		t.Fatalf("Writer.Size %d, file size %d", size, fi.Size())
+	}
+}
+
+// TestOpenWriterTruncates checks that reopening at a shorter prefix
+// physically discards the tail.
+func TestOpenWriterTruncates(t *testing.T) {
+	recs := testRecords()
+	path := writeLog(t, recs, SyncNever)
+	// Compute the boundary after the first record.
+	var first int64
+	_, _, err := ReplayFile(path, func(Record) error {
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first = int64(frameHeaderSize) + int64(binary.LittleEndian.Uint32(data[:4]))
+	w, err := OpenWriter(path, first, SyncNever, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{Op: OpDelete, SID: 42}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got []Record
+	if _, _, err := ReplayFile(path, func(r Record) error {
+		got = append(got, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []Record{recs[0], {Op: OpDelete, SID: 42}}
+	if len(got) != 2 || !reflect.DeepEqual(got[0], want[0]) || !reflect.DeepEqual(got[1], want[1]) {
+		t.Fatalf("after truncate+append: got %+v, want %+v", got, want)
+	}
+}
+
+// TestTornTail verifies that every truncation of a valid log replays some
+// record prefix cleanly, and that the reported valid offset is consistent:
+// replaying only the valid prefix yields the same records.
+func TestTornTail(t *testing.T) {
+	recs := testRecords()
+	path := writeLog(t, recs, SyncNever)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut <= len(data); cut++ {
+		var got []Record
+		valid, n, err := Replay(bytes.NewReader(data[:cut]), func(r Record) error {
+			got = append(got, normalize(r))
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("cut %d: Replay error: %v", cut, err)
+		}
+		if valid > int64(cut) {
+			t.Fatalf("cut %d: valid %d exceeds input", cut, valid)
+		}
+		if n > len(recs) {
+			t.Fatalf("cut %d: %d records from %d written", cut, n, len(recs))
+		}
+		for i := 0; i < n; i++ {
+			if !reflect.DeepEqual(normalize(recs[i]), got[i]) {
+				t.Fatalf("cut %d: record %d = %+v, want %+v", cut, i, got[i], recs[i])
+			}
+		}
+	}
+}
+
+// TestBitFlip verifies that flipping any single byte yields either a clean
+// stop or a correct prefix — never a panic, never a record that was not
+// written (except the flipped byte landing inside an element string, which
+// the CRC catches, so actually never).
+func TestBitFlip(t *testing.T) {
+	recs := testRecords()
+	path := writeLog(t, recs, SyncNever)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < len(data); off++ {
+		corrupt := bytes.Clone(data)
+		corrupt[off] ^= 0x40
+		var got []Record
+		valid, _, err := Replay(bytes.NewReader(corrupt), func(r Record) error {
+			got = append(got, normalize(r))
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("offset %d: Replay error: %v", off, err)
+		}
+		if valid > int64(len(corrupt)) {
+			t.Fatalf("offset %d: valid %d exceeds input", off, valid)
+		}
+		// Every replayed record must match the written sequence up to the
+		// first one whose frame contained the flipped byte; since the CRC
+		// rejects the damaged frame, all delivered records must be an exact
+		// prefix of what was written. Exception: a flip in a length field
+		// can re-frame the stream, but then the CRC of the misframed payload
+		// fails with overwhelming probability — if it ever passed we would
+		// see a mismatched record here and want to know.
+		for i, r := range got {
+			if i >= len(recs) || !reflect.DeepEqual(normalize(recs[i]), r) {
+				t.Fatalf("offset %d: replay produced non-prefix record %d: %+v", off, i, r)
+			}
+		}
+	}
+}
+
+func TestStickyError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sticky.log")
+	w, err := OpenWriter(path, 0, SyncNever, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Close the fd out from under the writer to force a write failure.
+	if err := w.f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	first := w.Append(Record{Op: OpDelete, SID: 1})
+	if first == nil {
+		t.Fatal("Append on closed file succeeded")
+	}
+	second := w.Append(Record{Op: OpDelete, SID: 2})
+	if second == nil {
+		t.Fatal("Append after failure succeeded")
+	}
+	if w.Sync() == nil {
+		t.Fatal("Sync after failure succeeded")
+	}
+	if w.Close() == nil {
+		t.Fatal("Close after failure succeeded")
+	}
+}
+
+func TestSyncIntervalPolicy(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "interval.log")
+	w, err := OpenWriter(path, 0, SyncInterval, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First append syncs (lastSync zero → interval elapsed); later appends
+	// within the hour must not move lastSync.
+	if err := w.Append(Record{Op: OpDelete, SID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	stamp := w.lastSync
+	if stamp.IsZero() {
+		t.Fatal("first append under SyncInterval did not sync")
+	}
+	if err := w.Append(Record{Op: OpDelete, SID: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if w.lastSync != stamp {
+		t.Fatal("append within interval synced")
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if w.lastSync == stamp {
+		t.Fatal("explicit Sync did not update lastSync")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Policy
+		ok   bool
+	}{
+		{"always", SyncAlways, true},
+		{"interval", SyncInterval, true},
+		{"never", SyncNever, true},
+		{"", 0, false},
+		{"Always", 0, false},
+		{"fsync", 0, false},
+	} {
+		got, err := ParsePolicy(tc.in)
+		if tc.ok != (err == nil) || (tc.ok && got != tc.want) {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	cases := map[string][]byte{
+		"empty payload":    {},
+		"unknown op":       {99},
+		"insert no sid":    {byte(OpInsert)},
+		"insert sid only":  {byte(OpInsert), 5},
+		"insert count lie": {byte(OpInsert), 5, 200}, // claims 200 elements, 0 bytes left
+		"delete no sid":    {byte(OpDelete)},
+		"ckpt no seq":      {byte(OpCheckpoint)},
+		"trailing bytes":   {byte(OpDelete), 5, 0xFF},
+		"sid overflow":     append([]byte{byte(OpDelete)}, binary.AppendUvarint(nil, 1<<33)...),
+	}
+	for name, payload := range cases {
+		if _, err := decodePayload(payload); err == nil {
+			t.Errorf("%s: decodePayload accepted %v", name, payload)
+		}
+	}
+}
+
+// TestReplayMissingFile: a nonexistent log replays as empty.
+func TestReplayMissingFile(t *testing.T) {
+	valid, n, err := ReplayFile(filepath.Join(t.TempDir(), "nope.log"), func(Record) error {
+		t.Fatal("callback invoked for missing file")
+		return nil
+	})
+	if err != nil || valid != 0 || n != 0 {
+		t.Fatalf("got valid=%d n=%d err=%v, want zeros", valid, n, err)
+	}
+}

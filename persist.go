@@ -27,14 +27,22 @@ type publicSnapshot struct {
 // Save writes the index — including the element dictionary — to w. The
 // snapshot reloads with Load into an index that answers queries
 // identically.
+//
+// The dictionary and the core index are captured under one hold of the
+// collection lock — the same lock every Add holds across its interning and
+// core insert — so the two halves of the snapshot always agree even with
+// concurrent mutation traffic. (Capturing them under separate acquisitions
+// would let an Add slip between the core serialization and the dictionary
+// read.)
 func (ix *Index) Save(w io.Writer) error {
-	var coreBuf bytes.Buffer
-	if err := ix.inner.Save(&coreBuf); err != nil {
-		return err
-	}
 	ix.coll.mu.Lock()
+	var coreBuf bytes.Buffer
+	err := ix.inner.Save(&coreBuf)
 	names := ix.coll.dict.NamesInOrder()
 	ix.coll.mu.Unlock()
+	if err != nil {
+		return err
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(persistMagic); err != nil {
 		return fmt.Errorf("ssr: writing snapshot header: %w", err)
@@ -45,10 +53,12 @@ func (ix *Index) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Load reconstructs an index saved with Save.
-//
-// If the saved index had deletions, sids are renumbered densely on load
-// (the same renumbering core.Load applies).
+// Load reconstructs an index saved with Save. Sids are preserved: deleted
+// sids stay allocated as tombstones (queries never return them, Get/
+// QuerySID see them as empty), so sid-addressed callers — including the
+// durability layer's log replay — keep working across a save/load cycle.
+// Snapshots from before the sid-preserving format load densely renumbered,
+// as they always did.
 func Load(r io.Reader) (*Index, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(persistMagic))
@@ -68,12 +78,17 @@ func Load(r io.Reader) (*Index, error) {
 	}
 	coll := NewCollection()
 	coll.dict = set.DictionaryFromNames(snap.Names)
-	// Rehydrate the collection views from the inner store so QuerySID and
-	// Get keep working.
-	sets, err := inner.Sets()
+	// Rehydrate the sid-indexed collection views from the inner store so
+	// QuerySID and Get keep working; tombstoned sids become empty views.
+	bySID, err := inner.SetsBySID()
 	if err != nil {
 		return nil, err
 	}
-	coll.sets = sets
+	coll.sets = make([]set.Set, len(bySID))
+	for sid, s := range bySID {
+		if s != nil {
+			coll.sets[sid] = *s
+		}
+	}
 	return &Index{coll: coll, inner: inner}, nil
 }

@@ -175,6 +175,10 @@ type Stats struct {
 type Index struct {
 	coll  *Collection
 	inner *core.Index
+	// dur is non-nil for indices opened through OpenDurable/CreateDurable:
+	// mutations then pass through the write-ahead log before they are
+	// acknowledged. See durable.go.
+	dur *durable
 }
 
 // Build constructs the index over the collection per the paper's pipeline.
@@ -374,17 +378,31 @@ func (ix *Index) QueryBatch(queries []BatchQuery, opt QueryOptions) []BatchResul
 }
 
 // Add inserts a new set into the collection and the live index, returning
-// its sid. The filter-index layout is not re-optimized.
+// its sid. The filter-index layout is not re-optimized. On a durable index
+// the insert is logged before it is acknowledged.
 func (ix *Index) Add(elements ...string) (int, error) {
+	if ix.dur != nil {
+		return ix.dur.add(ix, elements)
+	}
+	return ix.add(elements)
+}
+
+// add is the in-memory insert path. The collection lock is held across the
+// dictionary interning AND the core insert, so the dictionary, the
+// sid-indexed set views, and the core index mutate as one unit — a
+// concurrent Save (which captures under the same lock) always sees the
+// three in agreement, and two concurrent Adds cannot interleave into a sid
+// mismatch.
+func (ix *Index) add(elements []string) (int, error) {
 	ix.coll.mu.Lock()
+	defer ix.coll.mu.Unlock()
 	s := ix.coll.dict.InternSet(elements...)
-	ix.coll.sets = append(ix.coll.sets, s)
-	sid := len(ix.coll.sets) - 1
-	ix.coll.mu.Unlock()
 	got, err := ix.inner.Insert(s)
 	if err != nil {
 		return 0, err
 	}
+	ix.coll.sets = append(ix.coll.sets, s)
+	sid := len(ix.coll.sets) - 1
 	if int(got) != sid {
 		return 0, fmt.Errorf("ssr: sid mismatch after insert: %d vs %d", got, sid)
 	}
@@ -468,8 +486,17 @@ func (ix *Index) topK(q set.Set, k int) ([]Match, Stats, error) {
 }
 
 // Remove deletes set sid from the index and collection bookkeeping. The
-// sid is never reused; queries simply stop returning it.
+// sid is never reused; queries simply stop returning it. On a durable
+// index the delete is logged before it is acknowledged.
 func (ix *Index) Remove(sid int) error {
+	if ix.dur != nil {
+		return ix.dur.remove(ix, sid)
+	}
+	return ix.remove(sid)
+}
+
+// remove is the in-memory delete path.
+func (ix *Index) remove(sid int) error {
 	if sid < 0 {
 		return fmt.Errorf("ssr: sid %d out of range", sid)
 	}
