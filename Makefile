@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet ssrvet race crash fuzz-smoke bench-json check
+.PHONY: all build test vet ssrvet race crash fuzz-smoke bench-json bench-shards check
 
 all: check
 
@@ -22,16 +22,18 @@ ssrvet:
 	$(GO) run ./cmd/ssrvet ./...
 
 # The concurrency suites under the race detector (the mixed read/write
-# stress test in internal/core only means something with -race on). CI
-# runs the full tree; this is the fast local loop.
+# stress tests in internal/core, internal/engine, and the public shard
+# layer only mean something with -race on). CI runs the full tree; this
+# is the fast local loop.
 race:
-	$(GO) test -race ./internal/core/ ./internal/server/ ./internal/wal/ ./internal/recovery/
+	$(GO) test -race ./internal/core/ ./internal/engine/ ./internal/server/ ./internal/wal/ ./internal/recovery/
+	$(GO) test -race -run 'TestShardedMixedStress' .
 
 # The durability stack: WAL torn-tail/bit-flip sweeps, chained-checkpoint
 # recovery, and the crash-injection harness — all under -race.
 crash:
 	$(GO) test -race ./internal/wal/ ./internal/recovery/
-	$(GO) test -race -run 'Durable|CrashInjection' .
+	$(GO) test -race -run 'Durable|CrashInjection|Sharded' .
 
 # A bounded run of every fuzz target; regressions in the corpus fail fast.
 FUZZTIME ?= 20s
@@ -51,5 +53,13 @@ BENCH_QUERIES ?= 256
 BENCH_BUDGET ?= 500
 bench-json:
 	$(GO) run ./cmd/ssrbench -json -n $(BENCH_N) -queries $(BENCH_QUERIES) -budget $(BENCH_BUDGET) -out BENCH_parallel.json
+
+# The sharded-engine report: build wall time, query percentiles, and
+# concurrent durable insert throughput (write-only and mixed read/write)
+# at shard counts 1/4/8, with a cross-shard-count answer checksum. Runs
+# against the repo directory, not $TMPDIR — the fsync-overlap measurement
+# needs a real disk. Takes a couple of minutes.
+bench-shards:
+	$(GO) run ./cmd/ssrbench -exp shards -json -out BENCH_shards.json
 
 check: build vet ssrvet test

@@ -101,9 +101,9 @@ func (ix *Index) Clusters(lo, hi float64) ([]ClusterResult, error) {
 // requireNoDeletions guards the bulk operations whose sid numbering would
 // drift on a deleted-from index.
 func (ix *Index) requireNoDeletions(op string) error {
-	if ix.inner.Store().Len() != ix.inner.Len() {
+	if ix.inner.NumAllocated() != ix.inner.Len() {
 		return fmt.Errorf("ssr: %s requires an index without deletions (%d of %d sids live); rebuild first",
-			op, ix.inner.Len(), ix.inner.Store().Len())
+			op, ix.inner.Len(), ix.inner.NumAllocated())
 	}
 	return nil
 }

@@ -23,6 +23,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/embed"
+	"repro/internal/engine"
 	"repro/internal/eval"
 	"repro/internal/experiments"
 	"repro/internal/hashtable"
@@ -516,7 +517,7 @@ func BenchmarkClusterLeaders(b *testing.B) {
 	f := benchFixture(b, "cluster", workload.Set1Params(1000), 100)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := cluster.Leaders(f.ix, f.sets, cluster.Options{Lo: 0.5, Hi: 0.95}); err != nil {
+		if _, err := cluster.Leaders(engine.Wrap(f.ix), f.sets, cluster.Options{Lo: 0.5, Hi: 0.95}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -8,6 +8,8 @@
 //	ssrbench -exp all                   # everything, in order
 //	ssrbench -exp bench -json -out BENCH_parallel.json
 //	                                    # parallel-pipeline report as JSON
+//	ssrbench -exp shards -json -out BENCH_shards.json
+//	                                    # sharded-engine report as JSON
 //
 // The paper's experiments used 200,000-set collections; the defaults here
 // are laptop-scale but preserve the reported shapes. Raise -n and -queries
@@ -23,11 +25,12 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/shardbench"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig6a, fig6b, fig7a, fig7b, filtercurve, rltradeoff, placement, allocation, intervals, dfigain, embedding, profile, bench, all")
+		exp      = flag.String("exp", "all", "experiment: fig6a, fig6b, fig7a, fig7b, filtercurve, rltradeoff, placement, allocation, intervals, dfigain, embedding, profile, bench, shards, all")
 		n        = flag.Int("n", 0, "collection size per dataset (0 = default)")
 		queries  = flag.Int("queries", 0, "number of random queries (0 = default)")
 		budget   = flag.Int("budget", 0, "hash-table budget override (0 = per-experiment default)")
@@ -48,6 +51,13 @@ func main() {
 		Seed:         *seed,
 		RecallTarget: *recall,
 	}
+	shardCfg := shardbench.Config{
+		N:         *n,
+		Queries:   *queries,
+		Budget:    *budget,
+		MinHashes: *k,
+		Seed:      *seed,
+	}
 	out := io.Writer(os.Stdout)
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
@@ -65,8 +75,16 @@ func main() {
 	}
 	if *jsonFlag {
 		// JSON mode: the bench report goes to out as one JSON document; the
-		// human-readable table stays on stderr for the build log.
-		rep, err := experiments.Bench(os.Stderr, cfg)
+		// human-readable table stays on stderr for the build log. -exp picks
+		// which report: shards for the sharded-engine bench, anything else
+		// for the parallel-pipeline bench.
+		var rep any
+		var err error
+		if strings.ToLower(*exp) == "shards" {
+			rep, err = shardbench.Run(os.Stderr, shardCfg)
+		} else {
+			rep, err = experiments.Bench(os.Stderr, cfg)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ssrbench: %v\n", err)
 			os.Exit(1)
@@ -79,14 +97,21 @@ func main() {
 		}
 		return
 	}
-	if err := run(out, strings.ToLower(*exp), cfg, *sstar); err != nil {
+	if err := run(out, strings.ToLower(*exp), cfg, shardCfg, *sstar); err != nil {
 		fmt.Fprintf(os.Stderr, "ssrbench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 // run dispatches one experiment (or all of them) to w.
-func run(w io.Writer, exp string, cfg experiments.Config, sstar float64) error {
+func run(w io.Writer, exp string, cfg experiments.Config, shardCfg shardbench.Config, sstar float64) error {
+	// The sharded-engine stress bench runs for minutes and mutates durable
+	// scratch directories, so it is invoked by name only — never as part
+	// of "all".
+	if exp == "shards" {
+		_, err := shardbench.Run(w, shardCfg)
+		return err
+	}
 	type job struct {
 		name string
 		fn   func(io.Writer) error
@@ -116,7 +141,7 @@ func run(w io.Writer, exp string, cfg experiments.Config, sstar float64) error {
 		for i, j := range jobs {
 			names[i] = j.name
 		}
-		return fmt.Errorf("unknown experiment %q (have: %s, all)", exp, strings.Join(names, ", "))
+		return fmt.Errorf("unknown experiment %q (have: %s, shards, all)", exp, strings.Join(names, ", "))
 	}
 	for i, j := range jobs {
 		if i > 0 {

@@ -35,6 +35,7 @@ func main() {
 		recall   = flag.Float64("recall", 0.9, "optimizer recall target")
 		k        = flag.Int("k", 100, "min-hash signature length")
 		seed     = flag.Int64("seed", 1, "build seed")
+		shards   = flag.Int("shards", 1, "independent index shards (1 = classic monolithic layout)")
 		queryIdx = flag.Int("query", -1, "line number of the query set (0-based)")
 		lo       = flag.Float64("lo", 0.8, "lower similarity bound")
 		hi       = flag.Float64("hi", 1.0, "upper similarity bound")
@@ -43,6 +44,7 @@ func main() {
 		save     = flag.String("save", "", "write an index snapshot to this file after building")
 		load     = flag.String("load", "", "load the index from a snapshot instead of building")
 		walDir   = flag.String("wal", "", "durability directory (bootstrap from -data, or recover if it has state)")
+		walPre   = flag.Int64("wal-prealloc", 0, "preallocate log segments in chunks of this many bytes (0 = plain append+fsync)")
 	)
 	flag.Parse()
 	if *data == "" && *load == "" && *walDir == "" {
@@ -53,17 +55,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ssrindex: -wal and -load are mutually exclusive (the durability directory has its own checkpoints)")
 		os.Exit(1)
 	}
-	if err := run(*data, *budget, *recall, *k, *seed, *queryIdx, *lo, *hi, *plan, *limit, *save, *load, *walDir); err != nil {
+	if err := run(*data, *budget, *recall, *k, *seed, *shards, *queryIdx, *lo, *hi, *plan, *limit, *save, *load, *walDir, *walPre); err != nil {
 		fmt.Fprintf(os.Stderr, "ssrindex: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, budget int, recall float64, k int, seed int64, queryIdx int, lo, hi float64, planOnly bool, limit int, savePath, loadPath, walDir string) (err error) {
+func run(path string, budget int, recall float64, k int, seed int64, shards, queryIdx int, lo, hi float64, planOnly bool, limit int, savePath, loadPath, walDir string, walPre int64) (err error) {
 	var ix *ssr.Index
 	switch {
 	case walDir != "":
-		ix, err = openDurable(walDir, path, budget, recall, k, seed)
+		ix, err = openDurable(walDir, path, budget, recall, k, seed, shards, walPre)
 		if err != nil {
 			return err
 		}
@@ -100,6 +102,7 @@ func run(path string, budget int, recall float64, k int, seed int64, queryIdx in
 			RecallTarget: recall,
 			MinHashes:    k,
 			Seed:         seed,
+			Shards:       shards,
 		})
 		if err != nil {
 			return err
@@ -160,14 +163,14 @@ func run(path string, budget int, recall float64, k int, seed int64, queryIdx in
 
 // openDurable recovers the durability directory, bootstrapping it from the
 // collection file on first use.
-func openDurable(walDir, path string, budget int, recall float64, k int, seed int64) (*ssr.Index, error) {
+func openDurable(walDir, path string, budget int, recall float64, k int, seed int64, shards int, walPre int64) (*ssr.Index, error) {
 	has, err := ssr.HasDurableState(walDir)
 	if err != nil {
 		return nil, err
 	}
 	if has {
 		start := time.Now()
-		ix, err := ssr.OpenDurable(walDir, ssr.DurableOptions{})
+		ix, err := ssr.OpenDurable(walDir, ssr.DurableOptions{PreallocBytes: walPre})
 		if err != nil {
 			return nil, err
 		}
@@ -187,7 +190,8 @@ func openDurable(walDir, path string, budget int, recall float64, k int, seed in
 		RecallTarget: recall,
 		MinHashes:    k,
 		Seed:         seed,
-	}, ssr.DurableOptions{})
+		Shards:       shards,
+	}, ssr.DurableOptions{PreallocBytes: walPre})
 	if err != nil {
 		return nil, err
 	}
@@ -208,7 +212,9 @@ func loadCollection(path string) (*ssr.Collection, error) {
 	}
 	coll := ssr.NewCollection()
 	for _, s := range sets {
-		coll.AddIDs(s.Elems()...)
+		if _, err := coll.AddIDs(s.Elems()...); err != nil {
+			return nil, err
+		}
 	}
 	return coll, nil
 }

@@ -48,11 +48,13 @@ func main() {
 		recall   = flag.Float64("recall", 0.85, "optimizer recall target")
 		k        = flag.Int("k", 100, "min-hash signature length")
 		seed     = flag.Int64("seed", 1, "build seed")
+		shards   = flag.Int("shards", 1, "independent index shards (1 = classic monolithic layout)")
 
 		walDir       = flag.String("wal", "", "durability directory (write-ahead log + checkpoints)")
 		walSync      = flag.String("wal-sync", "always", "log sync policy: always, interval, never")
 		walSyncEvery = flag.Duration("wal-sync-interval", 100*time.Millisecond, "fsync period under -wal-sync=interval")
 		walCkptBytes = flag.Int64("wal-checkpoint-bytes", 8<<20, "checkpoint + rotate once the live log exceeds this size")
+		walPrealloc  = flag.Int64("wal-prealloc", 0, "preallocate log segments in chunks of this many bytes (0 = plain append+fsync)")
 
 		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
 	)
@@ -62,7 +64,7 @@ func main() {
 		log.Fatal("ssrserver: -wal and -snapshot are mutually exclusive (the durability directory has its own checkpoints)")
 	}
 
-	ix, err := openIndex(*data, *snapshot, *walDir, *walSync, *walSyncEvery, *walCkptBytes, *budget, *recall, *k, *seed)
+	ix, err := openIndex(*data, *snapshot, *walDir, *walSync, *walSyncEvery, *walCkptBytes, *walPrealloc, *budget, *recall, *k, *seed, *shards)
 	if err != nil {
 		log.Fatalf("ssrserver: %v", err)
 	}
@@ -100,9 +102,9 @@ func main() {
 
 // openIndex resolves the three serving modes: durable (-wal), snapshot
 // (-snapshot), or ephemeral build (-data).
-func openIndex(data, snapshot, walDir, walSync string, walSyncEvery time.Duration, walCkptBytes int64, budget int, recall float64, k int, seed int64) (*ssr.Index, error) {
+func openIndex(data, snapshot, walDir, walSync string, walSyncEvery time.Duration, walCkptBytes, walPrealloc int64, budget int, recall float64, k int, seed int64, shards int) (*ssr.Index, error) {
 	if walDir == "" {
-		return buildOrLoad(data, snapshot, budget, recall, k, seed)
+		return buildOrLoad(data, snapshot, budget, recall, k, seed, shards)
 	}
 	mode, err := ssr.ParseSyncMode(walSync)
 	if err != nil {
@@ -112,6 +114,7 @@ func openIndex(data, snapshot, walDir, walSync string, walSyncEvery time.Duratio
 		Sync:            mode,
 		SyncEvery:       walSyncEvery,
 		CheckpointBytes: walCkptBytes,
+		PreallocBytes:   walPrealloc,
 	}
 	has, err := ssr.HasDurableState(walDir)
 	if err != nil {
@@ -135,7 +138,7 @@ func openIndex(data, snapshot, walDir, walSync string, walSyncEvery time.Duratio
 	}
 	start := time.Now()
 	ix, err := ssr.CreateDurable(walDir, coll, ssr.Options{
-		Budget: budget, RecallTarget: recall, MinHashes: k, Seed: seed,
+		Budget: budget, RecallTarget: recall, MinHashes: k, Seed: seed, Shards: shards,
 	}, dopt)
 	if err != nil {
 		return nil, err
@@ -144,7 +147,7 @@ func openIndex(data, snapshot, walDir, walSync string, walSyncEvery time.Duratio
 	return ix, nil
 }
 
-func buildOrLoad(data, snapshot string, budget int, recall float64, k int, seed int64) (*ssr.Index, error) {
+func buildOrLoad(data, snapshot string, budget int, recall float64, k int, seed int64, shards int) (*ssr.Index, error) {
 	switch {
 	case snapshot != "":
 		f, err := os.Open(snapshot)
@@ -160,7 +163,7 @@ func buildOrLoad(data, snapshot string, budget int, recall float64, k int, seed 
 		}
 		start := time.Now()
 		ix, err := ssr.Build(coll, ssr.Options{
-			Budget: budget, RecallTarget: recall, MinHashes: k, Seed: seed,
+			Budget: budget, RecallTarget: recall, MinHashes: k, Seed: seed, Shards: shards,
 		})
 		if err != nil {
 			return nil, err
@@ -185,7 +188,9 @@ func loadCollection(path string) (*ssr.Collection, error) {
 	}
 	coll := ssr.NewCollection()
 	for _, s := range sets {
-		coll.AddIDs(s.Elems()...)
+		if _, err := coll.AddIDs(s.Elems()...); err != nil {
+			return nil, err
+		}
 	}
 	return coll, nil
 }

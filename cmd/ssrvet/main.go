@@ -18,7 +18,7 @@
 //
 //	seededrand     repro/internal/... (all library code)
 //	floatcmp       repro/internal/{lsh,optimize,simdist,eval}
-//	droppederr     repro (persist.go and friends), repro/internal/{storage,textio,server,wal,recovery}, repro/cmd/...
+//	droppederr     repro (persist.go and friends), repro/internal/{storage,textio,server,wal,recovery,engine}, repro/cmd/...
 //	guardedescape  everywhere
 //
 // The analyzers themselves are policy-free; this binary is where the repo
@@ -78,6 +78,7 @@ var suite = []scopedAnalyzer{
 			"repro/internal/server",
 			"repro/internal/wal",
 			"repro/internal/recovery",
+			"repro/internal/engine",
 			"repro/cmd",
 		)(path)
 	}},

@@ -1,13 +1,22 @@
 package ssr
 
 import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/recovery"
+	"repro/internal/set"
 	"repro/internal/wal"
 )
 
@@ -38,7 +47,9 @@ func ParseSyncMode(s string) (SyncMode, error) {
 
 // DurableOptions tunes the durability layer of OpenDurable/CreateDurable.
 // The zero value is a safe default: fsync per mutation, 8MB checkpoint
-// threshold, one spare generation retained.
+// threshold, one spare generation retained. On a sharded index every
+// option applies per shard (each shard runs its own log and checkpoint
+// cycle).
 type DurableOptions struct {
 	// Sync is the log's fsync policy.
 	Sync SyncMode
@@ -53,15 +64,23 @@ type DurableOptions struct {
 	// retains (default 1, so a damaged newest checkpoint still recovers
 	// through its predecessor plus the chained logs).
 	Keep int
+	// PreallocBytes enables zero-fill preallocation of log segments in
+	// chunks of this many bytes: per-mutation syncs become metadata-free
+	// fdatasync calls, which cost less and — decisively for a sharded index
+	// — overlap across shard logs instead of serializing through the
+	// filesystem journal. 0 disables (the legacy append+fsync behaviour);
+	// recovery semantics are identical either way.
+	PreallocBytes int64
 }
 
 func (o DurableOptions) recoveryOptions(dir string) recovery.Options {
 	return recovery.Options{
-		Dir:          dir,
-		Sync:         wal.Policy(o.Sync),
-		SyncEvery:    o.SyncEvery,
-		CompactBytes: o.CheckpointBytes,
-		Keep:         o.Keep,
+		Dir:           dir,
+		Sync:          wal.Policy(o.Sync),
+		SyncEvery:     o.SyncEvery,
+		CompactBytes:  o.CheckpointBytes,
+		Keep:          o.Keep,
+		PreallocBytes: o.PreallocBytes,
 	}
 }
 
@@ -69,25 +88,102 @@ func (o DurableOptions) recoveryOptions(dir string) recovery.Options {
 // CreateDurable to bootstrap the directory from a built collection.
 var ErrNoDurableState = errors.New("ssr: durability directory holds no state")
 
-// durable is the logging side of a durable Index. Its mutex serializes
-// mutations end to end: apply to the in-memory index, then append to the
-// log — so log order always equals apply order, the invariant replay
-// depends on.
+// On-disk layout. A single-shard durable index keeps the legacy flat
+// layout: checkpoint-*.snap and wal-*.log directly in the directory,
+// exactly as previous releases wrote them. A sharded index adds a
+// MANIFEST file naming the shard count and router seed, and gives each
+// shard its own subdirectory (shard-000/, shard-001/, …) with a fully
+// independent checkpoint + log generation chain inside — shard logs fsync
+// and compact without coordinating, which is where the sharded write
+// throughput comes from.
+const manifestName = "MANIFEST"
+
+// durableManifest is the JSON body of the MANIFEST file.
+type durableManifest struct {
+	Version    int   `json:"version"`
+	Shards     int   `json:"shards"`
+	RouterSeed int64 `json:"router_seed"`
+}
+
+func shardDirPath(dir string, si int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d", si))
+}
+
+// readManifest returns the parsed manifest, or nil when the directory has
+// none (the legacy single-shard layout, or no state at all).
+func readManifest(dir string) (*durableManifest, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("ssr: reading durable manifest: %w", err)
+	}
+	var man durableManifest
+	if err := json.Unmarshal(raw, &man); err != nil {
+		return nil, fmt.Errorf("ssr: parsing durable manifest: %w", err)
+	}
+	if man.Version != 1 {
+		return nil, fmt.Errorf("ssr: unsupported durable manifest version %d", man.Version)
+	}
+	if man.Shards < 2 || man.Shards > engine.MaxShards {
+		return nil, fmt.Errorf("ssr: durable manifest shard count %d out of range [2, %d]", man.Shards, engine.MaxShards)
+	}
+	return &man, nil
+}
+
+// writeManifest persists the manifest atomically (write-temp + rename), as
+// the LAST step of a sharded bootstrap — its presence is the commit point
+// that flips the directory from "no state" to "sharded state".
+func writeManifest(dir string, man durableManifest) error {
+	raw, err := json.Marshal(man)
+	if err != nil {
+		return fmt.Errorf("ssr: encoding durable manifest: %w", err)
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, append(raw, '\n'), 0o644); err != nil {
+		return fmt.Errorf("ssr: writing durable manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return fmt.Errorf("ssr: committing durable manifest: %w", err)
+	}
+	return nil
+}
+
+// durableShard is one shard's logging lane. Its mutex serializes that
+// shard's mutations end to end — apply to the in-memory shard, then
+// append to that shard's log — so per-shard log order always equals
+// per-shard apply order, the invariant replay depends on. Different
+// shards' lanes never contend.
+type durableShard struct {
+	mu  sync.Mutex
+	log *recovery.Log
+}
+
+// durable is the logging side of a durable Index: one lane per shard
+// (exactly one on an unsharded index, where the lane's directory is the
+// legacy flat layout).
 type durable struct {
-	mu     sync.Mutex
-	log    *recovery.Log
-	closed bool
+	closed atomic.Bool
+	shards []*durableShard
 }
 
 // HasDurableState reports whether dir already holds durable index state —
-// the open-vs-bootstrap decision for servers and CLIs.
+// the open-vs-bootstrap decision for servers and CLIs. Both layouts
+// count: a sharded MANIFEST or legacy flat checkpoint/log files.
 func HasDurableState(dir string) (bool, error) {
+	if _, err := os.Stat(filepath.Join(dir, manifestName)); err == nil {
+		return true, nil
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return false, fmt.Errorf("ssr: checking durable manifest: %w", err)
+	}
 	return recovery.DirHasState(dir)
 }
 
-// hooks binds the recovery machinery to ix. The checkpoint payload is
-// exactly the public snapshot format (Save/Load), so a checkpoint file's
-// payload and an explicit Save of the same state are byte-identical.
+// hooks binds the recovery machinery to a single-shard ix. The checkpoint
+// payload is exactly the public snapshot format (Save/Load), so a
+// checkpoint file's payload and an explicit Save of the same state are
+// byte-identical.
 func (ix *Index) hooks() recovery.Hooks {
 	return recovery.Hooks{
 		Load: func(r io.Reader) error {
@@ -119,14 +215,85 @@ func (ix *Index) hooks() recovery.Hooks {
 	}
 }
 
+// shardCheckpointMagic guards the per-shard checkpoint payload format.
+const shardCheckpointMagic = "SSRSHC1\n"
+
+// shardCheckpoint is the payload of one shard's checkpoint file: that
+// shard's core snapshot plus everything needed to stitch it back into the
+// engine — the shard topology, the local→global table, the global sid
+// space, and the element dictionary. Every shard carries the full
+// dictionary: dictionaries are append-only with dense ids, so any capture
+// is a prefix of any later capture, and recovery simply keeps the longest
+// one across shards (a superset of what every shard's core references,
+// because each Save captures its core bytes before its Names).
+type shardCheckpoint struct {
+	Shards     int
+	ShardIndex int
+	RouterSeed int64
+	NumGlobals int
+	Globals    []uint32
+	Names      []string
+	Core       []byte
+}
+
+// saveShardCheckpoint writes shard si's checkpoint payload.
+func (ix *Index) saveShardCheckpoint(w io.Writer, si int) error {
+	coreBytes, toGlobal, numGlobals, err := ix.inner.ShardSnapshot(si)
+	if err != nil {
+		return err
+	}
+	ix.coll.mu.Lock()
+	names := ix.coll.dict.NamesInOrder()
+	ix.coll.mu.Unlock()
+	cp := shardCheckpoint{
+		Shards:     ix.inner.NumShards(),
+		ShardIndex: si,
+		RouterSeed: ix.inner.RouterSeed(),
+		NumGlobals: numGlobals,
+		Globals:    toGlobal,
+		Names:      names,
+		Core:       coreBytes,
+	}
+	if _, err := io.WriteString(w, shardCheckpointMagic); err != nil {
+		return fmt.Errorf("ssr: writing shard checkpoint header: %w", err)
+	}
+	if err := gob.NewEncoder(w).Encode(&cp); err != nil {
+		return fmt.Errorf("ssr: encoding shard checkpoint: %w", err)
+	}
+	return nil
+}
+
+// loadShardCheckpoint parses one shard's checkpoint payload.
+func loadShardCheckpoint(r io.Reader) (*shardCheckpoint, error) {
+	magic := make([]byte, len(shardCheckpointMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("ssr: reading shard checkpoint header: %w", err)
+	}
+	if string(magic) != shardCheckpointMagic {
+		return nil, fmt.Errorf("ssr: not a shard checkpoint (bad magic %q)", magic)
+	}
+	var cp shardCheckpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("ssr: decoding shard checkpoint: %w", err)
+	}
+	return &cp, nil
+}
+
 // OpenDurable opens the durable index stored in dir: it loads the newest
-// valid checkpoint, replays the log tail (stopping cleanly at a torn or
-// corrupt frame), and returns an index identical to the pre-crash state up
-// to the sync horizon of opt.Sync. Mutations on the returned index are
-// logged before they are acknowledged; call Close to flush a final
-// checkpoint and release the log. If dir holds no state the error is
-// ErrNoDurableState.
+// valid checkpoint (per shard, on a sharded directory), replays each log
+// tail (stopping cleanly at a torn or corrupt frame), and returns an
+// index identical to the pre-crash state up to the sync horizon of
+// opt.Sync. Mutations on the returned index are logged before they are
+// acknowledged; call Close to flush a final checkpoint and release the
+// logs. If dir holds no state the error is ErrNoDurableState.
 func OpenDurable(dir string, opt DurableOptions) (*Index, error) {
+	man, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if man != nil {
+		return openDurableSharded(dir, *man, opt)
+	}
 	ix := &Index{}
 	log, found, err := recovery.Open(opt.recoveryOptions(dir), ix.hooks())
 	if err != nil {
@@ -135,14 +302,165 @@ func OpenDurable(dir string, opt DurableOptions) (*Index, error) {
 	if !found {
 		return nil, errors.Join(ErrNoDurableState, log.Close())
 	}
-	ix.dur = &durable{log: log}
+	ix.dur = &durable{shards: []*durableShard{{log: log}}}
+	return ix, nil
+}
+
+// openDurableSharded recovers a sharded durability directory. Each shard
+// recovers independently — newest valid checkpoint, then its own log
+// tail — but assembly needs all shards, so the per-shard hooks only
+// BUFFER what recovery feeds them: the decoded checkpoint and the raw
+// tail records. Once every shard's log is open, the engine is assembled
+// from the checkpoints and the buffered tails replay in shard order
+// (cross-shard order is irrelevant: every record's sid is owned by the
+// shard whose log carries it, so no replayed operation can touch another
+// shard's state).
+func openDurableSharded(dir string, man durableManifest, opt DurableOptions) (*Index, error) {
+	n := man.Shards
+	ix := &Index{}
+	type slot struct {
+		cp   *shardCheckpoint
+		recs []wal.Record
+	}
+	slots := make([]slot, n)
+	logs := make([]*recovery.Log, n)
+	closeAll := func() {
+		for _, l := range logs {
+			if l != nil {
+				_ = l.Close() //ssrvet:ignore droppederr -- error-path cleanup; the original failure is returned
+			}
+		}
+	}
+	for si := 0; si < n; si++ {
+		si := si
+		h := recovery.Hooks{
+			Load: func(r io.Reader) error {
+				cp, err := loadShardCheckpoint(r)
+				if err != nil {
+					return err
+				}
+				if cp.Shards != n || cp.ShardIndex != si || cp.RouterSeed != man.RouterSeed {
+					return fmt.Errorf("ssr: shard checkpoint topology (%d shards, index %d, seed %d) disagrees with manifest (%d shards, index %d, seed %d)",
+						cp.Shards, cp.ShardIndex, cp.RouterSeed, n, si, man.RouterSeed)
+				}
+				// A fallback to an older generation re-enters here; reset
+				// the slot so nothing from the rejected generation leaks.
+				slots[si] = slot{cp: cp}
+				return nil
+			},
+			Apply: func(rec wal.Record) error {
+				slots[si].recs = append(slots[si].recs, rec)
+				return nil
+			},
+			Save: func(w io.Writer) error { return ix.saveShardCheckpoint(w, si) },
+		}
+		log, found, err := recovery.Open(opt.recoveryOptions(shardDirPath(dir, si)), h)
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("ssr: recovering shard %d: %w", si, err)
+		}
+		logs[si] = log
+		if !found {
+			closeAll()
+			return nil, fmt.Errorf("ssr: shard %d of %s holds no durable state (the manifest promises %d shards; the directory is corrupt or was partially copied)", si, dir, n)
+		}
+	}
+	// Assemble: the longest dictionary wins (append-only prefix property),
+	// the sid space is the max any shard observed, and the router seed is
+	// re-validated against every mapping inside Assemble.
+	var names []string
+	numGlobals := 0
+	cores := make([]*core.Index, n)
+	globals := make([][]uint32, n)
+	for si := range slots {
+		cp := slots[si].cp
+		if len(cp.Names) > len(names) {
+			names = cp.Names
+		}
+		if cp.NumGlobals > numGlobals {
+			numGlobals = cp.NumGlobals
+		}
+		cix, err := core.Load(bytes.NewReader(cp.Core))
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("ssr: loading shard %d checkpoint: %w", si, err)
+		}
+		cores[si] = cix
+		globals[si] = cp.Globals
+	}
+	eng, err := engine.Assemble(man.RouterSeed, cores, globals, numGlobals)
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	coll := NewCollection()
+	coll.dict = set.DictionaryFromNames(names)
+	ix.coll, ix.inner = coll, eng
+	// Replay the buffered tails as a k-way merge by sid, preserving each
+	// shard's internal order. Per-shard order is the only correctness
+	// requirement (every record's sid is owned by the shard whose log
+	// carries it), but the merge also re-interns replayed elements in
+	// global sid order — the order a sequential writer interned them — so
+	// recovering a sequential history is bit-identical to never crashing.
+	heads := make([]int, n)
+	for {
+		best := -1
+		for si := range slots {
+			if heads[si] >= len(slots[si].recs) {
+				continue
+			}
+			if best < 0 || slots[si].recs[heads[si]].SID < slots[best].recs[heads[best]].SID {
+				best = si
+			}
+		}
+		if best < 0 {
+			break
+		}
+		rec := slots[best].recs[heads[best]]
+		heads[best]++
+		switch rec.Op {
+		case wal.OpInsert:
+			s := coll.intern(rec.Elements)
+			if err := eng.ApplyRecovered(best, rec.SID, s); err != nil {
+				closeAll()
+				return nil, fmt.Errorf("ssr: replaying shard %d insert of sid %d: %w", best, rec.SID, err)
+			}
+		case wal.OpDelete:
+			if err := eng.Delete(rec.SID); err != nil {
+				closeAll()
+				return nil, fmt.Errorf("ssr: replaying shard %d delete of sid %d: %w", best, rec.SID, err)
+			}
+		default:
+			closeAll()
+			return nil, fmt.Errorf("ssr: cannot apply %s record", rec.Op)
+		}
+	}
+	// Rehydrate the sid-indexed collection views (checkpointed and
+	// replayed sets alike); holes and tombstones stay empty views.
+	bySID, err := eng.SetsBySID()
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	coll.sets = make([]set.Set, len(bySID))
+	for sid, s := range bySID {
+		if s != nil {
+			coll.sets[sid] = *s
+		}
+	}
+	shards := make([]*durableShard, n)
+	for si, l := range logs {
+		shards[si] = &durableShard{log: l}
+	}
+	ix.dur = &durable{shards: shards}
 	return ix, nil
 }
 
 // CreateDurable builds an index over the collection (as Build does) and
-// bootstraps dir with its first checkpoint. It refuses to run on a
-// directory that already holds durable state — open that with OpenDurable
-// instead.
+// bootstraps dir with its first checkpoint — per shard, when
+// bopt.Shards > 1, committing the layout with a MANIFEST only after every
+// shard's checkpoint is on disk. It refuses to run on a directory that
+// already holds durable state — open that with OpenDurable instead.
 func CreateDurable(dir string, c *Collection, bopt Options, dopt DurableOptions) (*Index, error) {
 	has, err := HasDurableState(dir)
 	if err != nil {
@@ -155,87 +473,194 @@ func CreateDurable(dir string, c *Collection, bopt Options, dopt DurableOptions)
 	if err != nil {
 		return nil, err
 	}
-	log, found, err := recovery.Open(dopt.recoveryOptions(dir), ix.hooks())
-	if err != nil {
+	if ix.inner.NumShards() == 1 {
+		log, found, err := recovery.Open(dopt.recoveryOptions(dir), ix.hooks())
+		if err != nil {
+			return nil, err
+		}
+		if found {
+			// Lost the bootstrap race with another creator.
+			return nil, errors.Join(fmt.Errorf("ssr: %s gained durable state concurrently", dir), log.Close())
+		}
+		if err := log.Checkpoint(); err != nil {
+			return nil, errors.Join(err, log.Close())
+		}
+		ix.dur = &durable{shards: []*durableShard{{log: log}}}
+		return ix, nil
+	}
+	n := ix.inner.NumShards()
+	logs := make([]*recovery.Log, 0, n)
+	closeAll := func() {
+		for _, l := range logs {
+			_ = l.Close() //ssrvet:ignore droppederr -- error-path cleanup; the original failure is returned
+		}
+	}
+	for si := 0; si < n; si++ {
+		si := si
+		h := recovery.Hooks{
+			Load: func(io.Reader) error {
+				return fmt.Errorf("ssr: shard %d already holds a checkpoint", si)
+			},
+			Apply: func(wal.Record) error {
+				return fmt.Errorf("ssr: shard %d already holds a log", si)
+			},
+			Save: func(w io.Writer) error { return ix.saveShardCheckpoint(w, si) },
+		}
+		log, found, err := recovery.Open(dopt.recoveryOptions(shardDirPath(dir, si)), h)
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("ssr: bootstrapping shard %d: %w", si, err)
+		}
+		logs = append(logs, log)
+		if found {
+			closeAll()
+			return nil, fmt.Errorf("ssr: shard %d of %s gained durable state concurrently", si, dir)
+		}
+		if err := log.Checkpoint(); err != nil {
+			closeAll()
+			return nil, fmt.Errorf("ssr: checkpointing shard %d: %w", si, err)
+		}
+	}
+	if err := writeManifest(dir, durableManifest{Version: 1, Shards: n, RouterSeed: ix.inner.RouterSeed()}); err != nil {
+		closeAll()
 		return nil, err
 	}
-	if found {
-		// Lost the bootstrap race with another creator.
-		return nil, errors.Join(fmt.Errorf("ssr: %s gained durable state concurrently", dir), log.Close())
+	shards := make([]*durableShard, n)
+	for si, l := range logs {
+		shards[si] = &durableShard{log: l}
 	}
-	if err := log.Checkpoint(); err != nil {
-		return nil, errors.Join(err, log.Close())
-	}
-	ix.dur = &durable{log: log}
+	ix.dur = &durable{shards: shards}
 	return ix, nil
 }
 
-// add applies the insert in memory, then logs it. The logged record
-// carries the caller's raw elements in original order so replay re-interns
-// them into identical dictionary ids.
+// errClosed is the uniform mutation error after Close.
+func errClosed() error { return fmt.Errorf("ssr: index is closed") }
+
+// add applies the insert in memory, then logs it to the owning shard's
+// lane. The logged record carries the caller's raw elements in original
+// order so replay re-interns them into identical dictionary ids, and the
+// GLOBAL sid, so replay routes it back to the same shard. Only the owning
+// shard's lane is locked — inserts routed to different shards apply and
+// fsync concurrently.
 func (d *durable) add(ix *Index, elements []string) (int, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.closed {
-		return 0, fmt.Errorf("ssr: index is closed")
+	if d.closed.Load() {
+		return 0, errClosed()
 	}
-	sid, err := ix.add(elements)
+	if len(d.shards) == 1 {
+		sh := d.shards[0]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		if d.closed.Load() {
+			return 0, errClosed()
+		}
+		sid, err := ix.add(elements)
+		if err != nil {
+			return 0, err
+		}
+		if err := sh.log.Append(wal.Record{Op: wal.OpInsert, SID: uint32(sid), Elements: elements}); err != nil {
+			// The in-memory insert stands (queries will see it), but it is
+			// not durable — the caller must treat the mutation as failed.
+			return 0, fmt.Errorf("ssr: insert applied but not logged: %w", err)
+		}
+		return sid, nil
+	}
+	// Sharded: reserve the global sid first so the owning shard is known
+	// before any lane is locked; then apply and log under that one lane.
+	s := ix.coll.intern(elements)
+	g, si, err := ix.inner.ReserveInsert()
 	if err != nil {
 		return 0, err
 	}
-	if err := d.log.Append(wal.Record{Op: wal.OpInsert, SID: uint32(sid), Elements: elements}); err != nil {
-		// The in-memory insert stands (queries will see it), but it is not
-		// durable — the caller must treat the mutation as failed.
+	sh := d.shards[si]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if d.closed.Load() {
+		// The reservation stays a hole — holes are first-class (crash
+		// recovery produces them too) and cost one mapping slot.
+		return 0, errClosed()
+	}
+	if err := ix.inner.ApplyReserved(si, g, s); err != nil {
+		return 0, err
+	}
+	ix.coll.record(int(g), s)
+	if err := sh.log.Append(wal.Record{Op: wal.OpInsert, SID: g, Elements: elements}); err != nil {
 		return 0, fmt.Errorf("ssr: insert applied but not logged: %w", err)
 	}
-	return sid, nil
+	return int(g), nil
 }
 
 func (d *durable) remove(ix *Index, sid int) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.closed {
-		return fmt.Errorf("ssr: index is closed")
+	if d.closed.Load() {
+		return errClosed()
+	}
+	si := 0
+	if sid >= 0 && len(d.shards) > 1 {
+		si = ix.inner.ShardOf(uint32(sid))
+	}
+	sh := d.shards[si]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if d.closed.Load() {
+		return errClosed()
 	}
 	if err := ix.remove(sid); err != nil {
 		return err
 	}
-	if err := d.log.Append(wal.Record{Op: wal.OpDelete, SID: uint32(sid)}); err != nil {
+	if err := sh.log.Append(wal.Record{Op: wal.OpDelete, SID: uint32(sid)}); err != nil {
 		return fmt.Errorf("ssr: delete applied but not logged: %w", err)
 	}
 	return nil
 }
 
 // Checkpoint forces a checkpoint now: snapshot the current state, rotate
-// to a fresh log segment, compact old generations. Errors for indices not
-// opened durably.
+// to a fresh log segment, compact old generations — shard by shard on a
+// sharded index (shards checkpoint independently; no cross-shard barrier
+// is needed because each shard's chain replays to that shard's state on
+// its own). Errors for indices not opened durably.
 func (ix *Index) Checkpoint() error {
 	if ix.dur == nil {
 		return fmt.Errorf("ssr: index is not durable (no checkpoint target)")
 	}
-	ix.dur.mu.Lock()
-	defer ix.dur.mu.Unlock()
-	if ix.dur.closed {
-		return fmt.Errorf("ssr: index is closed")
+	if ix.dur.closed.Load() {
+		return errClosed()
 	}
-	return ix.dur.log.Checkpoint()
+	var errs []error
+	for si, sh := range ix.dur.shards {
+		sh.mu.Lock()
+		err := sh.log.Checkpoint()
+		sh.mu.Unlock()
+		if err != nil {
+			errs = append(errs, fmt.Errorf("ssr: checkpointing shard %d: %w", si, err))
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // Close flushes a final checkpoint and releases the log of a durable
-// index; the next OpenDurable then loads the snapshot with no tail to
-// replay. Close is idempotent, and a nil or non-durable index closes as a
-// no-op. Queries keep working after Close; mutations error.
+// index (per shard, on a sharded one); the next OpenDurable then loads
+// the snapshots with no tails to replay. Close is idempotent, and a nil
+// or non-durable index closes as a no-op. Queries keep working after
+// Close; mutations error.
 func (ix *Index) Close() error {
 	if ix == nil || ix.dur == nil {
 		return nil
 	}
 	d := ix.dur
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.closed {
+	if d.closed.Swap(true) {
 		return nil
 	}
-	d.closed = true
-	ckptErr := d.log.Checkpoint()
-	return errors.Join(ckptErr, d.log.Close())
+	var errs []error
+	for si, sh := range d.shards {
+		sh.mu.Lock()
+		ckptErr := sh.log.Checkpoint()
+		closeErr := sh.log.Close()
+		sh.mu.Unlock()
+		if ckptErr != nil {
+			errs = append(errs, fmt.Errorf("ssr: final checkpoint of shard %d: %w", si, ckptErr))
+		}
+		if closeErr != nil {
+			errs = append(errs, fmt.Errorf("ssr: closing shard %d log: %w", si, closeErr))
+		}
+	}
+	return errors.Join(errs...)
 }

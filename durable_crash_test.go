@@ -66,6 +66,10 @@ func copyDir(t *testing.T, src, dst string) {
 		t.Fatal(err)
 	}
 	for _, e := range entries {
+		if e.IsDir() {
+			copyDir(t, filepath.Join(src, e.Name()), filepath.Join(dst, e.Name()))
+			continue
+		}
 		data, err := os.ReadFile(filepath.Join(src, e.Name()))
 		if err != nil {
 			t.Fatal(err)
@@ -92,10 +96,10 @@ func recordCrashScenario(t *testing.T, ops []crashOp) (dir, walFile string, pref
 	applyCrashOps(t, ix, ops)
 	// Simulated crash: release the log without the shutdown checkpoint, so
 	// every mutation lives only in the tail log.
-	if err := ix.dur.log.Close(); err != nil {
+	if err := ix.dur.shards[0].log.Close(); err != nil {
 		t.Fatal(err)
 	}
-	ix.dur.closed = true
+	ix.dur.closed.Store(true)
 
 	entries, err := os.ReadDir(dir)
 	if err != nil {

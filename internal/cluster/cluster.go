@@ -10,7 +10,7 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/set"
 	"repro/internal/storage"
 )
@@ -50,11 +50,11 @@ type Result struct {
 // the collection the index was built from, indexed by sid (it provides
 // leader query sets without storage round-trips). Indexes with deletions
 // are rejected — sid positions would no longer align; rebuild first.
-func Leaders(ix *core.Index, sets []set.Set, opt Options) (Result, error) {
+func Leaders(ix *engine.Engine, sets []set.Set, opt Options) (Result, error) {
 	var res Result
-	if ix.Store().Len() != ix.Len() {
+	if ix.NumAllocated() != ix.Len() {
 		return res, fmt.Errorf("cluster: index has deletions (%d of %d sids live); rebuild before clustering",
-			ix.Len(), ix.Store().Len())
+			ix.Len(), ix.NumAllocated())
 	}
 	if len(sets) != ix.Len() {
 		return res, fmt.Errorf("cluster: collection size %d != index size %d", len(sets), ix.Len())

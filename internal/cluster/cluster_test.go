@@ -5,21 +5,22 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/embed"
+	"repro/internal/engine"
 	"repro/internal/optimize"
 	"repro/internal/set"
 	"repro/internal/workload"
 )
 
-func fixture(t *testing.T, n int) (*core.Index, []set.Set) {
+func fixture(t *testing.T, n int) (*engine.Engine, []set.Set) {
 	t.Helper()
 	sets, err := workload.Generate(workload.Set1Params(n))
 	if err != nil {
 		t.Fatal(err)
 	}
-	ix, err := core.Build(sets, core.Options{
+	ix, err := engine.Build(sets, engine.Options{Core: core.Options{
 		Embed: embed.Options{K: 48, Bits: 8, Seed: 4},
 		Plan:  optimize.Options{Budget: 40, RecallTarget: 0.8},
-	})
+	}})
 	if err != nil {
 		t.Fatal(err)
 	}

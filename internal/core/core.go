@@ -169,9 +169,12 @@ func (l treeLocator) Locate(sid storage.SID, io *storage.Counter) (uint64, uint3
 }
 
 // Build preprocesses the collection per Sections 3 and 5 and returns a
-// ready index. The input slice is not retained.
+// ready index. The input slice is not retained. An empty collection is
+// accepted only when the caller supplies the similarity distribution or a
+// plan override — a shard of a partitioned engine can start empty and fill
+// by Insert, but a standalone build has nothing to optimize against.
 func Build(sets []set.Set, opt Options) (*Index, error) {
-	if len(sets) == 0 {
+	if len(sets) == 0 && opt.Distribution == nil && opt.PlanOverride == nil {
 		return nil, fmt.Errorf("core: empty collection")
 	}
 	eopt := opt.Embed
@@ -270,30 +273,11 @@ func Build(sets []set.Set, opt Options) (*Index, error) {
 	// 3. Similarity distribution D_S (skipped under a plan override).
 	ix.hist = opt.Distribution
 	if ix.hist == nil && opt.PlanOverride == nil {
-		switch {
-		case opt.DistSample < 0:
-			ix.hist = simdist.ExactPairs(sets, opt.DistBins)
-		default:
-			sample := opt.DistSample
-			if sample == 0 {
-				sample = 100 * len(sets)
-				if sample > 200000 {
-					sample = 200000
-				}
-			}
-			maxPairs := len(sets) * (len(sets) - 1) / 2
-			if sample > maxPairs {
-				sample = maxPairs
-			}
-			if sample < 1 {
-				sample = 1
-			}
-			h, err := simdist.SampleSignaturePairsN(ix.sigs, sample, opt.DistBins, opt.DistSeed+7, workers)
-			if err != nil {
-				return nil, err
-			}
-			ix.hist = h
+		h, err := EstimateDistribution(sets, ix.sigs, opt)
+		if err != nil {
+			return nil, err
 		}
+		ix.hist = h
 	}
 
 	// 4. Plan: placement, kinds, table budget (Figure 4). The capture
@@ -341,6 +325,53 @@ func Build(sets []set.Set, opt Options) (*Index, error) {
 	populateFilters(emb, ix.sigs, fidxs, workers)
 	return ix, nil
 }
+
+// EstimateDistribution reproduces Build's similarity-distribution step as
+// a standalone function: the exact histogram from the raw sets when
+// opt.DistSample is negative, otherwise the Lemma 1 signature-pair sample
+// (default min(100·N, 200000) pairs, seeded with opt.DistSeed+7). The
+// sharded engine calls it once over the whole collection before
+// partitioning, so every shard plans from the same D_S a monolithic Build
+// would have seen — that shared distribution is what keeps plans (and
+// therefore filter candidacy) identical across shard counts.
+func EstimateDistribution(sets []set.Set, sigs []minhash.Signature, opt Options) (*simdist.Histogram, error) {
+	if opt.Distribution != nil {
+		return opt.Distribution, nil
+	}
+	if opt.DistSample < 0 {
+		return simdist.ExactPairs(sets, opt.DistBins), nil
+	}
+	sample := opt.DistSample
+	if sample == 0 {
+		sample = 100 * len(sets)
+		if sample > 200000 {
+			sample = 200000
+		}
+	}
+	maxPairs := len(sets) * (len(sets) - 1) / 2
+	if sample > maxPairs {
+		sample = maxPairs
+	}
+	if sample < 1 {
+		sample = 1
+	}
+	return simdist.SampleSignaturePairsN(sigs, sample, opt.DistBins, opt.DistSeed+7, resolveWorkers(opt.Workers))
+}
+
+// SignCollection computes every set's min-hash signature exactly as Build
+// does (index-addressed parallel writes, bit-identical for every worker
+// count). The embedder must come from the same options the signatures will
+// be used with. The sharded engine signs the whole collection once and
+// hands each shard its slice as PrecomputedSignatures.
+func SignCollection(emb *embed.Embedder, sets []set.Set, workers int) []minhash.Signature {
+	return signCollection(emb, sets, resolveWorkers(workers))
+}
+
+// SortMatches orders results by descending similarity, ties by ascending
+// sid — the query processor's total order. Exported for the engine's
+// cross-shard gather, which must merge per-shard result slices back into
+// exactly this order.
+func SortMatches(matches []Match) { sortMatches(matches) }
 
 // Sets returns the live collection as in-memory set views, indexed by sid
 // (tombstoned sids are skipped, so after deletions the result is dense but
@@ -390,6 +421,14 @@ func (ix *Index) Len() int {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	return ix.n
+}
+
+// NumAllocated returns the allocated sid space: live sets plus tombstones.
+// Sids are dense in [0, NumAllocated).
+func (ix *Index) NumAllocated() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.sigs)
 }
 
 // Store exposes the underlying set store (for the scan baseline and eval).

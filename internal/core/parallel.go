@@ -72,6 +72,31 @@ func resolveWorkers(n int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// SplitPool divides a worker pool of size pool across n consumers
+// proportionally: every consumer gets at least one worker, the remainder
+// pool%n is spread over the first consumers, and the shares sum to
+// max(pool, n) — so nesting a per-consumer pool inside the split never
+// oversubscribes the machine by more than the unavoidable one-per-consumer
+// floor. QueryBatch uses it to hand each batch worker its verification
+// budget; the engine uses it to hand each shard its scatter budget.
+func SplitPool(pool, n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	if pool < n {
+		pool = n
+	}
+	shares := make([]int, n)
+	base, rem := pool/n, pool%n
+	for i := range shares {
+		shares[i] = base
+		if i < rem {
+			shares[i]++
+		}
+	}
+	return shares
+}
+
 // chernoffEps95 solves 2·exp(-2k·eps²) = 0.05 for eps: the 95%-confidence
 // half-width of the k-coordinate agreement estimator.
 func chernoffEps95(k int) float64 {
@@ -304,8 +329,9 @@ type BatchResult struct {
 // produces exactly the matches and I/O accounting a serial Query call would
 // have (results are a consistent point-in-time view: concurrent Insert and
 // Delete calls serialize before or after the whole batch). Options apply to
-// every entry; when the batch saturates the pool, per-query verification
-// parallelism is disabled rather than oversubscribing.
+// every entry; the worker pool is split proportionally between batch
+// fan-out and per-query verification, so batch workers × verification
+// workers never exceeds the pool (beyond the one-worker-per-query floor).
 func (ix *Index) QueryBatch(queries []BatchQuery, opt QueryOptions) []BatchResult {
 	results := make([]BatchResult, len(queries))
 	if len(queries) == 0 {
@@ -318,29 +344,35 @@ func (ix *Index) QueryBatch(queries []BatchQuery, opt QueryOptions) []BatchResul
 	if workers > len(queries) {
 		workers = len(queries)
 	}
-	inner := opt
-	if workers > 1 {
-		// Split the pool: a saturated batch leaves one verification worker
-		// per query; a small batch on a wide machine still fans each
-		// query's verification across the idle remainder.
-		inner.Workers = pool / workers
+	if workers <= 1 {
+		inner := opt
+		inner.Workers = pool
 		if inner.Workers < 1 {
 			inner.Workers = 1
 		}
-	}
-	if workers <= 1 {
 		for i := range queries {
 			r := &results[i]
 			r.Matches, r.Stats, r.Err = ix.queryLocked(queries[i].Q, queries[i].Lo, queries[i].Hi, inner)
 		}
 		return results
 	}
+	// Split the verification pool proportionally: batch worker w owns
+	// shares[w] verification workers, and the shares sum to the pool — a
+	// saturated batch leaves one verification worker per query, a small
+	// batch on a wide machine fans each query's verification across the
+	// idle remainder, and intermediate shapes (e.g. pool=6, 4 queries) no
+	// longer collapse every query's verification to a single worker while
+	// a third of the machine idles. Verification width never changes
+	// results (pinned by the batch determinism tests), only scheduling.
+	shares := SplitPool(pool, workers)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			inner := opt
+			inner.Workers = shares[w]
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(queries) {
@@ -349,7 +381,7 @@ func (ix *Index) QueryBatch(queries []BatchQuery, opt QueryOptions) []BatchResul
 				r := &results[i]
 				r.Matches, r.Stats, r.Err = ix.queryLocked(queries[i].Q, queries[i].Lo, queries[i].Hi, inner)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return results

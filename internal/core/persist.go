@@ -114,9 +114,9 @@ func (snap *snapshot) validate() error {
 	if snap.PageSize < 0 || snap.PayloadPerElem < 0 {
 		return fmt.Errorf("core: snapshot has negative storage parameters")
 	}
-	if len(snap.Sets) == 0 && snap.NumSIDs == 0 {
-		return fmt.Errorf("core: snapshot holds no sets")
-	}
+	// An empty snapshot (no sets, no allocated sids) is legal: a shard of a
+	// partitioned engine can be empty at save time. Zero-value garbage is
+	// still rejected by the EmbedK bound above.
 	if len(snap.Sigs) != len(snap.Sets) {
 		// Legacy snapshots may omit signatures entirely (they are re-signed);
 		// anything else is truncation.

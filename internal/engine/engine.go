@@ -1,0 +1,514 @@
+// Package engine partitions the paper's index across independently locked
+// shards. It sits between the public ssr API and internal/core: a
+// deterministic router (seeded hash of global sid → shard) distributes
+// sets across Options.Shards core.Index instances, writes to different
+// shards proceed concurrently under per-shard locks, and queries scatter
+// across all shards and gather with the core's sorted-merge order.
+//
+// Determinism contract. Build profiles the similarity distribution D_S
+// once over the whole collection (exactly as a monolithic core.Build
+// would) and hands every shard that shared histogram, so every shard runs
+// the optimizer on identical input and derives an identical plan with
+// identical per-FI seeds. A set's filter candidacy depends only on (its
+// signature, the query signature, the plan's sampled bit positions) —
+// none of which vary with shard membership — so the union of per-shard
+// candidates equals the monolithic candidate set and exact-verified
+// matches are identical for every shard count. For a fixed (seed, Shards)
+// the whole build is bit-identical, preserving the repo's determinism
+// invariant; Shards <= 1 bypasses the partitioning entirely and is
+// byte-identical to the pre-engine index.
+//
+// Sid spaces. Callers see global sids (dense allocation order, exactly the
+// pre-engine numbering). Each shard's core.Index has its own dense local
+// sid space; the engine maintains the global→local table (locals, guarded
+// by gmu) and each shard's local→global table (toGlobal, guarded by the
+// shard mutex). On a single-shard engine both mappings are the identity
+// and are not materialized.
+//
+// Lock order: durable shard mutex → engine shard mutex → engine mapping
+// lock (gmu) → core index lock. The collection lock of the public layer
+// is a leaf: it never wraps an engine call.
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/embed"
+	"repro/internal/minhash"
+	"repro/internal/optimize"
+	"repro/internal/set"
+	"repro/internal/simdist"
+	"repro/internal/storage"
+)
+
+// MaxShards bounds Options.Shards (and snapshot validation): far above any
+// sensible deployment, low enough that a corrupt shard count cannot drive
+// a huge allocation.
+const MaxShards = 1 << 10
+
+// localUnassigned marks a global sid that was reserved but never applied
+// (a crash between reservation and apply, or a failed insert). Such holes
+// are never returned by queries and cannot be deleted.
+const localUnassigned = ^uint32(0)
+
+// Options configures Build.
+type Options struct {
+	// Shards is the number of independent core indexes; <= 1 builds a
+	// single monolithic index (the default, bit-identical to pre-engine
+	// builds).
+	Shards int
+	// RouterSeed seeds the sid → shard hash. It must be stable for the
+	// life of the index (snapshots persist it).
+	RouterSeed int64
+	// Core configures each shard's build. Distribution and
+	// PrecomputedSignatures, when set, are treated as global (whole
+	// collection) and partitioned by the engine.
+	Core core.Options
+}
+
+// shard is one partition: a core index plus its local→global sid table.
+type shard struct {
+	// mu serializes mutations to this shard and guards toGlobal. Queries
+	// do not take it (they ride the core read lock) except for the brief
+	// capture of the toGlobal header.
+	mu sync.Mutex
+	ix *core.Index
+	// toGlobal maps shard-local sids (dense core allocation order) to
+	// global sids. Entries are append-only and immutable once written.
+	// Nil on single-shard engines (identity).
+	toGlobal []uint32
+}
+
+// Engine is a sharded index. It is safe for concurrent use; see the
+// package comment for the locking discipline.
+type Engine struct {
+	shards     []*shard
+	routerSeed int64
+	// single marks the Shards <= 1 fast path: no routing, no sid
+	// translation, byte-identical persistence.
+	single bool
+	// hist is the global similarity distribution the build was tuned to
+	// (nil for engines loaded from snapshots, exactly like core).
+	hist *simdist.Histogram
+
+	// gmu guards locals.
+	gmu sync.RWMutex
+	// locals maps global sids to shard-local sids (shard identity comes
+	// from the router). Nil on single-shard engines.
+	locals []uint32
+}
+
+// Wrap adapts an existing core index into a single-shard engine — for
+// callers that built (or loaded) a core.Index directly and want the
+// engine API over it. No routing or sid translation is installed, so the
+// wrapped engine is byte-identical to the core in persistence and sids.
+func Wrap(ix *core.Index) *Engine {
+	return &Engine{
+		shards: []*shard{{ix: ix}},
+		single: true,
+		hist:   ix.Distribution(),
+	}
+}
+
+// Build constructs the engine over the collection. With Shards <= 1 it is
+// exactly core.Build; otherwise it signs the collection once, profiles
+// D_S once globally, partitions sets by the router, and builds every
+// shard from the shared distribution (see the package comment for why
+// that preserves cross-shard-count result identity).
+func Build(sets []set.Set, opt Options) (*Engine, error) {
+	n := opt.Shards
+	if n <= 0 {
+		n = 1
+	}
+	if n > MaxShards {
+		return nil, fmt.Errorf("engine: %d shards exceeds the maximum %d", n, MaxShards)
+	}
+	if n == 1 {
+		ix, err := core.Build(sets, opt.Core)
+		if err != nil {
+			return nil, err
+		}
+		return &Engine{
+			shards:     []*shard{{ix: ix}},
+			routerSeed: opt.RouterSeed,
+			single:     true,
+			hist:       ix.Distribution(),
+		}, nil
+	}
+	copt := opt.Core
+	if copt.Tombstones != nil {
+		return nil, fmt.Errorf("engine: Tombstones are not supported by sharded builds (shards load through Assemble)")
+	}
+
+	// Resolve the embedding exactly as core.Build does, sign the whole
+	// collection once, and profile D_S from the full signature list — the
+	// same sample, seed, and worker discipline a monolithic build uses.
+	eopt := copt.Embed
+	if eopt.K == 0 {
+		eopt = embed.DefaultOptions()
+	}
+	emb, err := embed.New(eopt)
+	if err != nil {
+		return nil, err
+	}
+	sigs := copt.PrecomputedSignatures
+	if sigs == nil {
+		sigs = core.SignCollection(emb, sets, copt.Workers)
+	} else if len(sigs) != len(sets) {
+		return nil, fmt.Errorf("engine: %d precomputed signatures for %d sets", len(sigs), len(sets))
+	}
+	hist := copt.Distribution
+	if hist == nil && copt.PlanOverride == nil {
+		hist, err = core.EstimateDistribution(sets, sigs, copt)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Partition by router. Global order is preserved within each shard,
+	// so for a fixed (seed, Shards) the partition — and with it every
+	// shard build — is bit-identical run to run.
+	type part struct {
+		sets     []set.Set
+		sigs     []minhash.Signature
+		toGlobal []uint32
+	}
+	parts := make([]part, n)
+	locals := make([]uint32, len(sets))
+	for g := range sets {
+		si := shardOf(opt.RouterSeed, n, uint32(g))
+		p := &parts[si]
+		locals[g] = uint32(len(p.toGlobal))
+		p.sets = append(p.sets, sets[g])
+		p.sigs = append(p.sigs, sigs[g])
+		p.toGlobal = append(p.toGlobal, uint32(g))
+	}
+
+	e := &Engine{
+		shards:     make([]*shard, n),
+		routerSeed: opt.RouterSeed,
+		hist:       hist,
+		locals:     locals,
+	}
+	for si := range parts {
+		sopt := copt
+		sopt.Distribution = hist
+		sopt.PrecomputedSignatures = parts[si].sigs
+		ix, err := core.Build(parts[si].sets, sopt)
+		if err != nil {
+			return nil, fmt.Errorf("engine: building shard %d: %w", si, err)
+		}
+		e.shards[si] = &shard{ix: ix, toGlobal: parts[si].toGlobal}
+	}
+	return e, nil
+}
+
+// Assemble reconstructs a sharded engine from per-shard core indexes and
+// their local→global tables — the load side of snapshots and per-shard
+// recovery. It validates the mapping end to end: table lengths match each
+// core's allocated sid space, every global sid is in range and routes to
+// the shard that claims it, and no global sid appears twice.
+func Assemble(routerSeed int64, cores []*core.Index, globals [][]uint32, numGlobals int) (*Engine, error) {
+	n := len(cores)
+	if n < 2 {
+		return nil, fmt.Errorf("engine: Assemble needs at least 2 shards (got %d)", n)
+	}
+	if n > MaxShards {
+		return nil, fmt.Errorf("engine: %d shards exceeds the maximum %d", n, MaxShards)
+	}
+	if len(globals) != n {
+		return nil, fmt.Errorf("engine: %d global tables for %d shards", len(globals), n)
+	}
+	if numGlobals < 0 || numGlobals > maxSnapshotGlobals {
+		return nil, fmt.Errorf("engine: global sid space %d out of range", numGlobals)
+	}
+	locals := make([]uint32, numGlobals)
+	for i := range locals {
+		locals[i] = localUnassigned
+	}
+	e := &Engine{
+		shards:     make([]*shard, n),
+		routerSeed: routerSeed,
+		locals:     locals,
+	}
+	for si, ix := range cores {
+		tg := globals[si]
+		if got := ix.NumAllocated(); got != len(tg) {
+			return nil, fmt.Errorf("engine: shard %d allocates %d sids but maps %d", si, got, len(tg))
+		}
+		for local, g := range tg {
+			if int(g) >= numGlobals {
+				return nil, fmt.Errorf("engine: shard %d maps local %d to global %d beyond space %d", si, local, g, numGlobals)
+			}
+			if shardOf(routerSeed, n, g) != si {
+				return nil, fmt.Errorf("engine: global sid %d does not route to shard %d", g, si)
+			}
+			if locals[g] != localUnassigned {
+				return nil, fmt.Errorf("engine: global sid %d mapped by two shards", g)
+			}
+			locals[g] = uint32(local)
+		}
+		e.shards[si] = &shard{ix: ix, toGlobal: tg}
+	}
+	return e, nil
+}
+
+// NumShards returns the shard count.
+func (e *Engine) NumShards() int { return len(e.shards) }
+
+// ShardOf returns the shard a global sid routes to (always 0 on a
+// single-shard engine).
+func (e *Engine) ShardOf(g uint32) int {
+	if e.single {
+		return 0
+	}
+	return shardOf(e.routerSeed, len(e.shards), g)
+}
+
+// ShardCore exposes shard si's core index (benchmarks, experiments, and
+// the recovery harness; not a stable API).
+func (e *Engine) ShardCore(si int) *core.Index { return e.shards[si].ix }
+
+// RouterSeed returns the seed the sid → shard hash was built with.
+func (e *Engine) RouterSeed() int64 { return e.routerSeed }
+
+// Insert routes a new set to its shard and returns its global sid. Writes
+// to different shards proceed concurrently; writes to one shard
+// serialize on its mutex.
+func (e *Engine) Insert(s set.Set) (uint32, error) {
+	if e.single {
+		sid, err := e.shards[0].ix.Insert(s)
+		return uint32(sid), err
+	}
+	g, si := e.reserve()
+	if err := e.applyReserved(si, g, s); err != nil {
+		return 0, err
+	}
+	return g, nil
+}
+
+// reserve allocates the next global sid (as a hole) and routes it.
+func (e *Engine) reserve() (uint32, int) {
+	e.gmu.Lock()
+	g := uint32(len(e.locals))
+	e.locals = append(e.locals, localUnassigned)
+	e.gmu.Unlock()
+	return g, shardOf(e.routerSeed, len(e.shards), g)
+}
+
+// applyReserved inserts s as reserved global sid g into shard si. Local
+// sids are assigned in per-shard arrival order (which may differ from
+// global order under concurrency — the toGlobal table is the record).
+func (e *Engine) applyReserved(si int, g uint32, s set.Set) error {
+	sh := e.shards[si]
+	sh.mu.Lock()
+	local := uint32(len(sh.toGlobal))
+	// Publish the mapping before the core insert: any sid the core can
+	// return to a concurrent query already has its toGlobal entry.
+	sh.toGlobal = append(sh.toGlobal, g)
+	got, err := sh.ix.Insert(s)
+	if err == nil && uint32(got) != local {
+		err = fmt.Errorf("engine: shard %d insert landed on local sid %d, expected %d", si, got, local)
+	}
+	if err != nil {
+		sh.toGlobal = sh.toGlobal[:local]
+		sh.mu.Unlock()
+		return err
+	}
+	sh.mu.Unlock()
+	e.gmu.Lock()
+	e.locals[g] = local
+	e.gmu.Unlock()
+	return nil
+}
+
+// ReserveInsert allocates the next global sid and returns it with its
+// shard, without applying anything yet. The durability layer uses it to
+// take the target shard's log mutex before applying, so per-shard apply
+// order always equals per-shard log order. Sharded engines only — the
+// single-shard path must keep reservation and apply atomic to preserve
+// the legacy identity numbering.
+func (e *Engine) ReserveInsert() (g uint32, si int, err error) {
+	if e.single {
+		return 0, 0, fmt.Errorf("engine: ReserveInsert requires a sharded engine")
+	}
+	g, si = e.reserve()
+	return g, si, nil
+}
+
+// ApplyReserved completes a ReserveInsert.
+func (e *Engine) ApplyReserved(si int, g uint32, s set.Set) error {
+	if e.single {
+		return fmt.Errorf("engine: ApplyReserved requires a sharded engine")
+	}
+	return e.applyReserved(si, g, s)
+}
+
+// ApplyRecovered force-inserts s as global sid g into shard si — the log
+// replay path, where g comes from a WAL record rather than a fresh
+// reservation. The global sid space grows as needed; sids skipped by
+// crash loss stay holes. Replay is single-threaded per engine.
+func (e *Engine) ApplyRecovered(si int, g uint32, s set.Set) error {
+	if e.single {
+		return fmt.Errorf("engine: ApplyRecovered requires a sharded engine")
+	}
+	if want := shardOf(e.routerSeed, len(e.shards), g); want != si {
+		return fmt.Errorf("engine: replayed sid %d routes to shard %d, log claims %d", g, want, si)
+	}
+	e.gmu.Lock()
+	for uint32(len(e.locals)) <= g {
+		e.locals = append(e.locals, localUnassigned)
+	}
+	if e.locals[g] != localUnassigned {
+		e.gmu.Unlock()
+		return fmt.Errorf("engine: replayed sid %d is already applied", g)
+	}
+	e.gmu.Unlock()
+	return e.applyReserved(si, g, s)
+}
+
+// Delete tombstones global sid g in its shard. The sid is never reused.
+func (e *Engine) Delete(g uint32) error {
+	if e.single {
+		return e.shards[0].ix.Delete(storage.SID(g))
+	}
+	e.gmu.RLock()
+	var local uint32 = localUnassigned
+	if int(g) < len(e.locals) {
+		local = e.locals[g]
+	}
+	e.gmu.RUnlock()
+	if local == localUnassigned {
+		return fmt.Errorf("engine: sid %d out of range", g)
+	}
+	sh := e.shards[e.ShardOf(g)]
+	sh.mu.Lock()
+	err := sh.ix.Delete(storage.SID(local))
+	sh.mu.Unlock()
+	return err
+}
+
+// Len returns the number of live sets across all shards.
+func (e *Engine) Len() int {
+	n := 0
+	for _, sh := range e.shards {
+		n += sh.ix.Len()
+	}
+	return n
+}
+
+// NumAllocated returns the global sid space: live sets, tombstones, and
+// reservation holes. Global sids are dense in [0, NumAllocated).
+func (e *Engine) NumAllocated() int {
+	if e.single {
+		return e.shards[0].ix.NumAllocated()
+	}
+	e.gmu.RLock()
+	defer e.gmu.RUnlock()
+	return len(e.locals)
+}
+
+// Plan returns the optimizer's plan (identical in every shard).
+func (e *Engine) Plan() optimize.Plan { return e.shards[0].ix.Plan() }
+
+// Distribution returns the global similarity distribution the build was
+// tuned to (nil for loaded engines, as in core).
+func (e *Engine) Distribution() *simdist.Histogram {
+	if e.single {
+		return e.shards[0].ix.Distribution()
+	}
+	return e.hist
+}
+
+// FilterIndexes reports the built structures (identical plan in every
+// shard; per-shard contents differ only in membership).
+func (e *Engine) FilterIndexes() []optimize.FI { return e.shards[0].ix.FilterIndexes() }
+
+// Embedder exposes the embedding pipeline (identical in every shard).
+func (e *Engine) Embedder() *embed.Embedder { return e.shards[0].ix.Embedder() }
+
+// IndexPages sums filter-index bucket pages across shards.
+func (e *Engine) IndexPages() int {
+	n := 0
+	for _, sh := range e.shards {
+		n += sh.ix.IndexPages()
+	}
+	return n
+}
+
+// EstimateAnswerSize predicts the expected result count of a range query
+// from the global distribution and the global collection size — the
+// Section 5 identity, shard-count invariant.
+func (e *Engine) EstimateAnswerSize(lo, hi float64) (float64, error) {
+	if e.single {
+		return e.shards[0].ix.EstimateAnswerSize(lo, hi)
+	}
+	if e.hist == nil {
+		return 0, fmt.Errorf("core: index has no similarity distribution (built with a plan override)")
+	}
+	if e.hist.Total() == 0 {
+		return 0, nil
+	}
+	n := float64(e.Len())
+	if n == 0 {
+		return 0, nil
+	}
+	pairsMass := e.hist.Mass(lo, hi) / e.hist.Total() * (n * (n - 1) / 2)
+	return 2 * pairsMass / n, nil
+}
+
+// SetsBySID returns the collection indexed by global sid: slot g holds
+// sid g's set, with tombstoned and never-applied sids left nil.
+func (e *Engine) SetsBySID() ([]*set.Set, error) {
+	if e.single {
+		return e.shards[0].ix.SetsBySID()
+	}
+	out := make([]*set.Set, e.NumAllocated())
+	for si, sh := range e.shards {
+		bySID, err := sh.ix.SetsBySID()
+		if err != nil {
+			return nil, fmt.Errorf("engine: shard %d: %w", si, err)
+		}
+		tg := sh.mapping()
+		for local, s := range bySID {
+			if s != nil {
+				out[tg[local]] = s
+			}
+		}
+	}
+	return out, nil
+}
+
+// Sets returns the live collection in ascending global-sid order (dense;
+// positions equal global sids only when the engine has no deletions or
+// holes — the callers that need alignment check NumAllocated == Len).
+func (e *Engine) Sets() ([]set.Set, error) {
+	if e.single {
+		return e.shards[0].ix.Sets()
+	}
+	bySID, err := e.SetsBySID()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]set.Set, 0, len(bySID))
+	for _, s := range bySID {
+		if s != nil {
+			out = append(out, *s)
+		}
+	}
+	return out, nil
+}
+
+// mapping captures the shard's local→global table header. Entries are
+// append-only and immutable, so the captured slice stays valid after the
+// lock is released; callers must capture it AFTER the core read they are
+// translating (any sid a core query can return was mapped before its
+// insert completed).
+func (sh *shard) mapping() []uint32 {
+	sh.mu.Lock()
+	tg := sh.toGlobal
+	sh.mu.Unlock()
+	return tg
+}

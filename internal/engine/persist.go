@@ -1,0 +1,171 @@
+// Sharded snapshot container.
+//
+// A single-shard engine persists as a bare core snapshot (SSRIDX1) —
+// byte-identical to the pre-engine format, so old snapshots load and new
+// single-shard snapshots are readable by old readers. A sharded engine
+// persists as an SSRSHD1 container: the router seed, the global sid
+// space, each shard's local→global table, and each shard's own core
+// snapshot nested as opaque bytes. Load sniffs the magic and branches, so
+// both shapes come back through the same entry point.
+package engine
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+)
+
+// shardedMagic guards the sharded container format.
+const shardedMagic = "SSRSHD1\n"
+
+// maxSnapshotGlobals bounds the decoded global sid space (matches the
+// core's allocated-sid ceiling).
+const maxSnapshotGlobals = 1 << 26
+
+// shardedSnapshot is the durable form of a multi-shard engine.
+type shardedSnapshot struct {
+	// Shards is the shard count; the router needs it to re-derive
+	// placement.
+	Shards int
+	// RouterSeed seeds the sid → shard hash.
+	RouterSeed int64
+	// NumGlobals is the global sid space (live + tombstoned + holes).
+	NumGlobals int
+	// Globals[i] is shard i's local→global table, in local sid order.
+	Globals [][]uint32
+	// Cores[i] is shard i's complete core snapshot (SSRIDX1 bytes).
+	Cores [][]byte
+}
+
+// Save writes the engine to w. Single-shard engines write a bare core
+// snapshot; sharded engines write the SSRSHD1 container. The sharded
+// capture holds every shard mutex at once (ascending order), so the
+// snapshot is one consistent cut across shards, and reads the global sid
+// space afterwards so every captured mapping is covered by it.
+func (e *Engine) Save(w io.Writer) error {
+	if e.single {
+		return e.shards[0].ix.Save(w)
+	}
+	snap := shardedSnapshot{
+		Shards:     len(e.shards),
+		RouterSeed: e.routerSeed,
+		Globals:    make([][]uint32, len(e.shards)),
+		Cores:      make([][]byte, len(e.shards)),
+	}
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+	}
+	var err error
+	for si, sh := range e.shards {
+		tg := make([]uint32, len(sh.toGlobal))
+		copy(tg, sh.toGlobal)
+		snap.Globals[si] = tg
+		var buf bytes.Buffer
+		if err = sh.ix.Save(&buf); err != nil {
+			err = fmt.Errorf("engine: saving shard %d: %w", si, err)
+			break
+		}
+		snap.Cores[si] = buf.Bytes()
+	}
+	for i := len(e.shards) - 1; i >= 0; i-- {
+		e.shards[i].mu.Unlock()
+	}
+	if err != nil {
+		return err
+	}
+	// After the shard capture: reservations made since can only have
+	// grown the space, so every captured global sid is < NumGlobals.
+	e.gmu.RLock()
+	snap.NumGlobals = len(e.locals)
+	e.gmu.RUnlock()
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(shardedMagic); err != nil {
+		return fmt.Errorf("engine: writing snapshot header: %w", err)
+	}
+	if err := gob.NewEncoder(bw).Encode(&snap); err != nil {
+		return fmt.Errorf("engine: encoding snapshot: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ShardSnapshot captures one shard for an independent per-shard
+// checkpoint: the shard's core snapshot bytes, its local→global table,
+// and the global sid space. The core bytes and the table are captured
+// under the shard mutex (one consistent cut of that shard); the global
+// space is read afterwards, so it covers every captured mapping. Other
+// shards are not touched — per-shard durability checkpoints one shard at
+// a time without stalling the rest.
+func (e *Engine) ShardSnapshot(si int) (coreBytes []byte, toGlobal []uint32, numGlobals int, err error) {
+	sh := e.shards[si]
+	sh.mu.Lock()
+	toGlobal = make([]uint32, len(sh.toGlobal))
+	copy(toGlobal, sh.toGlobal)
+	var buf bytes.Buffer
+	err = sh.ix.Save(&buf)
+	sh.mu.Unlock()
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("engine: saving shard %d: %w", si, err)
+	}
+	if e.single {
+		return buf.Bytes(), toGlobal, sh.ix.NumAllocated(), nil
+	}
+	e.gmu.RLock()
+	numGlobals = len(e.locals)
+	e.gmu.RUnlock()
+	return buf.Bytes(), toGlobal, numGlobals, nil
+}
+
+// Load reconstructs an engine from a snapshot written by Save. Bare core
+// snapshots (including every pre-engine snapshot) load as single-shard
+// engines; SSRSHD1 containers rebuild each shard and re-validate the
+// whole sid mapping against the router.
+func Load(r io.Reader) (*Engine, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(len(shardedMagic))
+	if err != nil {
+		return nil, fmt.Errorf("engine: reading snapshot header: %w", err)
+	}
+	if string(magic) != shardedMagic {
+		// Legacy / single-shard: the whole stream is a core snapshot.
+		ix, err := core.Load(br)
+		if err != nil {
+			return nil, err
+		}
+		return &Engine{
+			shards: []*shard{{ix: ix}},
+			single: true,
+			hist:   ix.Distribution(),
+		}, nil
+	}
+	if _, err := br.Discard(len(shardedMagic)); err != nil {
+		return nil, fmt.Errorf("engine: reading snapshot header: %w", err)
+	}
+	var snap shardedSnapshot
+	if err := gob.NewDecoder(br).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("engine: decoding snapshot: %w", err)
+	}
+	if snap.Shards < 2 || snap.Shards > MaxShards {
+		return nil, fmt.Errorf("engine: snapshot shard count %d out of range [2, %d]", snap.Shards, MaxShards)
+	}
+	if len(snap.Cores) != snap.Shards || len(snap.Globals) != snap.Shards {
+		return nil, fmt.Errorf("engine: snapshot declares %d shards but carries %d cores and %d mappings",
+			snap.Shards, len(snap.Cores), len(snap.Globals))
+	}
+	if snap.NumGlobals < 0 || snap.NumGlobals > maxSnapshotGlobals {
+		return nil, fmt.Errorf("engine: snapshot global sid space %d out of range", snap.NumGlobals)
+	}
+	cores := make([]*core.Index, snap.Shards)
+	for si, raw := range snap.Cores {
+		ix, err := core.Load(bytes.NewReader(raw))
+		if err != nil {
+			return nil, fmt.Errorf("engine: loading shard %d: %w", si, err)
+		}
+		cores[si] = ix
+	}
+	return Assemble(snap.RouterSeed, cores, snap.Globals, snap.NumGlobals)
+}

@@ -1,0 +1,312 @@
+// Scatter-gather query processing.
+//
+// Every query scatters across all shards and gathers with the core's total
+// order (similarity descending, global sid ascending as the tie-break).
+// Because every shard was planned from the same global distribution, a
+// set's candidacy is independent of which shard holds it, so the gathered
+// result equals what a monolithic index would return — for any shard
+// count. Each shard query runs under that shard's core read lock only;
+// the scatter never holds two shard locks at once, so queries on one
+// shard overlap writes on another.
+package engine
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/set"
+	"repro/internal/storage"
+)
+
+// QueryStats aggregates per-shard query accounting. The embedded
+// core.QueryStats sums counters across shards (CPU is summed processor
+// time, not wall time; the shards run concurrently).
+type QueryStats struct {
+	core.QueryStats
+	// PerShard holds each shard's own accounting, indexed by shard.
+	PerShard []core.QueryStats
+}
+
+// BatchResult is the outcome of one QueryBatch entry.
+type BatchResult struct {
+	Matches []core.Match
+	Stats   QueryStats
+	Err     error
+}
+
+// aggregate folds shard stats into an engine-level view. The partition
+// points come from any shard (identical plans ⇒ identical enclose).
+func aggregate(per []core.QueryStats) QueryStats {
+	agg := QueryStats{PerShard: per}
+	for i := range per {
+		st := &per[i]
+		agg.Candidates += st.Candidates
+		agg.Results += st.Results
+		agg.Screened += st.Screened
+		agg.CPU += st.CPU
+		agg.IndexIO.RecordSeq(st.IndexIO.Seq())
+		agg.IndexIO.RecordRand(st.IndexIO.Rand())
+		agg.FetchIO.RecordSeq(st.FetchIO.Seq())
+		agg.FetchIO.RecordRand(st.FetchIO.Rand())
+	}
+	if len(per) > 0 {
+		agg.EnclosedLo, agg.EnclosedHi = per[0].EnclosedLo, per[0].EnclosedHi
+	}
+	return agg
+}
+
+// toGlobalMatches rewrites shard-local sids to global sids in place. tg
+// must have been captured after the shard query returned (see
+// shard.mapping).
+func toGlobalMatches(matches []core.Match, tg []uint32) []core.Match {
+	for i := range matches {
+		matches[i].SID = storage.SID(tg[matches[i].SID])
+	}
+	return matches
+}
+
+// queryPool resolves the scatter's worker budget the way core does.
+func queryPool(workers int) int {
+	if workers > 0 {
+		return workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Query answers the range query [s1, s2] with default options.
+func (e *Engine) Query(q set.Set, s1, s2 float64) ([]core.Match, QueryStats, error) {
+	return e.QueryWithOptions(q, s1, s2, core.QueryOptions{})
+}
+
+// QueryWithOptions scatters the range query across all shards and gathers
+// the union. Matches come back in the core's total order over GLOBAL
+// sids. The option's worker pool is split proportionally across shards
+// (each shard's share bounds its verification fan-out), so the scatter
+// never oversubscribes the pool beyond the one-worker-per-shard floor.
+func (e *Engine) QueryWithOptions(q set.Set, s1, s2 float64, opt core.QueryOptions) ([]core.Match, QueryStats, error) {
+	if e.single {
+		m, st, err := e.shards[0].ix.QueryWithOptions(q, s1, s2, opt)
+		return m, QueryStats{QueryStats: st, PerShard: []core.QueryStats{st}}, err
+	}
+	n := len(e.shards)
+	per := make([]core.QueryStats, n)
+	matches := make([][]core.Match, n)
+	errs := make([]error, n)
+	shares := core.SplitPool(queryPool(opt.Workers), n)
+	var wg sync.WaitGroup
+	for si := range e.shards {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			sh := e.shards[si]
+			inner := opt
+			inner.Workers = shares[si]
+			m, st, err := sh.ix.QueryWithOptions(q, s1, s2, inner)
+			if err != nil {
+				errs[si] = err
+				return
+			}
+			// Capture the mapping after the query: every sid it returned
+			// was fully inserted, so its toGlobal entry exists.
+			matches[si] = toGlobalMatches(m, sh.mapping())
+			per[si] = st
+		}(si)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, aggregate(per), err
+		}
+	}
+	return gather(matches), aggregate(per), nil
+}
+
+// gather concatenates per-shard match lists and restores the total order.
+// Within a shard, matches arrive ordered by (similarity desc, local sid
+// asc) — but local order is per-shard arrival order, not global order, so
+// a plain k-way merge is not sound; a full sort over the union is.
+func gather(perShard [][]core.Match) []core.Match {
+	total := 0
+	for _, m := range perShard {
+		total += len(m)
+	}
+	out := make([]core.Match, 0, total)
+	for _, m := range perShard {
+		out = append(out, m...)
+	}
+	core.SortMatches(out)
+	return out
+}
+
+// QueryBatch answers a slice of range queries: each shard runs the whole
+// batch against its partition (with its proportional share of the worker
+// pool), then per-query results gather across shards. Entry i's outcome
+// is exactly what Query(queries[i]) would return.
+func (e *Engine) QueryBatch(queries []core.BatchQuery, opt core.QueryOptions) []BatchResult {
+	out := make([]BatchResult, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	if e.single {
+		res := e.shards[0].ix.QueryBatch(queries, opt)
+		for i, r := range res {
+			out[i] = BatchResult{
+				Matches: r.Matches,
+				Stats:   QueryStats{QueryStats: r.Stats, PerShard: []core.QueryStats{r.Stats}},
+				Err:     r.Err,
+			}
+		}
+		return out
+	}
+	n := len(e.shards)
+	shardRes := make([][]core.BatchResult, n)
+	tgs := make([][]uint32, n)
+	shares := core.SplitPool(queryPool(opt.Workers), n)
+	var wg sync.WaitGroup
+	for si := range e.shards {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			sh := e.shards[si]
+			inner := opt
+			inner.Workers = shares[si]
+			shardRes[si] = sh.ix.QueryBatch(queries, inner)
+			tgs[si] = sh.mapping()
+		}(si)
+	}
+	wg.Wait()
+	for i := range queries {
+		per := make([]core.QueryStats, n)
+		parts := make([][]core.Match, n)
+		var firstErr error
+		for si := 0; si < n; si++ {
+			r := shardRes[si][i]
+			if r.Err != nil && firstErr == nil {
+				firstErr = r.Err
+			}
+			per[si] = r.Stats
+			parts[si] = toGlobalMatches(r.Matches, tgs[si])
+		}
+		if firstErr != nil {
+			out[i] = BatchResult{Stats: aggregate(per), Err: firstErr}
+			continue
+		}
+		out[i] = BatchResult{Matches: gather(parts), Stats: aggregate(per)}
+	}
+	return out
+}
+
+// TopK gathers each shard's k best and keeps the global k best. A shard's
+// local top-k is a superset of its contribution to the global top-k, so
+// the gathered answer has exactly the quality of a monolithic TopK (the
+// same one-sided filter approximation, no extra loss).
+func (e *Engine) TopK(q set.Set, k int) ([]core.Match, QueryStats, error) {
+	if e.single {
+		m, st, err := e.shards[0].ix.TopK(q, k)
+		return m, QueryStats{QueryStats: st, PerShard: []core.QueryStats{st}}, err
+	}
+	n := len(e.shards)
+	per := make([]core.QueryStats, n)
+	matches := make([][]core.Match, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for si := range e.shards {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			sh := e.shards[si]
+			m, st, err := sh.ix.TopK(q, k)
+			if err != nil {
+				errs[si] = err
+				return
+			}
+			matches[si] = toGlobalMatches(m, sh.mapping())
+			per[si] = st
+		}(si)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, aggregate(per), err
+		}
+	}
+	all := gather(matches)
+	if len(all) > k {
+		all = all[:k]
+	}
+	agg := aggregate(per)
+	agg.Results = len(all)
+	return all, agg, nil
+}
+
+// RouteQuery models both access paths over the whole engine: per-shard
+// routing sums into one plan, and the route is decided on the summed
+// costs (each shard would be probed — or scanned — in full either way).
+func (e *Engine) RouteQuery(lo, hi float64, m storage.CostModel) (core.RoutePlan, error) {
+	if e.single {
+		return e.shards[0].ix.RouteQuery(lo, hi, m)
+	}
+	var rp core.RoutePlan
+	for _, sh := range e.shards {
+		p, err := sh.ix.RouteQuery(lo, hi, m)
+		if err != nil {
+			return core.RoutePlan{}, err
+		}
+		rp.PredictedCandidates += p.PredictedCandidates
+		rp.IndexCost += p.IndexCost
+		rp.ScanCost += p.ScanCost
+	}
+	if rp.IndexCost <= rp.ScanCost {
+		rp.Route = core.RouteIndex
+	} else {
+		rp.Route = core.RouteScan
+	}
+	return rp, nil
+}
+
+// QueryAuto runs each shard on whichever access path that shard's router
+// predicts to be cheaper and gathers the union. The returned path is
+// "index" or "scan" when every shard agreed, "mixed" otherwise — shard
+// partitions can legitimately disagree near the crossover.
+func (e *Engine) QueryAuto(q set.Set, lo, hi float64, m storage.CostModel) ([]core.Match, string, QueryStats, error) {
+	if e.single {
+		matches, route, st, err := e.shards[0].ix.QueryAuto(q, lo, hi, m)
+		return matches, route.String(), QueryStats{QueryStats: st, PerShard: []core.QueryStats{st}}, err
+	}
+	n := len(e.shards)
+	per := make([]core.QueryStats, n)
+	matches := make([][]core.Match, n)
+	routes := make([]core.Route, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for si := range e.shards {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			sh := e.shards[si]
+			mm, route, st, err := sh.ix.QueryAuto(q, lo, hi, m)
+			if err != nil {
+				errs[si] = err
+				return
+			}
+			matches[si] = toGlobalMatches(mm, sh.mapping())
+			routes[si] = route
+			per[si] = st
+		}(si)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, "", aggregate(per), err
+		}
+	}
+	path := routes[0].String()
+	for _, r := range routes[1:] {
+		if r != routes[0] {
+			path = "mixed"
+			break
+		}
+	}
+	return gather(matches), path, aggregate(per), nil
+}

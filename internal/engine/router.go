@@ -1,0 +1,23 @@
+package engine
+
+// shardOf routes a global sid to a shard: a seeded splitmix64-style
+// finalizer over the sid, reduced modulo the shard count. The function is
+// pure — (seed, shards, sid) always lands on the same shard, across
+// processes and across save/load cycles — which is what makes the
+// placement recoverable without persisting a directory: snapshots and
+// write-ahead logs record global sids only, and every reader re-derives
+// the owning shard. The multiplicative mixing spreads consecutive sids
+// (the common insert pattern) evenly, so shard loads stay balanced without
+// coordination.
+func shardOf(seed int64, shards int, g uint32) int {
+	if shards <= 1 {
+		return 0
+	}
+	x := uint64(seed) + 0x9e3779b97f4a7c15 + uint64(g)*0xd1b54a32d192ed03
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(shards))
+}

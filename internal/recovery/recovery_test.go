@@ -347,7 +347,7 @@ func TestOrphanWalsError(t *testing.T) {
 	dir := t.TempDir()
 	// A wal with no checkpoint base is unrecoverable context — Open must
 	// refuse rather than report a clean empty state.
-	w, err := wal.OpenWriter(walPath(dir, 1), 0, wal.SyncNever, 0)
+	w, err := wal.OpenWriter(walPath(dir, 1), 0, wal.SyncNever, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -378,4 +378,98 @@ func TestParseGen(t *testing.T) {
 			t.Errorf("parseGen accepted %q", bad)
 		}
 	}
+}
+
+// TestPaddedSegmentMidChain: a crash between rotation and the outgoing
+// writer's Close leaves the old segment with its preallocation padding
+// intact. A purely zeroed tail must not break the chain — fallback
+// recovery through that segment reaches the newest generation. A nonzero
+// byte in the tail, by contrast, is a torn frame and cuts the chain.
+func TestPaddedSegmentMidChain(t *testing.T) {
+	build := func(t *testing.T) (string, Options, *toyState) {
+		dir := t.TempDir()
+		opt := Options{Dir: dir, Sync: wal.SyncNever, CompactBytes: -1, Keep: 2, PreallocBytes: 4096}
+		s, l, _ := openToy(t, opt)
+		if err := l.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		s.insert(t, l, "a")
+		if err := l.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		s.insert(t, l, "b")
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Rotation trimmed wal-1's padding on Close; restore it to simulate
+		// the crash window where the trim never ran.
+		w1, err := os.OpenFile(walPath(dir, 1), os.O_WRONLY|os.O_APPEND, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w1.Write(make([]byte, 1024)); err != nil {
+			t.Fatal(err)
+		}
+		if err := w1.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Corrupt the newest checkpoint so recovery must fall back through
+		// the padded wal-1.
+		ckpt2 := checkpointPath(dir, 2)
+		data, err := os.ReadFile(ckpt2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(ckptMagic)+1] ^= 0xFF
+		if err := os.WriteFile(ckpt2, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return dir, opt, s
+	}
+
+	t.Run("zero tail chains through", func(t *testing.T) {
+		_, opt, s := build(t)
+		s2, l2, found := openToy(t, opt)
+		if !found {
+			t.Fatal("no state recovered")
+		}
+		defer l2.Close()
+		if !reflect.DeepEqual(s.Sets, s2.Sets) {
+			t.Fatalf("got %+v, want %+v", s2.Sets, s.Sets)
+		}
+		if l2.Seq() != 2 {
+			t.Fatalf("recovered at generation %d, want 2", l2.Seq())
+		}
+	})
+
+	t.Run("nonzero tail cuts the chain", func(t *testing.T) {
+		dir, opt, _ := build(t)
+		f, err := os.OpenFile(walPath(dir, 1), os.O_WRONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fi, err := f.Stat()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One nonzero byte in the middle of the padding: a torn frame.
+		if _, err := f.WriteAt([]byte{0x5A}, fi.Size()-100); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		s2, l2, found := openToy(t, opt)
+		if !found {
+			t.Fatal("no state recovered")
+		}
+		defer l2.Close()
+		want := map[uint32][]string{0: {"a"}}
+		if !reflect.DeepEqual(s2.Sets, want) {
+			t.Fatalf("got %+v, want %+v", s2.Sets, want)
+		}
+		if l2.Seq() != 1 {
+			t.Fatalf("landed at generation %d, want 1", l2.Seq())
+		}
+	})
 }

@@ -1,0 +1,16 @@
+//go:build linux
+
+package wal
+
+import (
+	"os"
+	"syscall"
+)
+
+// fdatasync forces f's data (not its unchanged metadata) to stable
+// storage. The preallocated append path relies on it: in-place writes to
+// already-allocated blocks need no journal commit, so per-record syncs on
+// independent files overlap instead of serializing through the journal.
+func fdatasync(f *os.File) error {
+	return syscall.Fdatasync(int(f.Fd()))
+}

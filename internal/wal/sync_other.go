@@ -1,0 +1,12 @@
+//go:build !linux
+
+package wal
+
+import "os"
+
+// fdatasync falls back to a full fsync where the data-only sync syscall is
+// not portably available; correctness is identical, only the journal-
+// commit saving is lost.
+func fdatasync(f *os.File) error {
+	return f.Sync()
+}

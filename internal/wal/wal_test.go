@@ -35,7 +35,7 @@ func normalize(r Record) Record {
 func writeLog(t *testing.T, recs []Record, policy Policy) string {
 	t.Helper()
 	path := filepath.Join(t.TempDir(), "test.log")
-	w, err := OpenWriter(path, 0, policy, 0)
+	w, err := OpenWriter(path, 0, policy, 0, 0)
 	if err != nil {
 		t.Fatalf("OpenWriter: %v", err)
 	}
@@ -84,7 +84,7 @@ func TestRoundTrip(t *testing.T) {
 
 func TestSizeAccounting(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "size.log")
-	w, err := OpenWriter(path, 0, SyncNever, 0)
+	w, err := OpenWriter(path, 0, SyncNever, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestOpenWriterTruncates(t *testing.T) {
 		t.Fatal(err)
 	}
 	first = int64(frameHeaderSize) + int64(binary.LittleEndian.Uint32(data[:4]))
-	w, err := OpenWriter(path, first, SyncNever, 0)
+	w, err := OpenWriter(path, first, SyncNever, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +222,7 @@ func TestBitFlip(t *testing.T) {
 
 func TestStickyError(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "sticky.log")
-	w, err := OpenWriter(path, 0, SyncNever, 0)
+	w, err := OpenWriter(path, 0, SyncNever, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +248,7 @@ func TestStickyError(t *testing.T) {
 
 func TestSyncIntervalPolicy(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "interval.log")
-	w, err := OpenWriter(path, 0, SyncInterval, time.Hour)
+	w, err := OpenWriter(path, 0, SyncInterval, time.Hour, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,5 +325,164 @@ func TestReplayMissingFile(t *testing.T) {
 	})
 	if err != nil || valid != 0 || n != 0 {
 		t.Fatalf("got valid=%d n=%d err=%v, want zeros", valid, n, err)
+	}
+}
+
+// TestPreallocPadding: a preallocating writer keeps the file physically
+// larger than its logical size, replay of the padded file stops cleanly at
+// the zero tail, and Close trims the padding so the sealed log is
+// byte-identical to one written without preallocation.
+func TestPreallocPadding(t *testing.T) {
+	recs := testRecords()
+	plain := writeLog(t, recs, SyncNever)
+	path := filepath.Join(t.TempDir(), "pre.log")
+	w, err := OpenWriter(path, 0, SyncNever, 0, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	logical := w.Size()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != 4096 || logical >= 4096 {
+		t.Fatalf("physical %d (want 4096), logical %d", fi.Size(), logical)
+	}
+	// Replay of the live, padded file: every record, valid == logical.
+	var got []Record
+	valid, n, err := ReplayFile(path, func(r Record) error {
+		got = append(got, normalize(r))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(recs) || valid != logical {
+		t.Fatalf("padded replay: %d records (want %d), valid %d (want %d)", n, len(recs), valid, logical)
+	}
+	for i := range recs {
+		if !reflect.DeepEqual(normalize(recs[i]), got[i]) {
+			t.Errorf("record %d: got %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sealed, want) {
+		t.Fatalf("sealed padded log differs from plain log: %d vs %d bytes", len(sealed), len(want))
+	}
+}
+
+// TestPreallocExtension: a chunk smaller than the traffic forces repeated
+// zero-fill extensions; records stay replayable throughout.
+func TestPreallocExtension(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ext.log")
+	w, err := OpenWriter(path, 0, SyncNever, 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Record
+	for i := 0; i < 50; i++ {
+		r := Record{Op: OpInsert, SID: uint32(i), Elements: []string{"elem", "another-elem"}}
+		want = append(want, r)
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	logical := w.Size()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() < logical || fi.Size()%64 != 0 {
+		t.Fatalf("physical %d not a chunk multiple covering logical %d", fi.Size(), logical)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got []Record
+	if _, _, err := ReplayFile(path, func(r Record) error {
+		got = append(got, normalize(r))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replay after extensions: got %d records, want %d", len(got), len(want))
+	}
+}
+
+// TestPreallocCrashReopen: a crash leaves the zero padding on disk. Replay
+// finds the valid prefix, and reopening there (with preallocation again)
+// appends past it correctly.
+func TestPreallocCrashReopen(t *testing.T) {
+	recs := testRecords()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "crash.log")
+	w, err := OpenWriter(path, 0, SyncAlways, 0, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate the crash: snapshot the padded on-disk bytes, never Close.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(data)) != 4096 {
+		t.Fatalf("expected padded 4096-byte file, got %d", len(data))
+	}
+	crashed := filepath.Join(dir, "crashed.log")
+	if err := os.WriteFile(crashed, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	valid, n, err := ReplayFile(crashed, func(Record) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(recs) {
+		t.Fatalf("crashed replay: %d records, want %d", n, len(recs))
+	}
+	w2, err := OpenWriter(crashed, valid, SyncAlways, 0, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := Record{Op: OpDelete, SID: 99}
+	if err := w2.Append(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got []Record
+	if _, _, err := ReplayFile(crashed, func(r Record) error {
+		got = append(got, normalize(r))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs)+1 || !reflect.DeepEqual(got[len(got)-1], extra) {
+		t.Fatalf("after reopen+append: %d records, last %+v", len(got), got[len(got)-1])
 	}
 }

@@ -7,7 +7,7 @@ import (
 	"fmt"
 	"io"
 
-	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/set"
 )
 
@@ -20,7 +20,9 @@ type publicSnapshot struct {
 	// Names is the interned-element dictionary in id order (empty for
 	// collections built purely with AddIDs).
 	Names []string
-	// Core is the inner index snapshot (see core.Save).
+	// Core is the inner engine snapshot: a bare core snapshot for
+	// single-shard indexes (byte-identical to previous releases), or a
+	// sharded container (see engine.Save) — Load branches on its magic.
 	Core []byte
 }
 
@@ -28,21 +30,21 @@ type publicSnapshot struct {
 // snapshot reloads with Load into an index that answers queries
 // identically.
 //
-// The dictionary and the core index are captured under one hold of the
-// collection lock — the same lock every Add holds across its interning and
-// core insert — so the two halves of the snapshot always agree even with
-// concurrent mutation traffic. (Capturing them under separate acquisitions
-// would let an Add slip between the core serialization and the dictionary
-// read.)
+// Capture order matters with concurrent mutation traffic: the engine is
+// serialized first and the dictionary read after, and every Add interns
+// its elements before touching the engine — so the captured dictionary is
+// always a superset of the element ids the captured engine references.
+// (The reverse order would let an Add intern-and-insert between the two
+// captures, leaving the engine bytes referencing names the dictionary
+// never recorded.)
 func (ix *Index) Save(w io.Writer) error {
-	ix.coll.mu.Lock()
 	var coreBuf bytes.Buffer
-	err := ix.inner.Save(&coreBuf)
-	names := ix.coll.dict.NamesInOrder()
-	ix.coll.mu.Unlock()
-	if err != nil {
+	if err := ix.inner.Save(&coreBuf); err != nil {
 		return err
 	}
+	ix.coll.mu.Lock()
+	names := ix.coll.dict.NamesInOrder()
+	ix.coll.mu.Unlock()
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(persistMagic); err != nil {
 		return fmt.Errorf("ssr: writing snapshot header: %w", err)
@@ -72,7 +74,7 @@ func Load(r io.Reader) (*Index, error) {
 	if err := gob.NewDecoder(br).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("ssr: decoding snapshot: %w", err)
 	}
-	inner, err := core.Load(bytes.NewReader(snap.Core))
+	inner, err := engine.Load(bytes.NewReader(snap.Core))
 	if err != nil {
 		return nil, err
 	}

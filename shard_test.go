@@ -1,0 +1,255 @@
+package ssr
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestAddIDsRejectsInternedCollisions pins the Add/AddIDs mixing contract:
+// interned ids are dense from zero, so an external id below the current
+// dictionary size would silently alias an interned element and corrupt
+// every similarity the aliased sets participate in. Such ids must be
+// rejected, ids at or above the dictionary size must keep working, and
+// pure-AddIDs collections (empty dictionary) must accept any numbering.
+func TestAddIDsRejectsInternedCollisions(t *testing.T) {
+	pure := NewCollection()
+	if _, err := pure.AddIDs(0, 1, 2); err != nil {
+		t.Fatalf("pure AddIDs collection rejected id 0: %v", err)
+	}
+
+	c := NewCollection()
+	c.Add("alpha", "beta", "gamma") // interns ids 0, 1, 2
+	if _, err := c.AddIDs(1, 500); err == nil {
+		t.Fatal("AddIDs accepted external id 1 inside the interned space [0, 3)")
+	} else if !strings.Contains(err.Error(), "collides") {
+		t.Fatalf("collision error does not explain itself: %v", err)
+	}
+	sid, err := c.AddIDs(3, 500)
+	if err != nil {
+		t.Fatalf("AddIDs rejected non-colliding ids: %v", err)
+	}
+	if sid != 1 {
+		t.Fatalf("AddIDs sid = %d, want 1", sid)
+	}
+	// The rejected call must not have appended a set.
+	if c.Len() != 2 {
+		t.Fatalf("collection length %d after one rejected AddIDs, want 2", c.Len())
+	}
+	// Interning more elements moves the boundary.
+	c.Add("delta") // id 3 now interned
+	if _, err := c.AddIDs(3); err == nil {
+		t.Fatal("AddIDs accepted id 3 after it was interned")
+	}
+}
+
+// shardSweepQueries are fixed probes with mass at several similarity
+// levels against goldenSnapshotCollection.
+func shardSweepQueries() [][]string {
+	var qs [][]string
+	for base := 0; base < 12; base += 3 {
+		var elems []string
+		for j := 0; j < 9; j++ {
+			elems = append(elems, fmt.Sprintf("e%d", base*6+j))
+		}
+		qs = append(qs, elems)
+	}
+	return qs
+}
+
+// TestPublicShardSweepIdenticalMatches builds the same collection at 1, 2,
+// 3, and 8 shards through the public API and checks every query answers
+// with the identical exact-verified match set — the cross-shard-count
+// determinism contract (one global D_S profile ⇒ identical per-shard
+// plans ⇒ identical candidacy ⇒ identical verified matches).
+func TestPublicShardSweepIdenticalMatches(t *testing.T) {
+	queries := shardSweepQueries()
+	var want [][]Match
+	for _, shards := range []int{1, 2, 3, 8} {
+		opt := goldenSnapshotOptions()
+		opt.Shards = shards
+		ix, err := Build(goldenSnapshotCollection(), opt)
+		if err != nil {
+			t.Fatalf("shards=%d: Build: %v", shards, err)
+		}
+		if ix.Shards() != shards {
+			t.Fatalf("Shards() = %d, want %d", ix.Shards(), shards)
+		}
+		var got [][]Match
+		total := 0
+		for qi, q := range queries {
+			matches, stats, err := ix.Query(q, 0.3, 1.0)
+			if err != nil {
+				t.Fatalf("shards=%d query %d: %v", shards, qi, err)
+			}
+			if len(stats.PerShard) != shards {
+				t.Fatalf("shards=%d query %d: %d per-shard stats", shards, qi, len(stats.PerShard))
+			}
+			var agg ShardStats
+			for _, ps := range stats.PerShard {
+				agg.Candidates += ps.Candidates
+				agg.Results += ps.Results
+			}
+			if agg.Candidates != stats.Candidates || agg.Results != stats.Results {
+				t.Fatalf("shards=%d query %d: per-shard stats (%d cand, %d res) do not sum to the aggregate (%d, %d)",
+					shards, qi, agg.Candidates, agg.Results, stats.Candidates, stats.Results)
+			}
+			got = append(got, matches)
+			total += len(matches)
+		}
+		if total == 0 {
+			t.Fatalf("shards=%d: sweep found no matches at all (fixture too sparse to mean anything)", shards)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		for qi := range queries {
+			if fmt.Sprint(got[qi]) != fmt.Sprint(want[qi]) {
+				t.Fatalf("shards=%d query %d: matches diverge from single-shard answer:\n  got  %v\n  want %v",
+					shards, qi, got[qi], want[qi])
+			}
+		}
+	}
+}
+
+// TestShardedSnapshotRoundTrip saves and reloads a 3-shard index through
+// the public snapshot format: shard count, sid numbering, and query
+// answers must all survive.
+func TestShardedSnapshotRoundTrip(t *testing.T) {
+	opt := goldenSnapshotOptions()
+	opt.Shards = 3
+	ix, err := Build(goldenSnapshotCollection(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Shards() != 3 {
+		t.Fatalf("reloaded with %d shards, want 3", re.Shards())
+	}
+	for qi, q := range shardSweepQueries() {
+		a, _, err := ix.Query(q, 0.3, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := re.Query(q, 0.3, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			t.Fatalf("query %d: reloaded index diverged", qi)
+		}
+	}
+	// A second Save must be byte-identical (deterministic serialization).
+	var buf2 bytes.Buffer
+	if err := re.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("sharded snapshot is not byte-stable across a save/load cycle")
+	}
+}
+
+// TestBuildShardDeterminism: two public builds with the same (Seed,
+// Shards) must serialize bit-identically.
+func TestBuildShardDeterminism(t *testing.T) {
+	opt := goldenSnapshotOptions()
+	opt.Shards = 4
+	a, err := Build(goldenSnapshotCollection(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(goldenSnapshotCollection(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ba, bb bytes.Buffer
+	if err := a.Save(&ba); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Save(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		t.Fatal("two identically-seeded sharded builds serialized differently")
+	}
+}
+
+// TestShardedMixedStress is the public-API -race workhorse for the shard
+// layer: concurrent Adds, Removes, and range queries against a durable
+// multi-shard index. During the storm only absence of errors, deadlocks,
+// and races is asserted; afterwards the surviving state must round-trip
+// through close-and-recover bit-identically.
+func TestShardedMixedStress(t *testing.T) {
+	dir := t.TempDir()
+	ix, err := CreateDurable(dir, bookstore(), durableShardedBuildOpts(4),
+		DurableOptions{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers, readers, perWriter = 4, 3, 25
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers+readers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				sid, err := ix.Add(fmt.Sprintf("stress-%d-%d", w, i), "shared-elem")
+				if err != nil {
+					errCh <- fmt.Errorf("writer %d add %d: %w", w, i, err)
+					return
+				}
+				if i%6 == 2 {
+					if err := ix.Remove(sid); err != nil {
+						errCh <- fmt.Errorf("writer %d remove %d: %w", w, sid, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				if _, _, err := ix.Query([]string{"dune", "foundation", "shared-elem"}, 0.2, 1.0); err != nil {
+					errCh <- fmt.Errorf("reader %d query %d: %w", r, i, err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	before := saveBytes(t, ix)
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenDurable(dir, DurableOptions{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if !bytes.Equal(saveBytes(t, re), before) {
+		t.Fatal("post-stress recovery produced a different snapshot")
+	}
+}

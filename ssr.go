@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/embed"
+	"repro/internal/engine"
 	"repro/internal/optimize"
 	"repro/internal/set"
 	"repro/internal/simdist"
@@ -79,6 +80,14 @@ type Options struct {
 	// filter population). 0 uses every CPU, 1 forces a serial build; every
 	// value produces a bit-identical index.
 	Workers int
+	// Shards splits the index into independently locked partitions: writes
+	// to different shards proceed concurrently, and in durable mode each
+	// shard keeps its own write-ahead log and checkpoints. Queries scatter
+	// across all shards and gather; because every shard is planned from
+	// the one global similarity distribution, query results are identical
+	// for every shard count. 0 or 1 (the default) builds the classic
+	// monolithic index, bit-identical to previous releases.
+	Shards int
 }
 
 // Collection accumulates sets before building an index. Elements are
@@ -108,13 +117,22 @@ func (c *Collection) Add(elements ...string) int {
 
 // AddIDs appends a set of pre-interned (or externally numbered) elements.
 // Mixing AddIDs and Add in one collection is allowed only if the caller's
-// numbering cannot collide with interned ids (interned ids are dense from
-// zero).
-func (c *Collection) AddIDs(elements ...uint64) int {
+// numbering cannot collide with interned ids: interned ids are dense from
+// zero, so any external id below the current dictionary size would silently
+// alias an interned element (two distinct elements comparing equal, which
+// corrupts every similarity the aliased sets participate in). Such
+// collisions are rejected with an error instead.
+func (c *Collection) AddIDs(elements ...uint64) (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	interned := uint64(c.dict.Len())
+	for _, e := range elements {
+		if e < interned {
+			return 0, fmt.Errorf("ssr: external id %d collides with the interned id space [0, %d); use ids at or above the dictionary size or intern via Add", e, interned)
+		}
+	}
 	c.sets = append(c.sets, set.New(elements...))
-	return len(c.sets) - 1
+	return len(c.sets) - 1, nil
 }
 
 // Len returns the number of sets added.
@@ -144,6 +162,19 @@ func (c *Collection) intern(elements []string) set.Set {
 	return c.dict.InternSet(elements...)
 }
 
+// record stores set s at sid position, growing the slice as needed —
+// inserts on a sharded index can complete out of submission order, so
+// positions between the recorded one and the end may be briefly empty
+// while their inserts are in flight.
+func (c *Collection) record(sid int, s set.Set) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.sets) <= sid {
+		c.sets = append(c.sets, set.Set{})
+	}
+	c.sets[sid] = s
+}
+
 // Match is one query result.
 type Match struct {
 	// SID is the matching set's identifier (its Add order).
@@ -152,7 +183,9 @@ type Match struct {
 	Similarity float64
 }
 
-// Stats reports per-query cost and filter behaviour.
+// Stats reports per-query cost and filter behaviour. On a sharded index
+// the top-level counters aggregate across all shards and PerShard breaks
+// them down by shard.
 type Stats struct {
 	// Candidates is how many sets the filter stage proposed.
 	Candidates int
@@ -166,15 +199,32 @@ type Stats struct {
 	// SimulatedIOTime converts those reads under the default cost model
 	// (random read = 8 × sequential, the paper's rtn).
 	SimulatedIOTime time.Duration
-	// CPUTime is the measured in-memory processing time.
+	// CPUTime is the measured in-memory processing time (summed across
+	// shards; shards execute concurrently, so this exceeds wall time).
 	CPUTime time.Duration
+	// PerShard holds each shard's own accounting, indexed by shard number
+	// (one entry on an unsharded index).
+	PerShard []ShardStats
+}
+
+// ShardStats is one shard's share of a query's work.
+type ShardStats struct {
+	// Candidates and Results are the shard's filter proposals and verified
+	// matches.
+	Candidates, Results int
+	// RandomPageReads and SequentialPageReads count the shard's simulated
+	// disk I/O.
+	RandomPageReads, SequentialPageReads int64
 }
 
 // Index answers similarity range queries over a built collection.
-// It is safe for concurrent use.
+// It is safe for concurrent use. With Options.Shards > 1 the index is
+// partitioned across independently locked shards: writes to different
+// shards proceed concurrently and queries scatter-gather, with identical
+// results to the monolithic layout.
 type Index struct {
 	coll  *Collection
-	inner *core.Index
+	inner *engine.Engine
 	// dur is non-nil for indices opened through OpenDurable/CreateDurable:
 	// mutations then pass through the write-ahead log before they are
 	// acknowledged. See durable.go.
@@ -211,24 +261,35 @@ func Build(c *Collection, opt Options) (*Index, error) {
 	if opt.UniformAllocation {
 		popt.Allocation = optimize.UniformTables
 	}
+	if opt.Shards > engine.MaxShards {
+		return nil, fmt.Errorf("ssr: Options.Shards %d exceeds the maximum %d", opt.Shards, engine.MaxShards)
+	}
 	c.mu.Lock()
 	sets := make([]set.Set, len(c.sets))
 	copy(sets, c.sets)
 	c.mu.Unlock()
-	inner, err := core.Build(sets, core.Options{
-		Embed:          eopt,
-		Plan:           popt,
-		PageSize:       opt.PageSize,
-		PayloadPerElem: opt.PayloadBytesPerElement,
-		DistSample:     opt.DistSample,
-		DistSeed:       opt.Seed,
-		Workers:        opt.Workers,
+	inner, err := engine.Build(sets, engine.Options{
+		Shards:     opt.Shards,
+		RouterSeed: opt.Seed,
+		Core: core.Options{
+			Embed:          eopt,
+			Plan:           popt,
+			PageSize:       opt.PageSize,
+			PayloadPerElem: opt.PayloadBytesPerElement,
+			DistSample:     opt.DistSample,
+			DistSeed:       opt.Seed,
+			Workers:        opt.Workers,
+		},
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &Index{coll: c, inner: inner}, nil
 }
+
+// Shards returns the number of independently locked partitions the index
+// runs on (1 for the classic monolithic layout).
+func (ix *Index) Shards() int { return ix.inner.NumShards() }
 
 // Query returns the sets whose Jaccard similarity with the query elements
 // lies in [lo, hi], sorted by descending similarity.
@@ -281,10 +342,10 @@ func convertMatches(matches []core.Match) []Match {
 }
 
 // convertStats maps internal query stats to the public type under the
-// default cost model.
-func convertStats(qs core.QueryStats) Stats {
+// default cost model, carrying the per-shard breakdown through.
+func convertStats(qs engine.QueryStats) Stats {
 	model := storage.DefaultCostModel()
-	return Stats{
+	st := Stats{
 		Candidates:          qs.Candidates,
 		Results:             qs.Results,
 		Screened:            qs.Screened,
@@ -293,6 +354,16 @@ func convertStats(qs core.QueryStats) Stats {
 		SimulatedIOTime:     qs.SimIOTime(model),
 		CPUTime:             qs.CPU,
 	}
+	for i := range qs.PerShard {
+		ps := &qs.PerShard[i]
+		st.PerShard = append(st.PerShard, ShardStats{
+			Candidates:          ps.Candidates,
+			Results:             ps.Results,
+			RandomPageReads:     ps.IndexIO.Rand() + ps.FetchIO.Rand(),
+			SequentialPageReads: ps.IndexIO.Seq() + ps.FetchIO.Seq(),
+		})
+	}
+	return st
 }
 
 // QueryOptions tunes the query processor. The zero value reproduces Query's
@@ -387,26 +458,23 @@ func (ix *Index) Add(elements ...string) (int, error) {
 	return ix.add(elements)
 }
 
-// add is the in-memory insert path. The collection lock is held across the
-// dictionary interning AND the core insert, so the dictionary, the
-// sid-indexed set views, and the core index mutate as one unit — a
-// concurrent Save (which captures under the same lock) always sees the
-// three in agreement, and two concurrent Adds cannot interleave into a sid
-// mismatch.
+// add is the in-memory insert path. Interning happens before the engine
+// insert and recording after it, with the collection lock held only for
+// those two leaf steps — never across the engine call — so concurrent
+// adds to different shards proceed in parallel. The ordering keeps
+// snapshots consistent: elements are in the dictionary before any engine
+// state references them (Save captures engine bytes first, names after,
+// so the captured dictionary is always a superset of what the captured
+// engine needs), and the engine assigns the global sid, so two concurrent
+// adds can never disagree with it.
 func (ix *Index) add(elements []string) (int, error) {
-	ix.coll.mu.Lock()
-	defer ix.coll.mu.Unlock()
-	s := ix.coll.dict.InternSet(elements...)
-	got, err := ix.inner.Insert(s)
+	s := ix.coll.intern(elements)
+	g, err := ix.inner.Insert(s)
 	if err != nil {
 		return 0, err
 	}
-	ix.coll.sets = append(ix.coll.sets, s)
-	sid := len(ix.coll.sets) - 1
-	if int(got) != sid {
-		return 0, fmt.Errorf("ssr: sid mismatch after insert: %d vs %d", got, sid)
-	}
-	return sid, nil
+	ix.coll.record(int(g), s)
+	return int(g), nil
 }
 
 // EstimateAnswerSize predicts how many sets a query with range [lo, hi]
@@ -419,7 +487,9 @@ func (ix *Index) EstimateAnswerSize(lo, hi float64) (float64, error) {
 
 // RouteInfo explains a QueryAuto access-path decision.
 type RouteInfo struct {
-	// Path is "index" or "scan".
+	// Path is "index" or "scan" — or, on a sharded index, "mixed" when
+	// different shards chose different paths (partitions can legitimately
+	// disagree near the cost crossover).
 	Path string
 	// PredictedCandidates is the modeled candidate count of the index
 	// path.
@@ -448,10 +518,13 @@ func (ix *Index) QueryAuto(elements []string, lo, hi float64) ([]Match, RouteInf
 		IndexCost:           rp.IndexCost,
 		ScanCost:            rp.ScanCost,
 	}
-	matches, _, qs, err := ix.inner.QueryAuto(ix.coll.intern(elements), lo, hi, model)
+	matches, path, qs, err := ix.inner.QueryAuto(ix.coll.intern(elements), lo, hi, model)
 	if err != nil {
 		return nil, info, Stats{}, err
 	}
+	// Report the path(s) that actually ran: on a sharded index each shard
+	// routes independently, which can differ from the aggregate prediction.
+	info.Path = path
 	return convertMatches(matches), info, convertStats(qs), nil
 }
 
@@ -571,9 +644,13 @@ func (ix *Index) Distribution() []float64 {
 	return out
 }
 
-// Internal exposes the underlying core index for benchmark and experiment
+// Len returns the number of live sets in the index (inserts minus
+// removals).
+func (ix *Index) Len() int { return ix.inner.Len() }
+
+// Internal exposes the underlying engine for benchmark and experiment
 // code inside this module. It is not part of the stable API.
-func (ix *Index) Internal() *core.Index { return ix.inner }
+func (ix *Index) Internal() *engine.Engine { return ix.inner }
 
 // Sets returns a copy of the collection's set views (internal use by the
 // benchmark harness).
