@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet ssrvet race crash fuzz-smoke bench-json bench-shards check
+.PHONY: all build test vet ssrvet race crash fuzz-smoke bench-json bench-shards bench-drift check
 
 all: check
 
@@ -26,8 +26,8 @@ ssrvet:
 # layer only mean something with -race on). CI runs the full tree; this
 # is the fast local loop.
 race:
-	$(GO) test -race ./internal/core/ ./internal/engine/ ./internal/server/ ./internal/wal/ ./internal/recovery/
-	$(GO) test -race -run 'TestShardedMixedStress' .
+	$(GO) test -race ./internal/core/ ./internal/engine/ ./internal/server/ ./internal/wal/ ./internal/recovery/ ./internal/tuner/
+	$(GO) test -race -run 'TestShardedMixedStress|TestManualRetune|TestAutoTune' .
 
 # The durability stack: WAL torn-tail/bit-flip sweeps, chained-checkpoint
 # recovery, and the crash-injection harness — all under -race.
@@ -61,5 +61,12 @@ bench-json:
 # needs a real disk. Takes a couple of minutes.
 bench-shards:
 	$(GO) run ./cmd/ssrbench -exp shards -json -out BENCH_shards.json
+
+# The adaptive re-tuning report: recall/precision/candidate volume before
+# drift, after a distribution-shifting insert stream on the stale plan,
+# and after the drift-triggered retune — one query workload shared by the
+# last two phases so the rows differ only in the plan that served them.
+bench-drift:
+	$(GO) run ./cmd/ssrbench -exp drift -json -n $(BENCH_N) -queries $(BENCH_QUERIES) -out BENCH_drift.json
 
 check: build vet ssrvet test

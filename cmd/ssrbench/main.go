@@ -10,6 +10,8 @@
 //	                                    # parallel-pipeline report as JSON
 //	ssrbench -exp shards -json -out BENCH_shards.json
 //	                                    # sharded-engine report as JSON
+//	ssrbench -exp drift -json -out BENCH_drift.json
+//	                                    # adaptive re-tuning under drift
 //
 // The paper's experiments used 200,000-set collections; the defaults here
 // are laptop-scale but preserve the reported shapes. Raise -n and -queries
@@ -30,7 +32,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig6a, fig6b, fig7a, fig7b, filtercurve, rltradeoff, placement, allocation, intervals, dfigain, embedding, profile, bench, shards, all")
+		exp      = flag.String("exp", "all", "experiment: fig6a, fig6b, fig7a, fig7b, filtercurve, rltradeoff, placement, allocation, intervals, dfigain, embedding, profile, bench, drift, shards, all")
 		n        = flag.Int("n", 0, "collection size per dataset (0 = default)")
 		queries  = flag.Int("queries", 0, "number of random queries (0 = default)")
 		budget   = flag.Int("budget", 0, "hash-table budget override (0 = per-experiment default)")
@@ -76,13 +78,17 @@ func main() {
 	if *jsonFlag {
 		// JSON mode: the bench report goes to out as one JSON document; the
 		// human-readable table stays on stderr for the build log. -exp picks
-		// which report: shards for the sharded-engine bench, anything else
-		// for the parallel-pipeline bench.
+		// which report: shards for the sharded-engine bench, drift for the
+		// adaptive re-tuning report, anything else for the parallel-pipeline
+		// bench.
 		var rep any
 		var err error
-		if strings.ToLower(*exp) == "shards" {
+		switch strings.ToLower(*exp) {
+		case "shards":
 			rep, err = shardbench.Run(os.Stderr, shardCfg)
-		} else {
+		case "drift":
+			rep, err = experiments.Drift(os.Stderr, cfg)
+		default:
 			rep, err = experiments.Bench(os.Stderr, cfg)
 		}
 		if err != nil {
@@ -130,6 +136,7 @@ func run(w io.Writer, exp string, cfg experiments.Config, shardCfg shardbench.Co
 		{"embedding", func(w io.Writer) error { _, err := experiments.Embedding(w, cfg); return err }},
 		{"profile", func(w io.Writer) error { _, err := experiments.Profile(w, cfg); return err }},
 		{"bench", func(w io.Writer) error { _, err := experiments.Bench(w, cfg); return err }},
+		{"drift", func(w io.Writer) error { _, err := experiments.Drift(w, cfg); return err }},
 	}
 	if exp != "all" {
 		for _, j := range jobs {

@@ -45,6 +45,8 @@ func main() {
 		load     = flag.String("load", "", "load the index from a snapshot instead of building")
 		walDir   = flag.String("wal", "", "durability directory (bootstrap from -data, or recover if it has state)")
 		walPre   = flag.Int64("wal-prealloc", 0, "preallocate log segments in chunks of this many bytes (0 = plain append+fsync)")
+		autotune = flag.Bool("autotune", false, "track similarity drift and hot-swap a re-derived plan in the background while this process runs")
+		retune   = flag.Bool("retune", false, "re-derive the plan from the live collection once after opening (on a durable index the new plan is checkpointed)")
 	)
 	flag.Parse()
 	if *data == "" && *load == "" && *walDir == "" {
@@ -55,13 +57,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ssrindex: -wal and -load are mutually exclusive (the durability directory has its own checkpoints)")
 		os.Exit(1)
 	}
-	if err := run(*data, *budget, *recall, *k, *seed, *shards, *queryIdx, *lo, *hi, *plan, *limit, *save, *load, *walDir, *walPre); err != nil {
+	if err := run(*data, *budget, *recall, *k, *seed, *shards, *queryIdx, *lo, *hi, *plan, *limit, *save, *load, *walDir, *walPre, *autotune, *retune); err != nil {
 		fmt.Fprintf(os.Stderr, "ssrindex: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, budget int, recall float64, k int, seed int64, shards, queryIdx int, lo, hi float64, planOnly bool, limit int, savePath, loadPath, walDir string, walPre int64) (err error) {
+func run(path string, budget int, recall float64, k int, seed int64, shards, queryIdx int, lo, hi float64, planOnly bool, limit int, savePath, loadPath, walDir string, walPre int64, autotune, retune bool) (err error) {
 	var ix *ssr.Index
 	switch {
 	case walDir != "":
@@ -108,6 +110,18 @@ func run(path string, budget int, recall float64, k int, seed int64, shards, que
 			return err
 		}
 		fmt.Printf("built index in %v\n", time.Since(start).Round(time.Millisecond))
+	}
+	if autotune {
+		if err := ix.EnableAutoTune(ssr.TunePolicy{Seed: seed}); err != nil {
+			return err
+		}
+	}
+	if retune {
+		rep, err := ix.Retune()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("retuned: swapped=%v generation=%d drift=%.3f\n", rep.Swapped, rep.Generation, rep.Drift)
 	}
 	if savePath != "" {
 		f, err := os.Create(savePath)

@@ -56,6 +56,10 @@ func main() {
 		walCkptBytes = flag.Int64("wal-checkpoint-bytes", 8<<20, "checkpoint + rotate once the live log exceeds this size")
 		walPrealloc  = flag.Int64("wal-prealloc", 0, "preallocate log segments in chunks of this many bytes (0 = plain append+fsync)")
 
+		autotune      = flag.Bool("autotune", false, "track similarity drift online and hot-swap a re-derived plan when it passes the threshold (durable indexes checkpoint the new plan)")
+		autotuneEvery = flag.Duration("autotune-interval", 30*time.Second, "drift evaluation period under -autotune")
+		autotuneDrift = flag.Float64("autotune-drift", 0, "drift threshold (max CDF distance) that triggers a retune; 0 = default 0.15")
+
 		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
 	)
 	flag.Parse()
@@ -67,6 +71,13 @@ func main() {
 	ix, err := openIndex(*data, *snapshot, *walDir, *walSync, *walSyncEvery, *walCkptBytes, *walPrealloc, *budget, *recall, *k, *seed, *shards)
 	if err != nil {
 		log.Fatalf("ssrserver: %v", err)
+	}
+	if *autotune {
+		policy := ssr.TunePolicy{CheckEvery: *autotuneEvery, DriftThreshold: *autotuneDrift, Seed: *seed}
+		if err := ix.EnableAutoTune(policy); err != nil {
+			log.Fatalf("ssrserver: enabling auto-tune: %v", err)
+		}
+		log.Printf("auto-tune enabled (interval %v); tuner state on GET /stats", *autotuneEvery)
 	}
 	log.Printf("serving %d sets on %s", ix.Internal().Len(), *addr)
 	srv := &http.Server{

@@ -18,7 +18,7 @@
 //
 //	seededrand     repro/internal/... (all library code)
 //	floatcmp       repro/internal/{lsh,optimize,simdist,eval}
-//	droppederr     repro (persist.go and friends), repro/internal/{storage,textio,server,wal,recovery,engine}, repro/cmd/...
+//	droppederr     repro (persist.go and friends), repro/internal/{storage,textio,server,wal,recovery,engine,tuner}, repro/cmd/...
 //	guardedescape  everywhere
 //
 // The analyzers themselves are policy-free; this binary is where the repo
@@ -79,6 +79,7 @@ var suite = []scopedAnalyzer{
 			"repro/internal/wal",
 			"repro/internal/recovery",
 			"repro/internal/engine",
+			"repro/internal/tuner",
 			"repro/cmd",
 		)(path)
 	}},

@@ -17,6 +17,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/recovery"
 	"repro/internal/set"
+	"repro/internal/simdist"
 	"repro/internal/wal"
 )
 
@@ -236,8 +237,14 @@ type shardCheckpoint struct {
 	Core       []byte
 }
 
-// saveShardCheckpoint writes shard si's checkpoint payload.
+// saveShardCheckpoint writes shard si's checkpoint payload. Retuned
+// indexes append a tunerTrailer after the shardCheckpoint value (same
+// optional-second-gob-value convention as the public snapshot format), so
+// never-retuned checkpoints stay byte-identical to previous releases.
 func (ix *Index) saveShardCheckpoint(w io.Writer, si int) error {
+	// Captured before the shard bytes; see Index.Save for why this
+	// ordering is the benign one under a concurrent retune.
+	gen, hist := ix.inner.TuneState()
 	coreBytes, toGlobal, numGlobals, err := ix.inner.ShardSnapshot(si)
 	if err != nil {
 		return err
@@ -257,26 +264,42 @@ func (ix *Index) saveShardCheckpoint(w io.Writer, si int) error {
 	if _, err := io.WriteString(w, shardCheckpointMagic); err != nil {
 		return fmt.Errorf("ssr: writing shard checkpoint header: %w", err)
 	}
-	if err := gob.NewEncoder(w).Encode(&cp); err != nil {
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(&cp); err != nil {
 		return fmt.Errorf("ssr: encoding shard checkpoint: %w", err)
+	}
+	if gen > 0 {
+		tt := tunerTrailer{Generation: gen}
+		if hist != nil {
+			tt.BaselineBins = hist.RawBins()
+		}
+		if err := enc.Encode(&tt); err != nil {
+			return fmt.Errorf("ssr: encoding shard tuner trailer: %w", err)
+		}
 	}
 	return nil
 }
 
-// loadShardCheckpoint parses one shard's checkpoint payload.
-func loadShardCheckpoint(r io.Reader) (*shardCheckpoint, error) {
+// loadShardCheckpoint parses one shard's checkpoint payload. The trailer
+// is nil for checkpoints written before any retune (or by older code).
+func loadShardCheckpoint(r io.Reader) (*shardCheckpoint, *tunerTrailer, error) {
 	magic := make([]byte, len(shardCheckpointMagic))
 	if _, err := io.ReadFull(r, magic); err != nil {
-		return nil, fmt.Errorf("ssr: reading shard checkpoint header: %w", err)
+		return nil, nil, fmt.Errorf("ssr: reading shard checkpoint header: %w", err)
 	}
 	if string(magic) != shardCheckpointMagic {
-		return nil, fmt.Errorf("ssr: not a shard checkpoint (bad magic %q)", magic)
+		return nil, nil, fmt.Errorf("ssr: not a shard checkpoint (bad magic %q)", magic)
 	}
+	dec := gob.NewDecoder(r)
 	var cp shardCheckpoint
-	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
-		return nil, fmt.Errorf("ssr: decoding shard checkpoint: %w", err)
+	if err := dec.Decode(&cp); err != nil {
+		return nil, nil, fmt.Errorf("ssr: decoding shard checkpoint: %w", err)
 	}
-	return &cp, nil
+	trailer, err := decodeTrailer(dec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &cp, trailer, nil
 }
 
 // OpenDurable opens the durable index stored in dir: it loads the newest
@@ -319,8 +342,9 @@ func openDurableSharded(dir string, man durableManifest, opt DurableOptions) (*I
 	n := man.Shards
 	ix := &Index{}
 	type slot struct {
-		cp   *shardCheckpoint
-		recs []wal.Record
+		cp      *shardCheckpoint
+		trailer *tunerTrailer
+		recs    []wal.Record
 	}
 	slots := make([]slot, n)
 	logs := make([]*recovery.Log, n)
@@ -335,7 +359,7 @@ func openDurableSharded(dir string, man durableManifest, opt DurableOptions) (*I
 		si := si
 		h := recovery.Hooks{
 			Load: func(r io.Reader) error {
-				cp, err := loadShardCheckpoint(r)
+				cp, trailer, err := loadShardCheckpoint(r)
 				if err != nil {
 					return err
 				}
@@ -345,7 +369,7 @@ func openDurableSharded(dir string, man durableManifest, opt DurableOptions) (*I
 				}
 				// A fallback to an older generation re-enters here; reset
 				// the slot so nothing from the rejected generation leaks.
-				slots[si] = slot{cp: cp}
+				slots[si] = slot{cp: cp, trailer: trailer}
 				return nil
 			},
 			Apply: func(rec wal.Record) error {
@@ -388,10 +412,52 @@ func openDurableSharded(dir string, man durableManifest, opt DurableOptions) (*I
 		cores[si] = cix
 		globals[si] = cp.Globals
 	}
+	// Shards checkpoint independently, so a crash between a retune and the
+	// last shard's next checkpoint leaves checkpoints from different plan
+	// generations on disk. The highest generation wins (it is the one a
+	// completed retune installed everywhere): stale shards are rebuilt in
+	// place with the winner's plan, restoring the cross-shard plan
+	// identity that scatter-gather correctness rests on.
+	winGen, winSi := uint64(0), -1
+	for si := range slots {
+		if tt := slots[si].trailer; tt != nil && tt.Generation > winGen {
+			winGen, winSi = tt.Generation, si
+		}
+	}
+	var winHist *simdist.Histogram
+	if winSi >= 0 {
+		winHist = slots[winSi].trailer.trailerHist()
+		winPlan := cores[winSi].Plan()
+		for si := range cores {
+			if tt := slots[si].trailer; tt != nil && tt.Generation == winGen {
+				continue
+			}
+			csets, csigs, ctombs, err := cores[si].CaptureRebuild()
+			if err != nil {
+				closeAll()
+				return nil, fmt.Errorf("ssr: capturing stale shard %d for plan normalization: %w", si, err)
+			}
+			sopt := cores[si].BuildOptions()
+			planCopy := winPlan
+			sopt.PlanOverride = &planCopy
+			sopt.Distribution = winHist
+			sopt.PrecomputedSignatures = csigs
+			sopt.Tombstones = ctombs
+			rebuilt, err := core.Build(csets, sopt)
+			if err != nil {
+				closeAll()
+				return nil, fmt.Errorf("ssr: rebuilding stale shard %d onto plan generation %d: %w", si, winGen, err)
+			}
+			cores[si] = rebuilt
+		}
+	}
 	eng, err := engine.Assemble(man.RouterSeed, cores, globals, numGlobals)
 	if err != nil {
 		closeAll()
 		return nil, err
+	}
+	if winGen > 0 {
+		eng.AdoptTuneState(winGen, winHist)
 	}
 	coll := NewCollection()
 	coll.dict = set.DictionaryFromNames(names)
@@ -469,9 +535,23 @@ func CreateDurable(dir string, c *Collection, bopt Options, dopt DurableOptions)
 	if has {
 		return nil, fmt.Errorf("ssr: %s already holds durable state (use OpenDurable)", dir)
 	}
+	// Auto-tuning starts only after the durable lanes are installed: the
+	// background loop checkpoints after a swap, which needs ix.dur in
+	// place (and its publication to happen-before the loop's first tick).
+	autoTune := bopt.AutoTune
+	bopt.AutoTune = false
 	ix, err := Build(c, bopt)
 	if err != nil {
 		return nil, err
+	}
+	enableTune := func(ix *Index) (*Index, error) {
+		if !autoTune {
+			return ix, nil
+		}
+		if err := ix.EnableAutoTune(bopt.TunePolicy); err != nil {
+			return nil, errors.Join(err, ix.Close())
+		}
+		return ix, nil
 	}
 	if ix.inner.NumShards() == 1 {
 		log, found, err := recovery.Open(dopt.recoveryOptions(dir), ix.hooks())
@@ -486,7 +566,7 @@ func CreateDurable(dir string, c *Collection, bopt Options, dopt DurableOptions)
 			return nil, errors.Join(err, log.Close())
 		}
 		ix.dur = &durable{shards: []*durableShard{{log: log}}}
-		return ix, nil
+		return enableTune(ix)
 	}
 	n := ix.inner.NumShards()
 	logs := make([]*recovery.Log, 0, n)
@@ -530,7 +610,7 @@ func CreateDurable(dir string, c *Collection, bopt Options, dopt DurableOptions)
 		shards[si] = &durableShard{log: l}
 	}
 	ix.dur = &durable{shards: shards}
-	return ix, nil
+	return enableTune(ix)
 }
 
 // errClosed is the uniform mutation error after Close.
@@ -642,7 +722,13 @@ func (ix *Index) Checkpoint() error {
 // or non-durable index closes as a no-op. Queries keep working after
 // Close; mutations error.
 func (ix *Index) Close() error {
-	if ix == nil || ix.dur == nil {
+	if ix == nil {
+		return nil
+	}
+	// The auto-tune loop stops on every Close, durable or not — it is the
+	// one background goroutine a non-durable index can own.
+	ix.stopAutoTune()
+	if ix.dur == nil {
 		return nil
 	}
 	d := ix.dur

@@ -410,6 +410,56 @@ func (ix *Index) SetsBySID() ([]*set.Set, error) {
 	return out, nil
 }
 
+// CaptureRebuild returns everything a from-scratch Build needs to
+// reproduce this index's exact sid space at a consistent point in time:
+// the sets and signatures indexed by sid, and the tombstone marks for
+// deleted sids. The captured signatures alias the index's (signatures are
+// immutable once assigned), and sets alias the store's append-only heap —
+// both stay valid as the live index keeps mutating, because neither is
+// ever rewritten in place. The re-tuner captures each shard under its
+// shard mutex, rebuilds off-lock from the capture, and replays the
+// journaled delta at swap time.
+func (ix *Index) CaptureRebuild() (sets []set.Set, sigs []minhash.Signature, tombstones []bool, err error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	n := len(ix.sigs)
+	sets = make([]set.Set, n)
+	sigs = make([]minhash.Signature, n)
+	tombstones = make([]bool, n)
+	copy(sigs, ix.sigs)
+	for i := range tombstones {
+		tombstones[i] = true
+	}
+	err = ix.store.Scan(nil, func(sid storage.SID, s set.Set) bool {
+		sets[sid] = s
+		tombstones[sid] = false
+		return true
+	})
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("core: capturing collection for rebuild: %w", err)
+	}
+	return sets, sigs, tombstones, nil
+}
+
+// Signature returns sid's stored min-hash signature (nil for tombstoned
+// sids). Signatures are immutable once assigned, so the returned slice
+// stays valid without the lock. The engine feeds it to the drift tracker
+// right after an insert, avoiding a second signing pass.
+func (ix *Index) Signature(sid storage.SID) minhash.Signature {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if int(sid) >= len(ix.sigs) {
+		return nil
+	}
+	return ix.sigs[sid]
+}
+
+// BuildOptions returns the resolved options the index was built with
+// (immutable after Build). The re-tuner copies them, overrides the plan
+// and inputs, and rebuilds — preserving every knob (page size, seeds,
+// worker budget, cost-model switches) the original build used.
+func (ix *Index) BuildOptions() Options { return ix.buildOpts }
+
 // Plan returns the optimizer's plan for inspection.
 func (ix *Index) Plan() optimize.Plan { return ix.plan }
 

@@ -25,14 +25,24 @@
 // shard mutex). On a single-shard engine both mappings are the identity
 // and are not materialized.
 //
+// Plan generations. The engine's query-serving state (the per-shard core
+// indexes plus the global profile they were planned from) lives in an
+// immutable planView behind an atomic pointer. Queries load the view once
+// and answer entirely from that one generation; the adaptive re-tuner
+// (retune.go) builds a new generation off-lock and swaps the pointer
+// while holding every shard mutex, so readers never block on a retune and
+// mutators always address a stable generation.
+//
 // Lock order: durable shard mutex → engine shard mutex → engine mapping
 // lock (gmu) → core index lock. The collection lock of the public layer
-// is a leaf: it never wraps an engine call.
+// is a leaf: it never wraps an engine call. The drift tracker's internal
+// mutex is likewise a leaf under the engine shard mutex.
 package engine
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/embed"
@@ -41,6 +51,7 @@ import (
 	"repro/internal/set"
 	"repro/internal/simdist"
 	"repro/internal/storage"
+	"repro/internal/tuner"
 )
 
 // MaxShards bounds Options.Shards (and snapshot validation): far above any
@@ -68,17 +79,43 @@ type Options struct {
 	Core core.Options
 }
 
-// shard is one partition: a core index plus its local→global sid table.
+// shard is one partition's mutation state: its local→global sid table
+// and the retune journal. The core index itself lives in the planView —
+// it changes identity on a plan swap while the shard's sid mapping does
+// not (local sids are stable across generations).
 type shard struct {
-	// mu serializes mutations to this shard and guards toGlobal. Queries
-	// do not take it (they ride the core read lock) except for the brief
-	// capture of the toGlobal header.
+	// mu serializes mutations to this shard and guards toGlobal and the
+	// journal. Queries do not take it (they ride the core read lock)
+	// except for the brief capture of the toGlobal header.
 	mu sync.Mutex
-	ix *core.Index
 	// toGlobal maps shard-local sids (dense core allocation order) to
 	// global sids. Entries are append-only and immutable once written.
 	// Nil on single-shard engines (identity).
 	toGlobal []uint32
+	// journalOn records mutations into journal while a retune rebuilds
+	// this shard off-lock; the ops replay into the new core at swap so
+	// the new generation equals the old one's state at swap time.
+	journalOn bool
+	journal   []journalOp
+}
+
+// journalOp is one mutation recorded during a retune's rebuild window.
+// Inserts carry the set (the new core re-signs it identically — same
+// embedding family); the local sid is asserted at replay.
+type journalOp struct {
+	del   bool
+	local uint32
+	s     set.Set
+}
+
+// planView is one immutable generation of the query-serving state: the
+// per-shard cores all planned from one global profile. gen counts plan
+// swaps (0 = the build-time plan); hist is the profile this generation
+// was tuned to (nil for loaded engines until a retune or AdoptTuneState).
+type planView struct {
+	gen   uint64
+	cores []*core.Index
+	hist  *simdist.Histogram
 }
 
 // Engine is a sharded index. It is safe for concurrent use; see the
@@ -89,15 +126,29 @@ type Engine struct {
 	// single marks the Shards <= 1 fast path: no routing, no sid
 	// translation, byte-identical persistence.
 	single bool
-	// hist is the global similarity distribution the build was tuned to
-	// (nil for engines loaded from snapshots, exactly like core).
-	hist *simdist.Histogram
+	// view is the current plan generation. Queries load it exactly once;
+	// mutators load it under their shard mutex (a swap holds every shard
+	// mutex, so the view cannot change under a held one).
+	view atomic.Pointer[planView]
 
 	// gmu guards locals.
 	gmu sync.RWMutex
 	// locals maps global sids to shard-local sids (shard identity comes
 	// from the router). Nil on single-shard engines.
 	locals []uint32
+
+	// tmu serializes retunes (at most one rebuild in flight per engine).
+	tmu sync.Mutex
+	// tracker is the online D_S drift sketch (nil until EnableTuning).
+	tracker atomic.Pointer[tuner.Tracker]
+}
+
+// loadView returns the current plan generation.
+func (e *Engine) loadView() *planView { return e.view.Load() }
+
+// setView installs the initial generation at construction time.
+func (e *Engine) setView(gen uint64, cores []*core.Index, hist *simdist.Histogram) {
+	e.view.Store(&planView{gen: gen, cores: cores, hist: hist})
 }
 
 // Wrap adapts an existing core index into a single-shard engine — for
@@ -105,11 +156,12 @@ type Engine struct {
 // engine API over it. No routing or sid translation is installed, so the
 // wrapped engine is byte-identical to the core in persistence and sids.
 func Wrap(ix *core.Index) *Engine {
-	return &Engine{
-		shards: []*shard{{ix: ix}},
+	e := &Engine{
+		shards: []*shard{{}},
 		single: true,
-		hist:   ix.Distribution(),
 	}
+	e.setView(0, []*core.Index{ix}, ix.Distribution())
+	return e
 }
 
 // Build constructs the engine over the collection. With Shards <= 1 it is
@@ -130,12 +182,13 @@ func Build(sets []set.Set, opt Options) (*Engine, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Engine{
-			shards:     []*shard{{ix: ix}},
+		e := &Engine{
+			shards:     []*shard{{}},
 			routerSeed: opt.RouterSeed,
 			single:     true,
-			hist:       ix.Distribution(),
-		}, nil
+		}
+		e.setView(0, []*core.Index{ix}, ix.Distribution())
+		return e, nil
 	}
 	copt := opt.Core
 	if copt.Tombstones != nil {
@@ -189,9 +242,9 @@ func Build(sets []set.Set, opt Options) (*Engine, error) {
 	e := &Engine{
 		shards:     make([]*shard, n),
 		routerSeed: opt.RouterSeed,
-		hist:       hist,
 		locals:     locals,
 	}
+	cores := make([]*core.Index, n)
 	for si := range parts {
 		sopt := copt
 		sopt.Distribution = hist
@@ -200,8 +253,10 @@ func Build(sets []set.Set, opt Options) (*Engine, error) {
 		if err != nil {
 			return nil, fmt.Errorf("engine: building shard %d: %w", si, err)
 		}
-		e.shards[si] = &shard{ix: ix, toGlobal: parts[si].toGlobal}
+		cores[si] = ix
+		e.shards[si] = &shard{toGlobal: parts[si].toGlobal}
 	}
+	e.setView(0, cores, hist)
 	return e, nil
 }
 
@@ -250,8 +305,9 @@ func Assemble(routerSeed int64, cores []*core.Index, globals [][]uint32, numGlob
 			}
 			locals[g] = uint32(local)
 		}
-		e.shards[si] = &shard{ix: ix, toGlobal: tg}
+		e.shards[si] = &shard{toGlobal: tg}
 	}
+	e.setView(0, append([]*core.Index(nil), cores...), nil)
 	return e, nil
 }
 
@@ -267,9 +323,9 @@ func (e *Engine) ShardOf(g uint32) int {
 	return shardOf(e.routerSeed, len(e.shards), g)
 }
 
-// ShardCore exposes shard si's core index (benchmarks, experiments, and
-// the recovery harness; not a stable API).
-func (e *Engine) ShardCore(si int) *core.Index { return e.shards[si].ix }
+// ShardCore exposes shard si's core index in the current plan generation
+// (benchmarks, experiments, and the recovery harness; not a stable API).
+func (e *Engine) ShardCore(si int) *core.Index { return e.loadView().cores[si] }
 
 // RouterSeed returns the seed the sid → shard hash was built with.
 func (e *Engine) RouterSeed() int64 { return e.routerSeed }
@@ -279,14 +335,56 @@ func (e *Engine) RouterSeed() int64 { return e.routerSeed }
 // serialize on its mutex.
 func (e *Engine) Insert(s set.Set) (uint32, error) {
 	if e.single {
-		sid, err := e.shards[0].ix.Insert(s)
-		return uint32(sid), err
+		sh := e.shards[0]
+		sh.mu.Lock()
+		ix := e.loadView().cores[0]
+		sid, err := ix.Insert(s)
+		if err != nil {
+			sh.mu.Unlock()
+			return 0, err
+		}
+		sh.noteInsert(uint32(sid), s)
+		e.trackInsert(ix, uint32(sid), uint32(sid))
+		sh.mu.Unlock()
+		return uint32(sid), nil
 	}
 	g, si := e.reserve()
 	if err := e.applyReserved(si, g, s); err != nil {
 		return 0, err
 	}
 	return g, nil
+}
+
+// noteInsert journals an applied insert while a retune is in flight.
+// Caller holds sh.mu.
+func (sh *shard) noteInsert(local uint32, s set.Set) {
+	if sh.journalOn {
+		sh.journal = append(sh.journal, journalOp{local: local, s: s})
+	}
+}
+
+// noteDelete journals an applied delete while a retune is in flight.
+// Caller holds sh.mu.
+func (sh *shard) noteDelete(local uint32) {
+	if sh.journalOn {
+		sh.journal = append(sh.journal, journalOp{del: true, local: local})
+	}
+}
+
+// trackInsert feeds an applied insert to the drift tracker (if tuning is
+// enabled). Caller holds the owning shard's mutex; the tracker mutex is a
+// leaf under it.
+func (e *Engine) trackInsert(ix *core.Index, g, local uint32) {
+	if tr := e.tracker.Load(); tr != nil {
+		tr.OnInsert(g, ix.Signature(storage.SID(local)))
+	}
+}
+
+// trackDelete feeds an applied delete to the drift tracker.
+func (e *Engine) trackDelete(g uint32) {
+	if tr := e.tracker.Load(); tr != nil {
+		tr.OnDelete(g)
+	}
 }
 
 // reserve allocates the next global sid (as a hole) and routes it.
@@ -304,11 +402,12 @@ func (e *Engine) reserve() (uint32, int) {
 func (e *Engine) applyReserved(si int, g uint32, s set.Set) error {
 	sh := e.shards[si]
 	sh.mu.Lock()
+	ix := e.loadView().cores[si]
 	local := uint32(len(sh.toGlobal))
 	// Publish the mapping before the core insert: any sid the core can
 	// return to a concurrent query already has its toGlobal entry.
 	sh.toGlobal = append(sh.toGlobal, g)
-	got, err := sh.ix.Insert(s)
+	got, err := ix.Insert(s)
 	if err == nil && uint32(got) != local {
 		err = fmt.Errorf("engine: shard %d insert landed on local sid %d, expected %d", si, got, local)
 	}
@@ -317,6 +416,8 @@ func (e *Engine) applyReserved(si int, g uint32, s set.Set) error {
 		sh.mu.Unlock()
 		return err
 	}
+	sh.noteInsert(local, s)
+	e.trackInsert(ix, g, local)
 	sh.mu.Unlock()
 	e.gmu.Lock()
 	e.locals[g] = local
@@ -372,7 +473,15 @@ func (e *Engine) ApplyRecovered(si int, g uint32, s set.Set) error {
 // Delete tombstones global sid g in its shard. The sid is never reused.
 func (e *Engine) Delete(g uint32) error {
 	if e.single {
-		return e.shards[0].ix.Delete(storage.SID(g))
+		sh := e.shards[0]
+		sh.mu.Lock()
+		err := e.loadView().cores[0].Delete(storage.SID(g))
+		if err == nil {
+			sh.noteDelete(g)
+			e.trackDelete(g)
+		}
+		sh.mu.Unlock()
+		return err
 	}
 	e.gmu.RLock()
 	var local uint32 = localUnassigned
@@ -383,9 +492,14 @@ func (e *Engine) Delete(g uint32) error {
 	if local == localUnassigned {
 		return fmt.Errorf("engine: sid %d out of range", g)
 	}
-	sh := e.shards[e.ShardOf(g)]
+	si := e.ShardOf(g)
+	sh := e.shards[si]
 	sh.mu.Lock()
-	err := sh.ix.Delete(storage.SID(local))
+	err := e.loadView().cores[si].Delete(storage.SID(local))
+	if err == nil {
+		sh.noteDelete(local)
+		e.trackDelete(g)
+	}
 	sh.mu.Unlock()
 	return err
 }
@@ -393,17 +507,27 @@ func (e *Engine) Delete(g uint32) error {
 // Len returns the number of live sets across all shards.
 func (e *Engine) Len() int {
 	n := 0
-	for _, sh := range e.shards {
-		n += sh.ix.Len()
+	for _, ix := range e.loadView().cores {
+		n += ix.Len()
 	}
 	return n
+}
+
+// ShardLens returns each shard's live set count, indexed by shard.
+func (e *Engine) ShardLens() []int {
+	v := e.loadView()
+	out := make([]int, len(v.cores))
+	for si, ix := range v.cores {
+		out[si] = ix.Len()
+	}
+	return out
 }
 
 // NumAllocated returns the global sid space: live sets, tombstones, and
 // reservation holes. Global sids are dense in [0, NumAllocated).
 func (e *Engine) NumAllocated() int {
 	if e.single {
-		return e.shards[0].ix.NumAllocated()
+		return e.loadView().cores[0].NumAllocated()
 	}
 	e.gmu.RLock()
 	defer e.gmu.RUnlock()
@@ -411,29 +535,25 @@ func (e *Engine) NumAllocated() int {
 }
 
 // Plan returns the optimizer's plan (identical in every shard).
-func (e *Engine) Plan() optimize.Plan { return e.shards[0].ix.Plan() }
+func (e *Engine) Plan() optimize.Plan { return e.loadView().cores[0].Plan() }
 
-// Distribution returns the global similarity distribution the build was
-// tuned to (nil for loaded engines, as in core).
-func (e *Engine) Distribution() *simdist.Histogram {
-	if e.single {
-		return e.shards[0].ix.Distribution()
-	}
-	return e.hist
-}
+// Distribution returns the global similarity distribution the current
+// plan generation was tuned to (nil for loaded engines, as in core).
+func (e *Engine) Distribution() *simdist.Histogram { return e.loadView().hist }
 
 // FilterIndexes reports the built structures (identical plan in every
 // shard; per-shard contents differ only in membership).
-func (e *Engine) FilterIndexes() []optimize.FI { return e.shards[0].ix.FilterIndexes() }
+func (e *Engine) FilterIndexes() []optimize.FI { return e.loadView().cores[0].FilterIndexes() }
 
-// Embedder exposes the embedding pipeline (identical in every shard).
-func (e *Engine) Embedder() *embed.Embedder { return e.shards[0].ix.Embedder() }
+// Embedder exposes the embedding pipeline (identical in every shard and
+// every plan generation — retunes never change the embedding).
+func (e *Engine) Embedder() *embed.Embedder { return e.loadView().cores[0].Embedder() }
 
 // IndexPages sums filter-index bucket pages across shards.
 func (e *Engine) IndexPages() int {
 	n := 0
-	for _, sh := range e.shards {
-		n += sh.ix.IndexPages()
+	for _, ix := range e.loadView().cores {
+		n += ix.IndexPages()
 	}
 	return n
 }
@@ -442,32 +562,34 @@ func (e *Engine) IndexPages() int {
 // from the global distribution and the global collection size — the
 // Section 5 identity, shard-count invariant.
 func (e *Engine) EstimateAnswerSize(lo, hi float64) (float64, error) {
+	v := e.loadView()
 	if e.single {
-		return e.shards[0].ix.EstimateAnswerSize(lo, hi)
+		return v.cores[0].EstimateAnswerSize(lo, hi)
 	}
-	if e.hist == nil {
+	if v.hist == nil {
 		return 0, fmt.Errorf("core: index has no similarity distribution (built with a plan override)")
 	}
-	if e.hist.Total() == 0 {
+	if v.hist.Total() == 0 {
 		return 0, nil
 	}
 	n := float64(e.Len())
 	if n == 0 {
 		return 0, nil
 	}
-	pairsMass := e.hist.Mass(lo, hi) / e.hist.Total() * (n * (n - 1) / 2)
+	pairsMass := v.hist.Mass(lo, hi) / v.hist.Total() * (n * (n - 1) / 2)
 	return 2 * pairsMass / n, nil
 }
 
 // SetsBySID returns the collection indexed by global sid: slot g holds
 // sid g's set, with tombstoned and never-applied sids left nil.
 func (e *Engine) SetsBySID() ([]*set.Set, error) {
+	v := e.loadView()
 	if e.single {
-		return e.shards[0].ix.SetsBySID()
+		return v.cores[0].SetsBySID()
 	}
 	out := make([]*set.Set, e.NumAllocated())
 	for si, sh := range e.shards {
-		bySID, err := sh.ix.SetsBySID()
+		bySID, err := v.cores[si].SetsBySID()
 		if err != nil {
 			return nil, fmt.Errorf("engine: shard %d: %w", si, err)
 		}
@@ -486,7 +608,7 @@ func (e *Engine) SetsBySID() ([]*set.Set, error) {
 // holes — the callers that need alignment check NumAllocated == Len).
 func (e *Engine) Sets() ([]set.Set, error) {
 	if e.single {
-		return e.shards[0].ix.Sets()
+		return e.loadView().cores[0].Sets()
 	}
 	bySID, err := e.SetsBySID()
 	if err != nil {

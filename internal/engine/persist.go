@@ -48,7 +48,7 @@ type shardedSnapshot struct {
 // space afterwards so every captured mapping is covered by it.
 func (e *Engine) Save(w io.Writer) error {
 	if e.single {
-		return e.shards[0].ix.Save(w)
+		return e.loadView().cores[0].Save(w)
 	}
 	snap := shardedSnapshot{
 		Shards:     len(e.shards),
@@ -59,13 +59,16 @@ func (e *Engine) Save(w io.Writer) error {
 	for _, sh := range e.shards {
 		sh.mu.Lock()
 	}
+	// With every shard mutex held the view cannot swap mid-capture, so
+	// all shards are saved from one plan generation.
+	v := e.loadView()
 	var err error
 	for si, sh := range e.shards {
 		tg := make([]uint32, len(sh.toGlobal))
 		copy(tg, sh.toGlobal)
 		snap.Globals[si] = tg
 		var buf bytes.Buffer
-		if err = sh.ix.Save(&buf); err != nil {
+		if err = v.cores[si].Save(&buf); err != nil {
 			err = fmt.Errorf("engine: saving shard %d: %w", si, err)
 			break
 		}
@@ -103,16 +106,17 @@ func (e *Engine) Save(w io.Writer) error {
 func (e *Engine) ShardSnapshot(si int) (coreBytes []byte, toGlobal []uint32, numGlobals int, err error) {
 	sh := e.shards[si]
 	sh.mu.Lock()
+	ix := e.loadView().cores[si]
 	toGlobal = make([]uint32, len(sh.toGlobal))
 	copy(toGlobal, sh.toGlobal)
 	var buf bytes.Buffer
-	err = sh.ix.Save(&buf)
+	err = ix.Save(&buf)
 	sh.mu.Unlock()
 	if err != nil {
 		return nil, nil, 0, fmt.Errorf("engine: saving shard %d: %w", si, err)
 	}
 	if e.single {
-		return buf.Bytes(), toGlobal, sh.ix.NumAllocated(), nil
+		return buf.Bytes(), toGlobal, ix.NumAllocated(), nil
 	}
 	e.gmu.RLock()
 	numGlobals = len(e.locals)
@@ -136,11 +140,7 @@ func Load(r io.Reader) (*Engine, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Engine{
-			shards: []*shard{{ix: ix}},
-			single: true,
-			hist:   ix.Distribution(),
-		}, nil
+		return Wrap(ix), nil
 	}
 	if _, err := br.Discard(len(shardedMagic)); err != nil {
 		return nil, fmt.Errorf("engine: reading snapshot header: %w", err)

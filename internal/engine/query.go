@@ -24,6 +24,10 @@ import (
 // time, not wall time; the shards run concurrently).
 type QueryStats struct {
 	core.QueryStats
+	// PlanGeneration is the plan generation that answered the query.
+	// Every shard of one query answers from the same generation — the
+	// scatter loads the engine's plan view exactly once.
+	PlanGeneration uint64
 	// PerShard holds each shard's own accounting, indexed by shard.
 	PerShard []core.QueryStats
 }
@@ -85,9 +89,12 @@ func (e *Engine) Query(q set.Set, s1, s2 float64) ([]core.Match, QueryStats, err
 // (each shard's share bounds its verification fan-out), so the scatter
 // never oversubscribes the pool beyond the one-worker-per-shard floor.
 func (e *Engine) QueryWithOptions(q set.Set, s1, s2 float64, opt core.QueryOptions) ([]core.Match, QueryStats, error) {
+	// One view load per query: every shard answers from this generation,
+	// even if a retune swaps the plan mid-scatter.
+	v := e.loadView()
 	if e.single {
-		m, st, err := e.shards[0].ix.QueryWithOptions(q, s1, s2, opt)
-		return m, QueryStats{QueryStats: st, PerShard: []core.QueryStats{st}}, err
+		m, st, err := v.cores[0].QueryWithOptions(q, s1, s2, opt)
+		return m, QueryStats{QueryStats: st, PlanGeneration: v.gen, PerShard: []core.QueryStats{st}}, err
 	}
 	n := len(e.shards)
 	per := make([]core.QueryStats, n)
@@ -102,7 +109,7 @@ func (e *Engine) QueryWithOptions(q set.Set, s1, s2 float64, opt core.QueryOptio
 			sh := e.shards[si]
 			inner := opt
 			inner.Workers = shares[si]
-			m, st, err := sh.ix.QueryWithOptions(q, s1, s2, inner)
+			m, st, err := v.cores[si].QueryWithOptions(q, s1, s2, inner)
 			if err != nil {
 				errs[si] = err
 				return
@@ -114,12 +121,14 @@ func (e *Engine) QueryWithOptions(q set.Set, s1, s2 float64, opt core.QueryOptio
 		}(si)
 	}
 	wg.Wait()
+	agg := aggregate(per)
+	agg.PlanGeneration = v.gen
 	for _, err := range errs {
 		if err != nil {
-			return nil, aggregate(per), err
+			return nil, agg, err
 		}
 	}
-	return gather(matches), aggregate(per), nil
+	return gather(matches), agg, nil
 }
 
 // gather concatenates per-shard match lists and restores the total order.
@@ -148,12 +157,13 @@ func (e *Engine) QueryBatch(queries []core.BatchQuery, opt core.QueryOptions) []
 	if len(queries) == 0 {
 		return out
 	}
+	v := e.loadView()
 	if e.single {
-		res := e.shards[0].ix.QueryBatch(queries, opt)
+		res := v.cores[0].QueryBatch(queries, opt)
 		for i, r := range res {
 			out[i] = BatchResult{
 				Matches: r.Matches,
-				Stats:   QueryStats{QueryStats: r.Stats, PerShard: []core.QueryStats{r.Stats}},
+				Stats:   QueryStats{QueryStats: r.Stats, PlanGeneration: v.gen, PerShard: []core.QueryStats{r.Stats}},
 				Err:     r.Err,
 			}
 		}
@@ -171,7 +181,7 @@ func (e *Engine) QueryBatch(queries []core.BatchQuery, opt core.QueryOptions) []
 			sh := e.shards[si]
 			inner := opt
 			inner.Workers = shares[si]
-			shardRes[si] = sh.ix.QueryBatch(queries, inner)
+			shardRes[si] = v.cores[si].QueryBatch(queries, inner)
 			tgs[si] = sh.mapping()
 		}(si)
 	}
@@ -188,11 +198,13 @@ func (e *Engine) QueryBatch(queries []core.BatchQuery, opt core.QueryOptions) []
 			per[si] = r.Stats
 			parts[si] = toGlobalMatches(r.Matches, tgs[si])
 		}
+		agg := aggregate(per)
+		agg.PlanGeneration = v.gen
 		if firstErr != nil {
-			out[i] = BatchResult{Stats: aggregate(per), Err: firstErr}
+			out[i] = BatchResult{Stats: agg, Err: firstErr}
 			continue
 		}
-		out[i] = BatchResult{Matches: gather(parts), Stats: aggregate(per)}
+		out[i] = BatchResult{Matches: gather(parts), Stats: agg}
 	}
 	return out
 }
@@ -202,9 +214,10 @@ func (e *Engine) QueryBatch(queries []core.BatchQuery, opt core.QueryOptions) []
 // the gathered answer has exactly the quality of a monolithic TopK (the
 // same one-sided filter approximation, no extra loss).
 func (e *Engine) TopK(q set.Set, k int) ([]core.Match, QueryStats, error) {
+	v := e.loadView()
 	if e.single {
-		m, st, err := e.shards[0].ix.TopK(q, k)
-		return m, QueryStats{QueryStats: st, PerShard: []core.QueryStats{st}}, err
+		m, st, err := v.cores[0].TopK(q, k)
+		return m, QueryStats{QueryStats: st, PlanGeneration: v.gen, PerShard: []core.QueryStats{st}}, err
 	}
 	n := len(e.shards)
 	per := make([]core.QueryStats, n)
@@ -216,7 +229,7 @@ func (e *Engine) TopK(q set.Set, k int) ([]core.Match, QueryStats, error) {
 		go func(si int) {
 			defer wg.Done()
 			sh := e.shards[si]
-			m, st, err := sh.ix.TopK(q, k)
+			m, st, err := v.cores[si].TopK(q, k)
 			if err != nil {
 				errs[si] = err
 				return
@@ -226,16 +239,17 @@ func (e *Engine) TopK(q set.Set, k int) ([]core.Match, QueryStats, error) {
 		}(si)
 	}
 	wg.Wait()
+	agg := aggregate(per)
+	agg.PlanGeneration = v.gen
 	for _, err := range errs {
 		if err != nil {
-			return nil, aggregate(per), err
+			return nil, agg, err
 		}
 	}
 	all := gather(matches)
 	if len(all) > k {
 		all = all[:k]
 	}
-	agg := aggregate(per)
 	agg.Results = len(all)
 	return all, agg, nil
 }
@@ -244,12 +258,13 @@ func (e *Engine) TopK(q set.Set, k int) ([]core.Match, QueryStats, error) {
 // routing sums into one plan, and the route is decided on the summed
 // costs (each shard would be probed — or scanned — in full either way).
 func (e *Engine) RouteQuery(lo, hi float64, m storage.CostModel) (core.RoutePlan, error) {
+	v := e.loadView()
 	if e.single {
-		return e.shards[0].ix.RouteQuery(lo, hi, m)
+		return v.cores[0].RouteQuery(lo, hi, m)
 	}
 	var rp core.RoutePlan
-	for _, sh := range e.shards {
-		p, err := sh.ix.RouteQuery(lo, hi, m)
+	for _, ix := range v.cores {
+		p, err := ix.RouteQuery(lo, hi, m)
 		if err != nil {
 			return core.RoutePlan{}, err
 		}
@@ -270,9 +285,10 @@ func (e *Engine) RouteQuery(lo, hi float64, m storage.CostModel) (core.RoutePlan
 // "index" or "scan" when every shard agreed, "mixed" otherwise — shard
 // partitions can legitimately disagree near the crossover.
 func (e *Engine) QueryAuto(q set.Set, lo, hi float64, m storage.CostModel) ([]core.Match, string, QueryStats, error) {
+	v := e.loadView()
 	if e.single {
-		matches, route, st, err := e.shards[0].ix.QueryAuto(q, lo, hi, m)
-		return matches, route.String(), QueryStats{QueryStats: st, PerShard: []core.QueryStats{st}}, err
+		matches, route, st, err := v.cores[0].QueryAuto(q, lo, hi, m)
+		return matches, route.String(), QueryStats{QueryStats: st, PlanGeneration: v.gen, PerShard: []core.QueryStats{st}}, err
 	}
 	n := len(e.shards)
 	per := make([]core.QueryStats, n)
@@ -285,7 +301,7 @@ func (e *Engine) QueryAuto(q set.Set, lo, hi float64, m storage.CostModel) ([]co
 		go func(si int) {
 			defer wg.Done()
 			sh := e.shards[si]
-			mm, route, st, err := sh.ix.QueryAuto(q, lo, hi, m)
+			mm, route, st, err := v.cores[si].QueryAuto(q, lo, hi, m)
 			if err != nil {
 				errs[si] = err
 				return
@@ -296,9 +312,11 @@ func (e *Engine) QueryAuto(q set.Set, lo, hi float64, m storage.CostModel) ([]co
 		}(si)
 	}
 	wg.Wait()
+	agg := aggregate(per)
+	agg.PlanGeneration = v.gen
 	for _, err := range errs {
 		if err != nil {
-			return nil, "", aggregate(per), err
+			return nil, "", agg, err
 		}
 	}
 	path := routes[0].String()
@@ -308,5 +326,5 @@ func (e *Engine) QueryAuto(q set.Set, lo, hi float64, m storage.CostModel) ([]co
 			break
 		}
 	}
-	return gather(matches), path, aggregate(per), nil
+	return gather(matches), path, agg, nil
 }

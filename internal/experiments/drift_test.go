@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestDriftReport runs the adaptive re-tuning experiment at test scale
+// and pins its contract: three phases in order, the drifted and re-tuned
+// phases sharing one workload, the tracker firing on the shift, and the
+// re-tuned plan recovering the stale plan's lost recall.
+func TestDriftReport(t *testing.T) {
+	var sb strings.Builder
+	rep, err := Drift(&sb, Config{N: 400, Queries: 32, Budget: 120, MinHashes: 32, Seed: 1, RecallTarget: 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Phases) != 3 {
+		t.Fatalf("got %d phases, want 3", len(rep.Phases))
+	}
+	before, drifted, retuned := rep.Phases[0], rep.Phases[1], rep.Phases[2]
+	if before.Phase != "before" || drifted.Phase != "drifted" || retuned.Phase != "retuned" {
+		t.Fatalf("phase order %q/%q/%q", before.Phase, drifted.Phase, retuned.Phase)
+	}
+	if before.Sets != rep.BaseSets || drifted.Sets != rep.BaseSets+rep.FloodSets {
+		t.Fatalf("phase sizes %d/%d vs base %d flood %d", before.Sets, drifted.Sets, rep.BaseSets, rep.FloodSets)
+	}
+	if before.PlanGeneration != 0 || drifted.PlanGeneration != 0 || retuned.PlanGeneration != 1 {
+		t.Fatalf("plan generations %d/%d/%d, want 0/0/1",
+			before.PlanGeneration, drifted.PlanGeneration, retuned.PlanGeneration)
+	}
+	for _, p := range rep.Phases {
+		if p.Recall < 0 || p.Recall > 1 || p.Precision < 0 || p.Precision > 1 {
+			t.Errorf("phase %s metrics out of range: %+v", p.Phase, p)
+		}
+	}
+	if !rep.TrackerFired {
+		t.Errorf("drift tracker did not fire (drift %.3f vs threshold %.3f)", rep.Drift, rep.Threshold)
+	}
+	if rep.Drift <= rep.Threshold {
+		t.Errorf("reported drift %.3f not above threshold %.3f", rep.Drift, rep.Threshold)
+	}
+	if retuned.Recall <= drifted.Recall {
+		t.Errorf("retune did not recover recall: drifted %.3f, retuned %.3f", drifted.Recall, retuned.Recall)
+	}
+	if !strings.Contains(sb.String(), "retuned") {
+		t.Error("missing retuned row in rendered table")
+	}
+}
+
+// TestDriftDeterministic pins that the report is a pure function of its
+// config (seeded generators, injected tuner randomness — no global rand).
+func TestDriftDeterministic(t *testing.T) {
+	cfg := Config{N: 300, Queries: 16, Budget: 80, MinHashes: 32, Seed: 5, RecallTarget: 0.75}
+	a, err := Drift(io.Discard, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Drift(io.Discard, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Drift != b.Drift || a.TrackerFired != b.TrackerFired {
+		t.Fatalf("tracker outcome differs across runs: %+v vs %+v", a, b)
+	}
+	if len(a.Phases) != len(b.Phases) {
+		t.Fatalf("phase counts differ: %d vs %d", len(a.Phases), len(b.Phases))
+	}
+	for i := range a.Phases {
+		if a.Phases[i] != b.Phases[i] {
+			t.Fatalf("phase %d differs: %+v vs %+v", i, a.Phases[i], b.Phases[i])
+		}
+	}
+}

@@ -7,6 +7,8 @@
 //
 //	GET  /healthz              → {"status":"ok","sets":N}
 //	GET  /plan                 → the optimizer's layout
+//	GET  /stats                → per-shard set counts, accumulated query
+//	                             counters, and adaptive-tuner state
 //	POST /query                {"elements":[...],"lo":0.8,"hi":1.0}
 //	POST /query/sid            {"sid":7,"lo":0.8,"hi":1.0}
 //	POST /query/batch          {"queries":[{"elements":[...],"lo":0.8,"hi":1.0},...],
@@ -28,6 +30,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	ssr "repro"
@@ -40,6 +43,28 @@ type Server struct {
 	// mu serializes mutations (Add/Remove); the index itself is safe for
 	// concurrent queries.
 	mu sync.Mutex
+	// totals accumulates query accounting for GET /stats.
+	totals statCounters
+}
+
+// statCounters accumulates query accounting across the server's
+// lifetime; each query-like endpoint records its ssr.Stats here.
+type statCounters struct {
+	queries    atomic.Int64
+	candidates atomic.Int64
+	results    atomic.Int64
+	screened   atomic.Int64
+	randReads  atomic.Int64
+	seqReads   atomic.Int64
+}
+
+func (c *statCounters) record(st ssr.Stats) {
+	c.queries.Add(1)
+	c.candidates.Add(int64(st.Candidates))
+	c.results.Add(int64(st.Results))
+	c.screened.Add(int64(st.Screened))
+	c.randReads.Add(st.RandomPageReads)
+	c.seqReads.Add(st.SequentialPageReads)
 }
 
 // New returns a handler serving the given index.
@@ -47,6 +72,7 @@ func New(ix *ssr.Index) *Server {
 	s := &Server{mux: http.NewServeMux(), ix: ix}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/plan", s.handlePlan)
+	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/query/sid", s.handleQuerySID)
 	s.mux.HandleFunc("/query/batch", s.handleQueryBatch)
@@ -114,6 +140,71 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.ix.Plan())
 }
 
+// tunerView is the JSON shape of ssr.TunerState.
+type tunerView struct {
+	Enabled        bool    `json:"enabled"`
+	AutoTuning     bool    `json:"autoTuning"`
+	PlanGeneration uint64  `json:"planGeneration"`
+	Mutations      uint64  `json:"mutations"`
+	SampledPairs   int     `json:"sampledPairs"`
+	LastDrift      float64 `json:"lastDrift"`
+	LastCheck      string  `json:"lastCheck,omitempty"`
+	LastRetune     string  `json:"lastRetune,omitempty"`
+	Retunes        uint64  `json:"retunes"`
+}
+
+// statsResponse is the GET /stats payload.
+type statsResponse struct {
+	Sets      int   `json:"sets"`
+	Shards    int   `json:"shards"`
+	ShardSets []int `json:"shardSets"`
+	Queries   struct {
+		Count               int64 `json:"count"`
+		Candidates          int64 `json:"candidates"`
+		Results             int64 `json:"results"`
+		Screened            int64 `json:"screened"`
+		RandomPageReads     int64 `json:"randomPageReads"`
+		SequentialPageReads int64 `json:"sequentialPageReads"`
+	} `json:"queries"`
+	Tuner tunerView `json:"tuner"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	eng := s.ix.Internal()
+	resp := statsResponse{
+		Sets:      eng.Len(),
+		Shards:    eng.NumShards(),
+		ShardSets: eng.ShardLens(),
+	}
+	resp.Queries.Count = s.totals.queries.Load()
+	resp.Queries.Candidates = s.totals.candidates.Load()
+	resp.Queries.Results = s.totals.results.Load()
+	resp.Queries.Screened = s.totals.screened.Load()
+	resp.Queries.RandomPageReads = s.totals.randReads.Load()
+	resp.Queries.SequentialPageReads = s.totals.seqReads.Load()
+	ts := s.ix.TunerState()
+	resp.Tuner = tunerView{
+		Enabled:        ts.Enabled,
+		AutoTuning:     ts.AutoTuning,
+		PlanGeneration: ts.PlanGeneration,
+		Mutations:      ts.Mutations,
+		SampledPairs:   ts.SampledPairs,
+		LastDrift:      ts.LastDrift,
+		Retunes:        ts.Retunes,
+	}
+	if !ts.LastCheck.IsZero() {
+		resp.Tuner.LastCheck = ts.LastCheck.UTC().Format(time.RFC3339Nano)
+	}
+	if !ts.LastRetune.IsZero() {
+		resp.Tuner.LastRetune = ts.LastRetune.UTC().Format(time.RFC3339Nano)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 // queryRequest is the /query payload.
 type queryRequest struct {
 	Elements []string `json:"elements"`
@@ -149,6 +240,7 @@ type queryStatView struct {
 	SequentialReads   int64  `json:"sequentialPageReads"`
 	SimulatedIOMicros int64  `json:"simulatedIOMicros"`
 	CPUMicros         int64  `json:"cpuMicros"`
+	PlanGeneration    uint64 `json:"planGeneration"`
 	Elapsed           string `json:"elapsed"`
 }
 
@@ -161,6 +253,7 @@ func statView(st ssr.Stats, elapsed time.Duration) queryStatView {
 		SequentialReads:   st.SequentialPageReads,
 		SimulatedIOMicros: st.SimulatedIOTime.Microseconds(),
 		CPUMicros:         st.CPUTime.Microseconds(),
+		PlanGeneration:    st.PlanGeneration,
 		Elapsed:           elapsed.String(),
 	}
 }
@@ -185,6 +278,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	s.totals.record(stats)
 	writeJSON(w, http.StatusOK, queryResponse{Matches: orEmpty(matches), Stats: statView(stats, time.Since(start))})
 }
 
@@ -204,6 +298,7 @@ func (s *Server) handleQuerySID(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	s.totals.record(stats)
 	writeJSON(w, http.StatusOK, queryResponse{Matches: orEmpty(matches), Stats: statView(stats, time.Since(start))})
 }
 
@@ -271,6 +366,8 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		entry := batchEntryResponse{Matches: orEmpty(res.Matches), Stats: statView(res.Stats, elapsed)}
 		if res.Err != nil {
 			entry.Error = res.Err.Error()
+		} else {
+			s.totals.record(res.Stats)
 		}
 		resp.Results[i] = entry
 	}
@@ -297,6 +394,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	s.totals.record(stats)
 	writeJSON(w, http.StatusOK, queryResponse{Matches: orEmpty(matches), Stats: statView(stats, time.Since(start))})
 }
 

@@ -299,3 +299,64 @@ func TestAddValidation(t *testing.T) {
 	}
 	resp.Body.Close()
 }
+
+func TestStatsEndpoint(t *testing.T) {
+	srv, ix := testServer(t)
+
+	// Two queries accumulate into the counters.
+	for i := 0; i < 2; i++ {
+		resp := postJSON(t, srv.URL+"/query", map[string]any{"elements": []string{"dune", "foundation"}, "lo": 0.1, "hi": 1.0})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query status %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+	st := decode[statsResponse](t, resp)
+	if st.Sets != ix.Len() {
+		t.Fatalf("stats report %d sets, index holds %d", st.Sets, ix.Len())
+	}
+	if st.Shards != 1 || len(st.ShardSets) != 1 || st.ShardSets[0] != ix.Len() {
+		t.Fatalf("shard breakdown %d/%v, want 1 shard holding %d", st.Shards, st.ShardSets, ix.Len())
+	}
+	if st.Queries.Count != 2 {
+		t.Fatalf("query counter %d, want 2", st.Queries.Count)
+	}
+	if st.Queries.Results < 2 {
+		t.Fatalf("results counter %d, want at least 2 (the duplicate pair matches twice)", st.Queries.Results)
+	}
+	if st.Tuner.Enabled || st.Tuner.PlanGeneration != 0 || st.Tuner.Retunes != 0 {
+		t.Fatalf("tuner view %+v, want disabled at generation 0", st.Tuner)
+	}
+
+	// A retune must surface in both the tuner view and per-query stats.
+	if _, err := ix.Retune(); err != nil {
+		t.Fatalf("retune: %v", err)
+	}
+	resp, err = http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = decode[statsResponse](t, resp)
+	if st.Tuner.PlanGeneration != 1 || st.Tuner.Retunes != 1 || st.Tuner.LastRetune == "" {
+		t.Fatalf("tuner view %+v after retune, want generation 1 with one recorded retune", st.Tuner)
+	}
+	qresp := postJSON(t, srv.URL+"/query", map[string]any{"elements": []string{"dune", "foundation"}, "lo": 0.1, "hi": 1.0})
+	qr := decode[queryResponse](t, qresp)
+	if qr.Stats.PlanGeneration != 1 {
+		t.Fatalf("query stats report generation %d, want 1", qr.Stats.PlanGeneration)
+	}
+
+	if got := postJSON(t, srv.URL+"/stats", map[string]any{}); got.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /stats status %d, want 405", got.StatusCode)
+	} else {
+		got.Body.Close()
+	}
+}

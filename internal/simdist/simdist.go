@@ -158,6 +158,40 @@ func (h *Histogram) Equidepth(k int) ([]float64, error) {
 // (Equation 15): DFIs are placed below δ and SFIs above.
 func (h *Histogram) Delta() float64 { return h.Quantile(0.5) }
 
+// CDF returns the normalized cumulative mass at s: the fraction of recorded
+// pairs with similarity <= s. An empty histogram returns 0 everywhere. The
+// drift detector compares two distributions by their maximum CDF distance
+// over the plan's partition points (a Kolmogorov–Smirnov statistic
+// restricted to the points the plan actually depends on).
+func (h *Histogram) CDF(s float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.Mass(0, s) / h.total
+}
+
+// RawBins returns a copy of the unnormalized per-bin masses — the exact
+// internal state, so FromBins(h.RawBins()) reproduces h bit-for-bit. Used
+// by the persistence layer to carry a tuner baseline through snapshots.
+func (h *Histogram) RawBins() []float64 {
+	out := make([]float64, len(h.bins))
+	copy(out, h.bins)
+	return out
+}
+
+// FromBins reconstructs a histogram from raw bin masses as returned by
+// RawBins. The total is recomputed as the plain left-to-right sum — the
+// same order incremental Adds accumulate it in, so a round trip through
+// RawBins/FromBins is bit-identical for histograms built by Add alone.
+func FromBins(bins []float64) *Histogram {
+	h := &Histogram{bins: make([]float64, len(bins))}
+	copy(h.bins, bins)
+	for _, w := range bins {
+		h.total += w
+	}
+	return h
+}
+
 // Clone returns a deep copy.
 func (h *Histogram) Clone() *Histogram {
 	cp := &Histogram{bins: make([]float64, len(h.bins)), total: h.total}

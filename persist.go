@@ -4,11 +4,13 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 
 	"repro/internal/engine"
 	"repro/internal/set"
+	"repro/internal/simdist"
 )
 
 // persistMagic guards the public snapshot format (which wraps the core
@@ -26,6 +28,50 @@ type publicSnapshot struct {
 	Core []byte
 }
 
+// tunerTrailer is the adaptive-retune state, appended AFTER the
+// publicSnapshot value on the same gob stream — and only when the index
+// has actually retuned (generation > 0). Never-retuned indexes therefore
+// write byte-identical snapshots to previous releases (the golden fixture
+// stays valid), and old readers that stop after the first value skip the
+// trailer harmlessly. Load treats a clean EOF in its place as a legacy
+// snapshot.
+type tunerTrailer struct {
+	// Generation is the plan generation of the saved cores (how many
+	// retunes the index has absorbed).
+	Generation uint64
+	// BaselineBins is the raw-bin image (simdist.RawBins) of the profile
+	// the current plan was derived from; nil when unknown.
+	BaselineBins []float64
+}
+
+// maxTrailerBins caps a decoded baseline against hostile gob input.
+const maxTrailerBins = 1 << 20
+
+// trailerHist reconstructs the baseline histogram (nil when absent).
+func (tt *tunerTrailer) trailerHist() *simdist.Histogram {
+	if tt == nil || tt.BaselineBins == nil {
+		return nil
+	}
+	return simdist.FromBins(tt.BaselineBins)
+}
+
+// decodeTrailer reads an optional tunerTrailer as the stream's next gob
+// value. A clean EOF means a legacy (pre-tuner or never-retuned)
+// snapshot.
+func decodeTrailer(dec *gob.Decoder) (*tunerTrailer, error) {
+	var tt tunerTrailer
+	if err := dec.Decode(&tt); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("ssr: decoding tuner trailer: %w", err)
+	}
+	if len(tt.BaselineBins) > maxTrailerBins {
+		return nil, fmt.Errorf("ssr: tuner trailer carries %d histogram bins (limit %d)", len(tt.BaselineBins), maxTrailerBins)
+	}
+	return &tt, nil
+}
+
 // Save writes the index — including the element dictionary — to w. The
 // snapshot reloads with Load into an index that answers queries
 // identically.
@@ -38,6 +84,12 @@ type publicSnapshot struct {
 // captures, leaving the engine bytes referencing names the dictionary
 // never recorded.)
 func (ix *Index) Save(w io.Writer) error {
+	// Tuner state is captured BEFORE the engine bytes: if a retune swaps
+	// between the two captures, the trailer undersells the generation of
+	// the (newer) cores it rides with — the benign direction, since the
+	// plan itself always comes from the cores and a stale baseline at
+	// worst re-triggers a drift check after recovery.
+	gen, hist := ix.inner.TuneState()
 	var coreBuf bytes.Buffer
 	if err := ix.inner.Save(&coreBuf); err != nil {
 		return err
@@ -49,8 +101,18 @@ func (ix *Index) Save(w io.Writer) error {
 	if _, err := bw.WriteString(persistMagic); err != nil {
 		return fmt.Errorf("ssr: writing snapshot header: %w", err)
 	}
-	if err := gob.NewEncoder(bw).Encode(&publicSnapshot{Names: names, Core: coreBuf.Bytes()}); err != nil {
+	enc := gob.NewEncoder(bw)
+	if err := enc.Encode(&publicSnapshot{Names: names, Core: coreBuf.Bytes()}); err != nil {
 		return fmt.Errorf("ssr: encoding snapshot: %w", err)
+	}
+	if gen > 0 {
+		tt := tunerTrailer{Generation: gen}
+		if hist != nil {
+			tt.BaselineBins = hist.RawBins()
+		}
+		if err := enc.Encode(&tt); err != nil {
+			return fmt.Errorf("ssr: encoding tuner trailer: %w", err)
+		}
 	}
 	return bw.Flush()
 }
@@ -70,13 +132,21 @@ func Load(r io.Reader) (*Index, error) {
 	if string(magic) != persistMagic {
 		return nil, fmt.Errorf("ssr: not an index snapshot (bad magic %q)", magic)
 	}
+	dec := gob.NewDecoder(br)
 	var snap publicSnapshot
-	if err := gob.NewDecoder(br).Decode(&snap); err != nil {
+	if err := dec.Decode(&snap); err != nil {
 		return nil, fmt.Errorf("ssr: decoding snapshot: %w", err)
+	}
+	trailer, err := decodeTrailer(dec)
+	if err != nil {
+		return nil, err
 	}
 	inner, err := engine.Load(bytes.NewReader(snap.Core))
 	if err != nil {
 		return nil, err
+	}
+	if trailer != nil && trailer.Generation > 0 {
+		inner.AdoptTuneState(trailer.Generation, trailer.trailerHist())
 	}
 	coll := NewCollection()
 	coll.dict = set.DictionaryFromNames(snap.Names)

@@ -88,6 +88,16 @@ type Options struct {
 	// for every shard count. 0 or 1 (the default) builds the classic
 	// monolithic index, bit-identical to previous releases.
 	Shards int
+	// AutoTune starts adaptive re-tuning: an online sketch tracks how the
+	// collection's similarity distribution drifts under inserts and
+	// deletes, and when it drifts past TunePolicy's threshold the
+	// Section 5 plan is re-derived in the background and hot-swapped
+	// without blocking queries. Equivalent to calling EnableAutoTune on
+	// the built index.
+	AutoTune bool
+	// TunePolicy tunes AutoTune's decision rule; the zero value selects
+	// defaults. Ignored unless AutoTune is set.
+	TunePolicy TunePolicy
 }
 
 // Collection accumulates sets before building an index. Elements are
@@ -202,6 +212,10 @@ type Stats struct {
 	// CPUTime is the measured in-memory processing time (summed across
 	// shards; shards execute concurrently, so this exceeds wall time).
 	CPUTime time.Duration
+	// PlanGeneration identifies the plan that answered the query: 0 is
+	// the build-time plan, and every adaptive retune increments it. All
+	// shards of one query always answer from the same generation.
+	PlanGeneration uint64
 	// PerShard holds each shard's own accounting, indexed by shard number
 	// (one entry on an unsharded index).
 	PerShard []ShardStats
@@ -229,6 +243,9 @@ type Index struct {
 	// mutations then pass through the write-ahead log before they are
 	// acknowledged. See durable.go.
 	dur *durable
+	// tune holds the auto-tuning loop's lifecycle and swap bookkeeping.
+	// See tune.go.
+	tune tuneRuntime
 }
 
 // Build constructs the index over the collection per the paper's pipeline.
@@ -284,7 +301,13 @@ func Build(c *Collection, opt Options) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Index{coll: c, inner: inner}, nil
+	ix := &Index{coll: c, inner: inner}
+	if opt.AutoTune {
+		if err := ix.EnableAutoTune(opt.TunePolicy); err != nil {
+			return nil, err
+		}
+	}
+	return ix, nil
 }
 
 // Shards returns the number of independently locked partitions the index
@@ -353,6 +376,7 @@ func convertStats(qs engine.QueryStats) Stats {
 		SequentialPageReads: qs.IndexIO.Seq() + qs.FetchIO.Seq(),
 		SimulatedIOTime:     qs.SimIOTime(model),
 		CPUTime:             qs.CPU,
+		PlanGeneration:      qs.PlanGeneration,
 	}
 	for i := range qs.PerShard {
 		ps := &qs.PerShard[i]
