@@ -13,11 +13,16 @@ build:
 test:
 	$(GO) test ./...
 
+# Stock go vet plus the repo's own analyzer suite — one target, so "it
+# vets" always means both.
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/ssrvet ./...
 
-# The repo-specific analyzer suite: determinism, float-comparison,
-# dropped-error, and lock-aliasing invariants. Exits non-zero on findings.
+# The repo-specific analyzer suite alone: determinism (seededrand,
+# maprange), float-comparison, dropped-error, lock-aliasing
+# (guardedescape), lock-order, atomic-discipline, and goroutine-lifecycle
+# invariants. Exits non-zero on findings.
 ssrvet:
 	$(GO) run ./cmd/ssrvet ./...
 
@@ -69,4 +74,4 @@ bench-shards:
 bench-drift:
 	$(GO) run ./cmd/ssrbench -exp drift -json -n $(BENCH_N) -queries $(BENCH_QUERIES) -out BENCH_drift.json
 
-check: build vet ssrvet test
+check: build vet test

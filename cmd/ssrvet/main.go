@@ -20,6 +20,14 @@
 //	floatcmp       repro/internal/{lsh,optimize,simdist,eval}
 //	droppederr     repro (persist.go and friends), repro/internal/{storage,textio,server,wal,recovery,engine,tuner}, repro/cmd/...
 //	guardedescape  everywhere
+//	lockorder      repro (durable.go, ssr.go), repro/internal/{engine,core,tuner} — the documented lock hierarchy
+//	maprange       repro, repro/internal/{core,engine,optimize,storage,textio,lsh,minhash} — pinned artifacts and signatures
+//	atomicview     everywhere
+//	looplife       everywhere
+//
+// Independently of any analyzer, every package is checked for
+// //ssrvet:ignore directives lacking a `-- reason`: an unjustified
+// suppression is itself reported.
 //
 // The analyzers themselves are policy-free; this binary is where the repo
 // decides which invariant applies to which layer.
@@ -33,10 +41,14 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/atomicview"
 	"repro/internal/analysis/droppederr"
 	"repro/internal/analysis/floatcmp"
 	"repro/internal/analysis/guardedescape"
 	"repro/internal/analysis/load"
+	"repro/internal/analysis/lockorder"
+	"repro/internal/analysis/looplife"
+	"repro/internal/analysis/maprange"
 	"repro/internal/analysis/seededrand"
 )
 
@@ -84,6 +96,33 @@ var suite = []scopedAnalyzer{
 		)(path)
 	}},
 	{guardedescape.Analyzer, everywhere},
+	{lockorder.New(lockorder.Repo()), func(path string) bool {
+		// The packages participating in the documented lock hierarchy:
+		// durable.go and Collection at the root, the engine's shard and
+		// mapping locks, the core index lock, and the drift tracker.
+		return path == "repro" || prefixScope(
+			"repro/internal/engine",
+			"repro/internal/core",
+			"repro/internal/tuner",
+		)(path)
+	}},
+	{maprange.Analyzer, func(path string) bool {
+		// The layers whose outputs are pinned byte-identical or feed
+		// signatures: snapshots and gob at the root, index construction
+		// and query results in core/engine, plan search in optimize, and
+		// the serialization layers.
+		return path == "repro" || prefixScope(
+			"repro/internal/core",
+			"repro/internal/engine",
+			"repro/internal/optimize",
+			"repro/internal/storage",
+			"repro/internal/textio",
+			"repro/internal/lsh",
+			"repro/internal/minhash",
+		)(path)
+	}},
+	{atomicview.Analyzer, everywhere},
+	{looplife.Analyzer, everywhere},
 }
 
 func main() {
@@ -147,6 +186,12 @@ func main() {
 	}
 	var found []located
 	for _, pkg := range pkgs {
+		// An ignore directive with no justification is itself a finding:
+		// suppressions are part of the invariant record, not an escape
+		// hatch, so each one must say why the violation is deliberate.
+		analysis.CheckIgnores(pkg.Files, func(d analysis.Diagnostic) {
+			found = append(found, located{pos: pkg.Fset.Position(d.Pos).String(), diag: d})
+		})
 		for _, s := range active {
 			if !s.inScope(pkg.ImportPath) {
 				continue

@@ -18,7 +18,9 @@
 //
 // A bare "//ssrvet:ignore" suppresses every analyzer on that line. This is
 // the escape hatch for the rare site where an invariant is deliberately,
-// documentedly violated.
+// documentedly violated. Like //go:build, the directive must start the
+// comment with no space after the slashes; prose mentioning it is inert.
+// A directive without a "-- reason" is itself reported (CheckIgnores).
 package analysis
 
 import (
@@ -26,7 +28,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"regexp"
 	"strings"
 )
 
@@ -98,41 +99,89 @@ func (p *Pass) suppressed(filename string, line int) bool {
 	return lines[line] || lines[line-1]
 }
 
-var ignoreRE = regexp.MustCompile(`//\s*ssrvet:ignore\b([^\n]*)`)
+// ignorePrefix is the directive marker. Like //go:build, a directive
+// comment starts with it exactly — no space after the slashes — so prose
+// that merely mentions the directive is never parsed as one.
+const ignorePrefix = "//ssrvet:ignore"
+
+// Directive is one parsed ssrvet:ignore comment.
+type Directive struct {
+	// Pos is the comment's position.
+	Pos token.Pos
+	// Analyzers names the suppressed analyzers; empty means all.
+	Analyzers []string
+	// Reason is the justification after "--", empty when omitted.
+	Reason string
+}
+
+// ParseDirectives extracts every ssrvet:ignore directive from the files'
+// comments.
+func ParseDirectives(files []*ast.File) []Directive {
+	var out []Directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := c.Text[len(ignorePrefix):]
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //ssrvet:ignoreXYZ is not the directive
+				}
+				args := strings.TrimSpace(rest)
+				d := Directive{Pos: c.Pos()}
+				if i := strings.Index(args, "--"); i >= 0 {
+					d.Reason = strings.TrimSpace(args[i+2:])
+					args = strings.TrimSpace(args[:i])
+				}
+				for _, f := range strings.Fields(args) {
+					d.Analyzers = append(d.Analyzers, strings.TrimSuffix(f, ","))
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// CheckIgnores reports every suppression directive that carries no
+// "-- reason" justification. A suppression without a recorded why is a
+// time bomb: the next reader cannot tell a deliberate exception from a
+// silenced bug. Drivers run it once per package (not per analyzer, so an
+// unjustified directive is one diagnostic, not one per suite member).
+func CheckIgnores(files []*ast.File, report func(Diagnostic)) {
+	for _, d := range ParseDirectives(files) {
+		if d.Reason != "" {
+			continue
+		}
+		report(Diagnostic{
+			Pos:      d.Pos,
+			Category: "ignore",
+			Message:  "ssrvet:ignore without a justification: append \"-- reason\" explaining why the invariant is deliberately violated",
+		})
+	}
+}
 
 // BuildIgnores scans the files' comments for ssrvet:ignore directives and
 // installs the suppression index for the named analyzer. Drivers call this
 // once per (package, analyzer) before Run.
 func (p *Pass) BuildIgnores() {
 	p.ignores = make(map[string]map[int]bool)
-	for _, f := range p.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				m := ignoreRE.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
-				}
-				args := strings.TrimSpace(m[1])
-				// Strip a trailing "-- reason" explanation.
-				if i := strings.Index(args, "--"); i >= 0 {
-					args = strings.TrimSpace(args[:i])
-				}
-				if args != "" && !containsField(args, p.Analyzer.Name) {
-					continue
-				}
-				pos := p.Fset.Position(c.Pos())
-				if p.ignores[pos.Filename] == nil {
-					p.ignores[pos.Filename] = make(map[int]bool)
-				}
-				p.ignores[pos.Filename][pos.Line] = true
-			}
+	for _, d := range ParseDirectives(p.Files) {
+		if len(d.Analyzers) > 0 && !containsName(d.Analyzers, p.Analyzer.Name) {
+			continue
 		}
+		pos := p.Fset.Position(d.Pos)
+		if p.ignores[pos.Filename] == nil {
+			p.ignores[pos.Filename] = make(map[int]bool)
+		}
+		p.ignores[pos.Filename][pos.Line] = true
 	}
 }
 
-func containsField(s, name string) bool {
-	for _, f := range strings.Fields(s) {
-		if f == name || strings.TrimSuffix(f, ",") == name {
+func containsName(names []string, name string) bool {
+	for _, n := range names {
+		if n == name {
 			return true
 		}
 	}

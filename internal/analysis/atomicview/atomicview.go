@@ -1,0 +1,191 @@
+// Package atomicview defines an analyzer enforcing all-or-nothing atomic
+// access to shared fields.
+//
+// Why this matters here: the engine's query-serving state lives behind an
+// atomic.Pointer (the planView pattern) so queries never block on a plan
+// swap. That guarantee holds only if every access goes through the
+// atomic API — one plain read of the field compiles to an unsynchronized
+// load, and the race detector only catches it on the schedules a test
+// happens to run. The same applies to counters bumped with the
+// sync/atomic free functions: a single plain `x.n++` elsewhere undoes
+// the whole discipline.
+//
+// The analyzer flags, in non-test code:
+//
+//   - any access to a field of an atomic type (atomic.Pointer[T],
+//     atomic.Bool, atomic.Int64, atomic.Value, ...) that is not a call
+//     of its atomic method set — copying the field, assigning it,
+//     or taking its address all bypass (or tear) the protocol;
+//   - a plain read or write of a plain-typed field that is elsewhere
+//     accessed through the sync/atomic free functions
+//     (atomic.AddUint64(&x.f, 1) in one function, x.f++ in another —
+//     the mixed-view race).
+//
+// Initialization in a constructor is not exempted automatically: even
+// before publication a Store costs nothing, and exempting "constructors"
+// statically is guesswork. The rare deliberate pre-publication plain
+// write takes an //ssrvet:ignore with its reason.
+package atomicview
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags non-atomic access to atomically-shared fields.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicview",
+	Doc:  "require every access to an atomic-typed or atomically-updated field to go through the sync/atomic API; one plain access is an undetected data race",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	v := &visitor{pass: pass, atomicFn: map[*types.Var][]token.Pos{}, plain: map[*types.Var][]token.Pos{}}
+	for _, f := range pass.Files {
+		v.file(f)
+	}
+	// Mixed-view check: plain uses of fields that are elsewhere updated
+	// through the sync/atomic free functions.
+	for field, plainSites := range v.plain {
+		if len(v.atomicFn[field]) == 0 {
+			continue
+		}
+		for _, pos := range plainSites {
+			pass.Reportf(pos, "field %s is updated through sync/atomic elsewhere (e.g. %s); this plain access is a data race — use atomic loads/stores for every access", field.Name(), pass.Fset.Position(v.atomicFn[field][0]))
+		}
+	}
+	return nil
+}
+
+type visitor struct {
+	pass *analysis.Pass
+	// atomicFn records fields passed as &x.f to sync/atomic functions.
+	atomicFn map[*types.Var][]token.Pos
+	// plain records every other use of those candidate fields.
+	plain map[*types.Var][]token.Pos
+}
+
+// file walks one file with an explicit parent stack, so a selector's use
+// context (method call vs. plain access) is decidable.
+func (v *visitor) file(f *ast.File) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		stack = append(stack, n)
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			v.selector(x, stack)
+		case *ast.CallExpr:
+			v.call(x)
+		}
+		return true
+	})
+}
+
+// selector checks one field access.
+func (v *visitor) selector(sel *ast.SelectorExpr, stack []ast.Node) {
+	s, ok := v.pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	field, ok := s.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	if isAtomicType(field.Type()) {
+		if !isAtomicMethodCall(v.pass, sel, stack) {
+			v.pass.Reportf(sel.Pos(), "field %s has atomic type %s but is accessed outside its atomic API: copying, assigning, or aliasing the field bypasses the synchronization it exists for", field.Name(), types.TypeString(field.Type(), types.RelativeTo(v.pass.Pkg)))
+		}
+		return
+	}
+	// Plain-typed field: classify this use as atomic (&x.f passed to a
+	// sync/atomic function) or plain.
+	if isAtomicFnOperand(v.pass, sel, stack) {
+		return // recorded by call()
+	}
+	v.plain[field] = append(v.plain[field], sel.Pos())
+}
+
+// call records fields whose address feeds a sync/atomic free function.
+func (v *visitor) call(call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := v.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return
+	}
+	for _, arg := range call.Args {
+		un, ok := arg.(*ast.UnaryExpr)
+		if !ok || un.Op != token.AND {
+			continue
+		}
+		fsel, ok := un.X.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		if s, ok := v.pass.TypesInfo.Selections[fsel]; ok && s.Kind() == types.FieldVal {
+			if field, ok := s.Obj().(*types.Var); ok {
+				v.atomicFn[field] = append(v.atomicFn[field], un.Pos())
+			}
+		}
+	}
+}
+
+// isAtomicType reports whether t is a named type of package sync/atomic
+// (Bool, Int32, Int64, Uint32, Uint64, Uintptr, Pointer[T], Value).
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// isAtomicMethodCall reports whether sel (x.field) is the receiver of a
+// method call resolved into sync/atomic — x.field.Load(), .Store(), etc.
+func isAtomicMethodCall(pass *analysis.Pass, sel *ast.SelectorExpr, stack []ast.Node) bool {
+	if len(stack) < 3 {
+		return false
+	}
+	parent, ok := stack[len(stack)-2].(*ast.SelectorExpr)
+	if !ok || parent.X != sel {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[parent.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	call, ok := stack[len(stack)-3].(*ast.CallExpr)
+	return ok && call.Fun == parent
+}
+
+// isAtomicFnOperand reports whether sel is the &-operand of a sync/atomic
+// free-function call (atomic.AddUint64(&x.f, 1)).
+func isAtomicFnOperand(pass *analysis.Pass, sel *ast.SelectorExpr, stack []ast.Node) bool {
+	if len(stack) < 3 {
+		return false
+	}
+	un, ok := stack[len(stack)-2].(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND || un.X != sel {
+		return false
+	}
+	call, ok := stack[len(stack)-3].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fsel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[fsel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}

@@ -1,0 +1,66 @@
+// Package atomuse is an atomicview fixture: atomic-typed fields accessed
+// outside their method set and mixed atomic/plain access to ordinary
+// fields are flagged; disciplined use passes.
+package atomuse
+
+import (
+	"sync/atomic"
+)
+
+type view struct {
+	gen uint64
+}
+
+// Engine mirrors the planView pattern: view swaps atomically, counters
+// bump through the free functions.
+type Engine struct {
+	view    atomic.Pointer[view]
+	closed  atomic.Bool
+	queries uint64
+	hits    uint64
+	plainOK int
+}
+
+// LoadStore uses the atomic API throughout.
+func (e *Engine) LoadStore(v *view) *view {
+	old := e.view.Load()
+	e.view.Store(v)
+	if e.closed.Load() {
+		return nil
+	}
+	return old
+}
+
+// CopyField copies the atomic pointer by value — a torn view.
+func (e *Engine) CopyField() {
+	v := e.view // want "outside its atomic API"
+	_ = v
+}
+
+// AliasField leaks the atomic's address to arbitrary code.
+func (e *Engine) AliasField() *atomic.Bool {
+	return &e.closed // want "outside its atomic API"
+}
+
+// CountAtomic bumps the counter through the free function.
+func (e *Engine) CountAtomic() {
+	atomic.AddUint64(&e.queries, 1)
+	atomic.AddUint64(&e.hits, 1)
+}
+
+// CountPlain races CountAtomic: same field, no synchronization.
+func (e *Engine) CountPlain() {
+	e.queries++ // want "plain access is a data race"
+}
+
+// ReadPlain races too — an unsynchronized load of an atomic counter.
+func (e *Engine) ReadPlain() uint64 {
+	return e.hits // want "plain access is a data race"
+}
+
+// PlainOnly is an ordinary field with ordinary access — no atomic use
+// anywhere, nothing to flag.
+func (e *Engine) PlainOnly() int {
+	e.plainOK++
+	return e.plainOK
+}

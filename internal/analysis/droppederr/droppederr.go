@@ -14,12 +14,13 @@
 //     predeclared error type;
 //   - a call used as a bare statement whose signature returns an error
 //     (every result discarded);
-//   - `defer f.Close()` and `defer f.Sync()` on an *os.File. Deferred
-//     calls are otherwise exempt (there is usually no error path to
-//     return on), but these two are the write-ahead-log bug class: a
-//     file that buffered writes silently loses its final flush, and the
-//     loss surfaces as a truncated log or snapshot on the next restart.
-//     Close such files explicitly and surface the error (see
+//   - `defer f.Close()` / `defer f.Sync()` on an *os.File and
+//     `defer w.Flush()` on a *bufio.Writer. Deferred calls are otherwise
+//     exempt (there is usually no error path to return on), but these are
+//     the write-ahead-log bug class: a file or buffered writer that
+//     silently loses its final flush surfaces as a truncated log,
+//     snapshot, or benchmark report on the next read. Flush/close such
+//     writers explicitly and surface the error (see
 //     internal/wal.Writer.Close), or annotate read-only fds with
 //     //ssrvet:ignore and the reason.
 //
@@ -60,26 +61,30 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// checkDefer flags `defer f.Close()` / `defer f.Sync()` on *os.File: the
-// deferred error vanishes, and for a written file that error is the only
-// signal that buffered data never reached the disk.
+// checkDefer flags `defer f.Close()` / `defer f.Sync()` on *os.File and
+// `defer w.Flush()` on *bufio.Writer: the deferred error vanishes, and
+// for a written file or buffered writer that error is the only signal
+// that buffered data never reached its destination.
 func checkDefer(pass *analysis.Pass, stmt *ast.DeferStmt) {
 	sel, ok := stmt.Call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return
 	}
 	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
-	if !ok || (fn.Name() != "Close" && fn.Name() != "Sync") {
+	if !ok {
 		return
 	}
 	sig, ok := fn.Type().(*types.Signature)
 	if !ok || sig.Recv() == nil {
 		return
 	}
-	if types.TypeString(sig.Recv().Type(), nil) != "*os.File" {
-		return
+	recv := types.TypeString(sig.Recv().Type(), nil)
+	switch {
+	case recv == "*os.File" && (fn.Name() == "Close" || fn.Name() == "Sync"):
+		pass.Reportf(stmt.Pos(), "deferred (*os.File).%s discards its error: a failed flush is silent data loss; close explicitly and check, or document a read-only fd with //ssrvet:ignore", fn.Name())
+	case recv == "*bufio.Writer" && fn.Name() == "Flush":
+		pass.Reportf(stmt.Pos(), "deferred (*bufio.Writer).Flush discards its error: the final buffer never reaching the underlying writer is silent truncation; flush explicitly and check the error")
 	}
-	pass.Reportf(stmt.Pos(), "deferred (*os.File).%s discards its error: a failed flush is silent data loss; close explicitly and check, or document a read-only fd with //ssrvet:ignore", fn.Name())
 }
 
 // checkAssign flags blank identifiers bound to error values.

@@ -9,7 +9,7 @@ import (
 
 func TestDroppedErr(t *testing.T) {
 	diags := analysistest.Run(t, "testdata/src/erruse", droppederr.Analyzer)
-	if len(diags) != 6 {
-		t.Errorf("got %d diagnostics, want 6", len(diags))
+	if len(diags) != 7 {
+		t.Errorf("got %d diagnostics, want 7", len(diags))
 	}
 }

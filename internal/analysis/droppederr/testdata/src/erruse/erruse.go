@@ -3,6 +3,7 @@
 package erruse
 
 import (
+	"bufio"
 	"bytes"
 	"fmt"
 	"io"
@@ -51,6 +52,25 @@ func Deferred(f *os.File) {
 // DeferredSync is the same hole on the fsync side.
 func DeferredSync(f *os.File) {
 	defer f.Sync() // want `deferred \(\*os.File\).Sync discards its error`
+}
+
+// DeferredFlush is the buffered-writer variant: the final Flush error is
+// the only signal the tail of the stream was written.
+func DeferredFlush(f *os.File) {
+	w := bufio.NewWriter(f)
+	defer w.Flush() // want `deferred \(\*bufio.Writer\).Flush discards its error`
+	if _, err := w.WriteString("row\n"); err != nil {
+		return
+	}
+}
+
+// FlushChecked is the sanctioned shape: flush explicitly and look.
+func FlushChecked(f *os.File) error {
+	w := bufio.NewWriter(f)
+	if _, err := w.WriteString("row\n"); err != nil {
+		return err
+	}
+	return w.Flush()
 }
 
 // DeferredOther stays exempt: deferring a non-file Close (or any other

@@ -1,0 +1,66 @@
+package lockorder_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/lockorder"
+)
+
+// fixtureConfig mirrors the repo hierarchy onto the fixture package's
+// types (load.Dir checks fixtures under their package name as the path).
+func fixtureConfig() lockorder.Config {
+	return lockorder.Config{
+		Levels: []lockorder.Level{
+			{Name: "tune", Mutexes: []string{"lockuse.Engine.tmu"}},
+			{Name: "engine-shard", Mutexes: []string{"lockuse.Shard.mu"}},
+			{Name: "mapping", Mutexes: []string{"lockuse.Engine.gmu"}},
+			{Name: "core", Mutexes: []string{"lockuse.Core.mu"}},
+		},
+	}
+}
+
+func TestLockOrder(t *testing.T) {
+	diags := analysistest.Run(t, "testdata/src/lockuse", lockorder.New(fixtureConfig()))
+	if len(diags) != 4 {
+		t.Errorf("got %d diagnostics, want 4", len(diags))
+	}
+}
+
+// TestRepoTreeClean pins that the shipped tree satisfies the documented
+// hierarchy under the repo configuration — in particular that
+// internal/engine (retune.go's three-phase capture/rebuild/swap) passes
+// clean. A future edit that inverts an acquisition fails here before any
+// -race schedule has a chance to hit it.
+func TestRepoTreeClean(t *testing.T) {
+	root, err := filepath.Abs("../../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := load.Load(root, "./", "./internal/engine", "./internal/core", "./internal/tuner")
+	if err != nil {
+		t.Fatalf("loading repo packages: %v", err)
+	}
+	a := lockorder.New(lockorder.Repo())
+	for _, pkg := range pkgs {
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		pass.BuildIgnores()
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("%s: %v", pkg.ImportPath, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: %s: %s", pkg.ImportPath, pkg.Fset.Position(d.Pos), d.Message)
+		}
+	}
+}

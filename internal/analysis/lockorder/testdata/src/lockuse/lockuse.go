@@ -1,0 +1,148 @@
+// Package lockuse is a lockorder fixture reproducing the repo's
+// documented hierarchy in miniature: tune → engine-shard → mapping →
+// core. Acquisitions that follow the chain pass; a deliberate inversion,
+// a transitive inversion through a helper, and locks leaked on a return
+// path are flagged.
+package lockuse
+
+import "sync"
+
+// Core is the lowest level of the fixture hierarchy.
+type Core struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// Shard is the engine-shard level.
+type Shard struct {
+	mu   sync.Mutex
+	core *Core
+}
+
+// Engine is the top: tmu is the tune level, gmu the mapping level.
+type Engine struct {
+	tmu    sync.Mutex
+	gmu    sync.RWMutex
+	shards []*Shard
+	locals []uint32
+}
+
+// Chain acquires straight down the documented order.
+func (e *Engine) Chain() {
+	e.tmu.Lock()
+	sh := e.shards[0]
+	sh.mu.Lock()
+	e.gmu.Lock()
+	sh.core.mu.Lock()
+	sh.core.n++
+	sh.core.mu.Unlock()
+	e.gmu.Unlock()
+	sh.mu.Unlock()
+	e.tmu.Unlock()
+}
+
+// Inverted acquires the shard level while holding the core level — the
+// deliberate inversion the acceptance criteria pin.
+func (e *Engine) Inverted() {
+	sh := e.shards[0]
+	sh.core.mu.Lock()
+	sh.mu.Lock() // want "lock order inversion"
+	sh.mu.Unlock()
+	sh.core.mu.Unlock()
+}
+
+// lockShard is a helper whose summary carries the engine-shard level.
+func (e *Engine) lockShard() {
+	sh := e.shards[0]
+	sh.mu.Lock()
+	sh.mu.Unlock()
+}
+
+// TransitiveInverted reaches the inversion through a local call: the
+// helper's summary propagates the shard acquisition under the held
+// mapping lock.
+func (e *Engine) TransitiveInverted() {
+	e.gmu.Lock()
+	e.lockShard() // want "lock order inversion"
+	e.gmu.Unlock()
+}
+
+// Leak locks and returns without releasing.
+func (e *Engine) Leak() int {
+	e.gmu.Lock()
+	return len(e.locals) // want "not released on this return path"
+}
+
+// LeakBranch releases on the fallthrough path but not on the early
+// return.
+func (e *Engine) LeakBranch(fail bool) int {
+	e.gmu.Lock()
+	if fail {
+		return -1 // want "not released on this return path"
+	}
+	n := len(e.locals)
+	e.gmu.Unlock()
+	return n
+}
+
+// DeferClean is the canonical balanced shape.
+func (e *Engine) DeferClean() int {
+	e.gmu.RLock()
+	defer e.gmu.RUnlock()
+	return len(e.locals)
+}
+
+// EarlyReturnClean releases explicitly on both paths.
+func (e *Engine) EarlyReturnClean(fail bool) int {
+	e.gmu.Lock()
+	if fail {
+		e.gmu.Unlock()
+		return -1
+	}
+	n := len(e.locals)
+	e.gmu.Unlock()
+	return n
+}
+
+// SameLevelPeers holds two shard mutexes at once: peers within one level
+// are unordered (the ascending-index discipline is dynamic, not static).
+func (e *Engine) SameLevelPeers() {
+	a, b := e.shards[0], e.shards[1]
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// SwapShape is the retune swap protocol: lock every shard in a loop,
+// publish, unlock in reverse — balanced by the paired loops.
+func (e *Engine) SwapShape() {
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+	}
+	e.locals = append(e.locals, 0)
+	for i := len(e.shards) - 1; i >= 0; i-- {
+		e.shards[i].mu.Unlock()
+	}
+}
+
+// DeferredClosureClean releases through a deferred closure.
+func (e *Engine) DeferredClosureClean() int {
+	e.tmu.Lock()
+	defer func() {
+		e.tmu.Unlock()
+	}()
+	return len(e.locals)
+}
+
+// DownThenUp is sequential, not nested: the mapping lock is released
+// before the shard lock is taken.
+func (e *Engine) DownThenUp() {
+	e.gmu.RLock()
+	n := len(e.locals)
+	e.gmu.RUnlock()
+	if n > 0 {
+		e.shards[0].mu.Lock()
+		e.shards[0].mu.Unlock()
+	}
+}

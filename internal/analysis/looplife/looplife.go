@@ -1,0 +1,185 @@
+// Package looplife defines an analyzer for unkillable goroutines.
+//
+// The repo's long-running goroutines all follow one shape: the loop
+// selects on a stop signal supplied by the owner (autoTuneLoop's stop
+// channel, a context's Done, or a closed work channel) and the owner
+// joins on a done channel or WaitGroup. A background loop started
+// without any such signal cannot be shut down — Close returns, the test
+// binary exits, but under a server the goroutine keeps ticking, holding
+// references and racing the teardown it never observes.
+//
+// The analyzer flags a `go` statement whose launched function — a
+// function literal, or a same-package function or method whose body is
+// visible — contains an unbounded `for` loop (no condition) and none of:
+//
+//   - a receive from a channel that originates outside the goroutine
+//     body (a captured or parameter stop/work channel, or <-ctx.Done());
+//   - a range over such a channel;
+//   - a (*sync.WaitGroup).Done call (the worker-pool join shape).
+//
+// A loop that exits only on an internal computed condition trips the
+// analyzer too; if the termination argument is real, say so with
+// //ssrvet:ignore looplife -- <why it terminates>.
+package looplife
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags goroutines running unbounded loops with no stop signal.
+var Analyzer = &analysis.Analyzer{
+	Name: "looplife",
+	Doc:  "require every goroutine with an unbounded for loop to watch a stop channel, context, or WaitGroup so the owner can shut it down",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := launchedBody(pass, g, decls)
+			if body == nil {
+				return true
+			}
+			if hasEndlessLoop(body) && !hasStopSignal(pass, body) {
+				pass.Reportf(g.Pos(), "goroutine runs an unbounded for loop with no stop signal: no receive from an external channel, no ctx.Done, no WaitGroup join — it cannot be shut down and leaks past Close")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// launchedBody resolves the body of the function a go statement starts:
+// the literal itself, or the declaration of a same-package function or
+// method. Cross-package calls return nil — their bodies are not visible,
+// and the callee package is analyzed in its own right.
+func launchedBody(pass *analysis.Pass, g *ast.GoStmt, decls map[*types.Func]*ast.FuncDecl) *ast.BlockStmt {
+	switch fun := g.Call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if fn, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			if fd := decls[fn]; fd != nil {
+				return fd.Body
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			if fd := decls[fn]; fd != nil {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// hasEndlessLoop reports whether body contains a `for { ... }` loop with
+// no condition, outside any nested function literal (a nested literal
+// runs on its own goroutine or call and is judged there).
+func hasEndlessLoop(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if x.Cond == nil {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// hasStopSignal reports whether body contains any shutdown-observing
+// construct: a receive from (or range over) a channel rooted outside the
+// body, or a sync.WaitGroup Done call.
+func hasStopSignal(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && rootedOutside(pass, x.X, body) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if _, ok := pass.TypesInfo.TypeOf(x.X).Underlying().(*types.Chan); ok && rootedOutside(pass, x.X, body) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if isWaitGroupDone(pass, x) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// rootedOutside reports whether the leftmost identifier of expr resolves
+// to an object declared outside body — a parameter, a captured variable,
+// or a package-level name. A channel made inside the goroutine cannot
+// carry a shutdown signal from its owner.
+func rootedOutside(pass *analysis.Pass, expr ast.Expr, body *ast.BlockStmt) bool {
+	for {
+		switch x := expr.(type) {
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[x]
+			if obj == nil {
+				obj = pass.TypesInfo.Defs[x]
+			}
+			if obj == nil {
+				return false
+			}
+			return obj.Pos() < body.Pos() || obj.Pos() >= body.End()
+		case *ast.SelectorExpr:
+			expr = x.X
+		case *ast.CallExpr:
+			expr = x.Fun
+		case *ast.ParenExpr:
+			expr = x.X
+		case *ast.IndexExpr:
+			expr = x.X
+		case *ast.StarExpr:
+			expr = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// isWaitGroupDone reports whether call is wg.Done() on a sync.WaitGroup.
+func isWaitGroupDone(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync"
+}

@@ -1,0 +1,15 @@
+package looplife_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/looplife"
+)
+
+func TestLoopLife(t *testing.T) {
+	diags := analysistest.Run(t, "testdata/src/loopuse", looplife.Analyzer)
+	if len(diags) != 3 {
+		t.Errorf("got %d diagnostics, want 3", len(diags))
+	}
+}

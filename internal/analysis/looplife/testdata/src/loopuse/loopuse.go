@@ -1,0 +1,119 @@
+// Package loopuse is a looplife fixture: goroutines running unbounded
+// loops with no stop signal are flagged; the stop-channel, context,
+// work-channel, and WaitGroup shapes pass.
+package loopuse
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Forever leaks: nothing can stop the loop.
+func Forever() {
+	go func() { // want "no stop signal"
+		for {
+			time.Sleep(time.Second)
+		}
+	}()
+}
+
+// NamedLeak leaks through a named function: spin has no stop parameter.
+func NamedLeak() {
+	go spin() // want "no stop signal"
+}
+
+func spin() {
+	for {
+		time.Sleep(time.Second)
+	}
+}
+
+// LocalChannel leaks: the channel is made inside the goroutine, so no
+// owner can ever close or signal it.
+func LocalChannel() {
+	go func() { // want "no stop signal"
+		tick := make(chan struct{})
+		for {
+			<-tick
+		}
+	}()
+}
+
+// StopChannel is the autoTuneLoop shape: select on an owner-supplied
+// stop channel.
+func StopChannel(stop chan struct{}) {
+	go func() {
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+			}
+		}
+	}()
+}
+
+// NamedStop passes the stop channel into a named loop function.
+func NamedStop(stop chan struct{}) {
+	go loop(stop)
+}
+
+func loop(stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// ContextLoop watches ctx.Done.
+func ContextLoop(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+		}
+	}()
+}
+
+// Worker is the pool shape: WaitGroup join plus a closable work channel.
+func Worker(wg *sync.WaitGroup, work chan int) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			v, ok := <-work
+			if !ok {
+				return
+			}
+			_ = v
+		}
+	}()
+}
+
+// RangeWorker drains an owner-supplied channel; close stops it.
+func RangeWorker(work chan int) {
+	go func() {
+		for v := range work {
+			_ = v
+		}
+	}()
+}
+
+// Bounded terminates by construction: a conditioned loop is not flagged.
+func Bounded() {
+	go func() {
+		for i := 0; i < 10; i++ {
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}

@@ -1,0 +1,355 @@
+// Package maprange defines an analyzer guarding the repo's determinism
+// contract against Go's randomized map iteration order.
+//
+// Why this matters here: the paper's Lemma 1 error bounds are verified by
+// bit-exact golden fixtures — snapshots, signatures, and benchmark
+// checksums are pinned byte for byte across runs and machines. A `range`
+// over a map whose iteration order leaks into an output slice, an
+// encoded stream, or a returned value silently breaks that contract:
+// the code is correct on every run and identical on none.
+//
+// The analyzer flags, inside `for ... range m` where m is a map:
+//
+//   - an append into a slice declared outside the loop whose appended
+//     values derive from the iteration (key or value), unless the slice
+//     is sorted after the loop in the same function — the
+//     collect-then-sort idiom is the sanctioned fix;
+//   - a write into an outside slice at a loop-carried index (the
+//     positional cousin of append), under the same sorted-after escape;
+//   - a call that writes the key or value to an encoder or writer
+//     (Encode, Write*, fmt.Fprint*) — order reaches the output stream
+//     directly and no later sort can repair it;
+//   - a return statement whose results reference the key or value —
+//     "first match wins" selects a different winner every run.
+//
+// Order-insensitive bodies pass untouched: counting, summing, building
+// another map, deleting, or appending values that do not depend on the
+// iteration variables.
+package maprange
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags map iteration order leaking into order-sensitive sinks.
+var Analyzer = &analysis.Analyzer{
+	Name: "maprange",
+	Doc:  "forbid map iteration order reaching slices, encoders, or return values that feed deterministic artifacts; sort keys first or sort the result",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBody(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkBody finds map ranges in one function body (including nested
+// function literals, each checked against its own body for the
+// sorted-after escape).
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkBody(pass, lit.Body)
+			return false
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if tv, found := pass.TypesInfo.Types[rs.X]; !found || !isMap(tv.Type) {
+			return true
+		}
+		checkRange(pass, rs, body)
+		return true
+	})
+}
+
+func isMap(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkRange inspects one map range's body for order-sensitive sinks.
+func checkRange(pass *analysis.Pass, rs *ast.RangeStmt, enclosing *ast.BlockStmt) {
+	iterObjs := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				iterObjs[obj] = true
+			}
+		}
+	}
+	// Assignments inside the body extend the taint: x := v makes x
+	// iteration-derived too. One forward pass suffices for the shapes in
+	// this repo.
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !referencesAny(pass, rhs, iterObjs) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Defs[id]; obj != nil {
+					iterObjs[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	// Loop-carried counters: objects assigned or incremented in the body
+	// make an indexed write positional.
+	counters := map[types.Object]bool{}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.IncDecStmt:
+			if obj := rootObj(pass, s.X); obj != nil {
+				counters[obj] = true
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Uses[id]; obj != nil {
+						counters[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.RangeStmt:
+			// Nested map ranges are checked by their own visit.
+			return true
+		case *ast.AssignStmt:
+			checkAppend(pass, s, rs, enclosing, iterObjs)
+			checkIndexedWrite(pass, s, rs, enclosing, counters)
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				checkSinkCall(pass, call, iterObjs)
+			}
+		case *ast.ReturnStmt:
+			for _, e := range s.Results {
+				if referencesAny(pass, e, iterObjs) {
+					pass.Reportf(s.Pos(), "return inside a map range selects a result by iteration order, which differs every run: sort the keys and iterate the slice instead")
+					break
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkAppend flags `dst = append(dst, ...iteration-derived...)` where
+// dst outlives the loop and is never sorted afterwards.
+func checkAppend(pass *analysis.Pass, as *ast.AssignStmt, rs *ast.RangeStmt, enclosing *ast.BlockStmt, iterObjs map[types.Object]bool) {
+	for _, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			continue
+		}
+		if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" || pass.TypesInfo.Uses[id] != types.Universe.Lookup("append") {
+			continue
+		}
+		dst := rootObj(pass, call.Args[0])
+		if dst == nil || declaredWithin(dst, rs) {
+			continue
+		}
+		sensitive := false
+		for _, arg := range call.Args[1:] {
+			if referencesAny(pass, arg, iterObjs) {
+				sensitive = true
+			}
+		}
+		if !sensitive || sortedAfter(pass, enclosing, rs, dst) {
+			continue
+		}
+		pass.Reportf(as.Pos(), "append of map-iteration data into %s, which is never sorted afterwards: iteration order is randomized, so the slice differs every run; sort the keys first or sort %s before it is used", dst.Name(), dst.Name())
+	}
+}
+
+// checkIndexedWrite flags `dst[i] = ...` where dst outlives the loop and
+// i is a loop-carried counter — positional writes with the same ordering
+// hazard as append.
+func checkIndexedWrite(pass *analysis.Pass, as *ast.AssignStmt, rs *ast.RangeStmt, enclosing *ast.BlockStmt, counters map[types.Object]bool) {
+	for _, lhs := range as.Lhs {
+		ix, ok := lhs.(*ast.IndexExpr)
+		if !ok {
+			continue
+		}
+		base := rootObj(pass, ix.X)
+		if base == nil || declaredWithin(base, rs) {
+			continue
+		}
+		if bt, found := pass.TypesInfo.Types[ix.X]; !found || !isSliceOrArray(bt.Type) {
+			continue
+		}
+		idx := rootObj(pass, ix.Index)
+		if idx == nil || !counters[idx] || declaredWithin(idx, rs) {
+			continue
+		}
+		if sortedAfter(pass, enclosing, rs, base) {
+			continue
+		}
+		pass.Reportf(as.Pos(), "write into %s at loop-carried index %s inside a map range: positions follow the randomized iteration order; sort the keys first or sort %s before it is used", base.Name(), idx.Name(), base.Name())
+	}
+}
+
+func isSliceOrArray(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	case *types.Pointer:
+		return isSliceOrArray(t.Underlying().(*types.Pointer).Elem())
+	}
+	return false
+}
+
+// sinkMethods are calls whose argument order reaches an output stream.
+var sinkMethods = map[string]bool{
+	"Encode": true, "Write": true, "WriteString": true, "WriteByte": true,
+	"WriteRune": true, "Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// checkSinkCall flags encoder/writer calls fed iteration-derived data —
+// unsortable after the fact.
+func checkSinkCall(pass *analysis.Pass, call *ast.CallExpr, iterObjs map[types.Object]bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !sinkMethods[sel.Sel.Name] {
+		return
+	}
+	for _, arg := range call.Args {
+		if referencesAny(pass, arg, iterObjs) {
+			pass.Reportf(call.Pos(), "%s inside a map range writes iteration-ordered data to the output: the stream differs every run and no later sort can repair it; iterate sorted keys instead", sel.Sel.Name)
+			return
+		}
+	}
+}
+
+// sortedAfter reports whether a sort call referencing obj appears after
+// the range statement in the enclosing body — the collect-then-sort
+// escape.
+func sortedAfter(pass *analysis.Pass, enclosing *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		if !isSortCall(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if refersTo(pass, arg, obj) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isSortCall recognizes the sort and slices packages' sorting entry
+// points.
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "sort":
+		switch fn.Name() {
+		case "Sort", "Stable", "Slice", "SliceStable", "Strings", "Ints", "Float64s":
+			return true
+		}
+	case "slices":
+		switch fn.Name() {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return true
+		}
+	}
+	return false
+}
+
+// referencesAny reports whether e mentions any of the objects.
+func referencesAny(pass *analysis.Pass, e ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil && objs[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// refersTo reports whether e mentions obj, looking through sort.Reverse /
+// sort.Float64Slice style wrappers by inspecting the whole expression.
+func refersTo(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// rootObj resolves the base identifier of x (looking through selectors,
+// indexes, and parens) to its object.
+func rootObj(pass *analysis.Pass, x ast.Expr) types.Object {
+	for {
+		switch v := x.(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.Uses[v]
+		case *ast.SelectorExpr:
+			// Prefer the selected field/var itself when it resolves; a
+			// selector like ix.sigs names the field, not the receiver.
+			if obj := pass.TypesInfo.Uses[v.Sel]; obj != nil {
+				return obj
+			}
+			x = v.X
+		case *ast.IndexExpr:
+			x = v.X
+		case *ast.ParenExpr:
+			x = v.X
+		case *ast.StarExpr:
+			x = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredWithin reports whether obj's declaration lies inside the range
+// statement (per-iteration locals are order-insensitive).
+func declaredWithin(obj types.Object, rs *ast.RangeStmt) bool {
+	return obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End()
+}

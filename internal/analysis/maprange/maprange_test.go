@@ -1,0 +1,15 @@
+package maprange_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/maprange"
+)
+
+func TestMapRange(t *testing.T) {
+	diags := analysistest.Run(t, "testdata/src/mapuse", maprange.Analyzer)
+	if len(diags) != 6 {
+		t.Errorf("got %d diagnostics, want 6", len(diags))
+	}
+}

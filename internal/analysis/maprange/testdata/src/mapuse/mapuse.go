@@ -1,0 +1,161 @@
+// Package mapuse is a maprange fixture: map iteration order leaking into
+// slices, streams, and return values is flagged; collect-then-sort,
+// counting, and map-to-map shapes pass.
+package mapuse
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// AppendUnsorted leaks iteration order into a slice that is never
+// sorted.
+func AppendUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "never sorted afterwards"
+	}
+	return keys
+}
+
+// AppendSorted is the sanctioned collect-then-sort idiom.
+func AppendSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// AppendSortSlice sorts through sort.Slice with a comparator.
+func AppendSortSlice(m map[float64]int) []float64 {
+	var points []float64
+	for p := range m {
+		points = append(points, p)
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i] < points[j] })
+	return points
+}
+
+// AppendSortReverse sorts through a wrapper (sort.Reverse over a typed
+// slice), the top-k probe-order shape.
+func AppendSortReverse(m map[float64]bool) []float64 {
+	points := make([]float64, 0, len(m))
+	for p := range m {
+		points = append(points, p)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(points)))
+	return points
+}
+
+// AppendValueDerived taints through an intermediate local.
+func AppendValueDerived(m map[string]int, out []int) []int {
+	for _, v := range m {
+		doubled := v * 2
+		out = append(out, doubled) // want "never sorted afterwards"
+	}
+	return out
+}
+
+// AppendInsensitive appends data unrelated to the iteration: a counter
+// per entry is order-free.
+func AppendInsensitive(m map[string]int) []int {
+	var ones []int
+	for range m {
+		ones = append(ones, 1)
+	}
+	return ones
+}
+
+// IndexedCounterWrite is positional append in disguise.
+func IndexedCounterWrite(m map[string]int) []string {
+	out := make([]string, len(m))
+	i := 0
+	for k := range m {
+		out[i] = k // want "loop-carried index"
+		i++
+	}
+	return out
+}
+
+// IndexedCounterSorted repairs the positional write with a sort.
+func IndexedCounterSorted(m map[string]int) []string {
+	out := make([]string, len(m))
+	i := 0
+	for k := range m {
+		out[i] = k
+		i++
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EncodeInLoop streams entries in iteration order — unsortable after the
+// fact.
+func EncodeInLoop(m map[string]int, enc *gob.Encoder) {
+	for k, v := range m {
+		enc.Encode(k) // want "writes iteration-ordered data"
+		_ = v
+	}
+}
+
+// FprintInLoop writes iteration-ordered text.
+func FprintInLoop(m map[string]int, w io.Writer) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "writes iteration-ordered data"
+	}
+}
+
+// ReturnFirstMatch selects a winner by iteration order.
+func ReturnFirstMatch(m map[float64]int, other map[float64]int) (float64, bool) {
+	for p := range m {
+		if _, ok := other[p]; ok {
+			return p, true // want "selects a result by iteration order"
+		}
+	}
+	return 0, false
+}
+
+// ReturnInsensitive returns a value independent of which iteration hit.
+func ReturnInsensitive(m map[string]int) bool {
+	for _, v := range m {
+		if v > 10 {
+			return true
+		}
+	}
+	return false
+}
+
+// Aggregate sums — commutative, order-free.
+func Aggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// MapToMap builds another map — unordered to unordered.
+func MapToMap(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+
+// PerIterationLocal appends into a slice scoped to the iteration.
+func PerIterationLocal(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		for _, v := range vs {
+			local = append(local, v)
+		}
+		n += len(local)
+	}
+	return n
+}

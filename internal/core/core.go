@@ -650,13 +650,22 @@ func (ix *Index) candidatesFromSignature(sig minhash.Signature, s1, s2 float64, 
 	return a, nil
 }
 
+// bothKindsPoint returns the smallest probe point carrying both a
+// dissimilarity- and a similarity-kind filter index. Smallest (rather
+// than map-iteration first) keeps the chosen pivot — and every artifact
+// derived from the query plan — identical across runs.
 func (ix *Index) bothKindsPoint() (float64, bool) {
+	points := make([]float64, 0, len(ix.dfis))
 	for p := range ix.dfis {
 		if _, ok := ix.sfis[p]; ok {
-			return p, true
+			points = append(points, p)
 		}
 	}
-	return 0, false
+	if len(points) == 0 {
+		return 0, false
+	}
+	sort.Float64s(points)
+	return points[0], true
 }
 
 // Query answers the set similarity range query (q, [s1, s2]) of
