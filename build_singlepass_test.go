@@ -1,0 +1,53 @@
+package ssr
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/optimize"
+)
+
+// TestBuildRunsOptimizerOnce pins the single-pass sharded build: the
+// Section 5 optimizer runs exactly once per Build, on the global
+// distribution, no matter the shard count — shard cores receive the one
+// plan as an override instead of each re-deriving it.
+func TestBuildRunsOptimizerOnce(t *testing.T) {
+	for _, shards := range []int{1, 4, 8} {
+		opt := goldenSnapshotOptions()
+		opt.Shards = shards
+		before := optimize.PlanRuns()
+		if _, err := Build(goldenSnapshotCollection(), opt); err != nil {
+			t.Fatalf("shards=%d: Build: %v", shards, err)
+		}
+		if got := optimize.PlanRuns() - before; got != 1 {
+			t.Fatalf("shards=%d: Build ran the optimizer %d times, want exactly 1", shards, got)
+		}
+	}
+}
+
+// TestBuildWorkerCountDeterminism: shard builds run in parallel, but the
+// worker split must never leak into the output — any Workers value
+// serializes bit-identically.
+func TestBuildWorkerCountDeterminism(t *testing.T) {
+	var want []byte
+	for _, workers := range []int{1, 2, 8} {
+		opt := goldenSnapshotOptions()
+		opt.Shards = 8
+		opt.Workers = workers
+		ix, err := Build(goldenSnapshotCollection(), opt)
+		if err != nil {
+			t.Fatalf("workers=%d: Build: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := ix.Save(&buf); err != nil {
+			t.Fatalf("workers=%d: Save: %v", workers, err)
+		}
+		if want == nil {
+			want = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Fatalf("workers=%d: snapshot bytes differ from workers=1 build", workers)
+		}
+	}
+}

@@ -133,6 +133,25 @@ type Index struct {
 	hist  *simdist.Histogram
 	sigs  []minhash.Signature
 	n     int
+	// fis lists the filter indices in plan order; sfiOrd/dfiOrd map a
+	// partition point to its ordinal in fis. Plan order is identical across
+	// shards built from the same plan, which is what lets the engine derive
+	// one set of probe keys per query and test every shard's summary with
+	// it. Immutable after Build.
+	fis    []*filter.Index
+	sfiOrd map[float64]int
+	dfiOrd map[float64]int
+	// sum is the shard-pruning digest (see summary.go): the pointer is
+	// immutable after Build, its counters are atomics maintained by
+	// Insert/Delete under ix.mu's write side and read lock-free by the
+	// engine's scatter pruning.
+	sum *Summary
+	// sidSizeBucket records each sid's size-histogram bucket (noSizeBucket
+	// for tombstones) so Delete can decrement the histogram without
+	// fetching the set. Guarded by mu; parallel to sigs.
+	sidSizeBucket []uint8
+	// keyBuf is Insert/Delete's per-FI key scratch (exclusive lock held).
+	keyBuf []uint64
 	// fiPagers holds one bucket-page pager per filter index (giving each
 	// index its own pager is what makes concurrent population race-free and
 	// page layout deterministic); dataPager holds B+tree nodes. The set
@@ -211,6 +230,8 @@ func Build(sets []set.Set, opt Options) (*Index, error) {
 		emb:       emb,
 		sfis:      make(map[float64]*filter.Index),
 		dfis:      make(map[float64]*filter.Index),
+		sfiOrd:    make(map[float64]int),
+		dfiOrd:    make(map[float64]int),
 		store:     storage.NewSetStoreWithPayload(opt.PageSize, opt.PayloadPerElem),
 		n:         live,
 		dataPager: storage.NewPager(opt.PageSize),
@@ -318,11 +339,31 @@ func Build(sets []set.Set, opt Options) (*Index, error) {
 		fidxs[i] = fidx
 		if fi.Kind == filter.Dissimilar {
 			ix.dfis[fi.Point] = fidx
+			ix.dfiOrd[fi.Point] = i
 		} else {
 			ix.sfis[fi.Point] = fidx
+			ix.sfiOrd[fi.Point] = i
 		}
 	}
+	ix.fis = fidxs
 	populateFilters(emb, ix.sigs, fidxs, workers)
+
+	// 6. Pruning summary: occupancy refcounts straight from the populated
+	// buckets (O(entries), no re-hashing) plus the live-size histogram.
+	// Load, recovery, and retune all funnel through Build, so every rebuilt
+	// core carries a summary consistent with its own plan generation.
+	ix.sum = newSummary()
+	for ord, f := range fidxs {
+		f.RangeStoredKeys(func(table int, key uint64) { ix.sum.addStoredKey(ord, table, key) })
+	}
+	ix.sidSizeBucket = make([]uint8, len(sets))
+	for i, s := range sets {
+		if tombstoned(i) {
+			ix.sidSizeBucket[i] = noSizeBucket
+			continue
+		}
+		ix.sidSizeBucket[i] = ix.sum.addSize(s.Len())
+	}
 	return ix, nil
 }
 
@@ -685,6 +726,16 @@ func (ix *Index) QueryWithOptions(q set.Set, s1, s2 float64, opt QueryOptions) (
 }
 
 func (ix *Index) queryLocked(q set.Set, s1, s2 float64, opt QueryOptions) ([]Match, QueryStats, error) {
+	return ix.presignedLocked(q, nil, s1, s2, opt)
+}
+
+// presignedLocked is the range-query processor with an optional caller-
+// supplied signature. A nil sig signs q locally (the single-index path);
+// the sharded engine signs once per query and fans the same signature to
+// every shard — embedders are built from identical options, so the local
+// signature would be bit-identical anyway, and skipping the per-shard
+// SignInto removes the dominant redundant CPU cost of a scatter.
+func (ix *Index) presignedLocked(q set.Set, sig minhash.Signature, s1, s2 float64, opt QueryOptions) ([]Match, QueryStats, error) {
 	var stats QueryStats
 	start := time.Now()
 	if s1 > s2 {
@@ -692,12 +743,15 @@ func (ix *Index) queryLocked(q set.Set, s1, s2 float64, opt QueryOptions) ([]Mat
 	}
 	sc := ix.scratch.Get().(*queryScratch)
 	defer ix.scratch.Put(sc)
-	ix.emb.SignInto(q, sc.sig)
-	cands, err := ix.candidatesFromSignature(sc.sig, s1, s2, &stats, sc)
+	if sig == nil {
+		ix.emb.SignInto(q, sc.sig)
+		sig = sc.sig
+	}
+	cands, err := ix.candidatesFromSignature(sig, s1, s2, &stats, sc)
 	if err != nil {
 		return nil, stats, err
 	}
-	matches, err := ix.verifyCandidates(q, sc.sig, cands, s1, s2, opt, &stats)
+	matches, err := ix.verifyCandidates(q, sig, cands, s1, s2, opt, &stats)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -705,6 +759,16 @@ func (ix *Index) queryLocked(q set.Set, s1, s2 float64, opt QueryOptions) ([]Mat
 	stats.Results = len(matches)
 	stats.CPU = time.Since(start)
 	return matches, stats, nil
+}
+
+// QueryPresigned is QueryWithOptions with the query's min-hash signature
+// already computed (by an embedder built from the same options — the
+// engine's sign-once scatter path). sig must have the embedding's k
+// coordinates and is not retained.
+func (ix *Index) QueryPresigned(q set.Set, sig minhash.Signature, s1, s2 float64, opt QueryOptions) ([]Match, QueryStats, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.presignedLocked(q, sig, s1, s2, opt)
 }
 
 // sortMatches orders results by descending similarity, ties by ascending
@@ -739,12 +803,14 @@ func (ix *Index) Insert(s set.Set) (storage.SID, error) {
 	sig := ix.emb.Sign(s)
 	ix.sigs = append(ix.sigs, sig)
 	src := ix.emb.Bits(sig)
-	for _, f := range ix.sfis {
-		f.Insert(src, sid)
+	// Derive each FI's table keys once, feeding both the table and the
+	// pruning summary (plan order, so summary slots agree across shards).
+	for ord, f := range ix.fis {
+		ix.keyBuf = f.AppendInsertKeys(src, ix.keyBuf[:0])
+		f.InsertWithKeys(ix.keyBuf, sid)
+		ix.sum.addKeys(ord, ix.keyBuf)
 	}
-	for _, f := range ix.dfis {
-		f.Insert(src, sid)
-	}
+	ix.sidSizeBucket = append(ix.sidSizeBucket, ix.sum.addSize(s.Len()))
 	ix.n++
 	return sid, nil
 }
@@ -766,12 +832,15 @@ func (ix *Index) Delete(sid storage.SID) error {
 		return err
 	}
 	src := ix.emb.Bits(ix.sigs[sid])
-	for _, f := range ix.sfis {
-		f.Delete(src, sid)
+	// Same keys Insert stored (same signature, same sampled positions), so
+	// the summary refcounts return exactly to their pre-insert values.
+	for ord, f := range ix.fis {
+		ix.keyBuf = f.AppendInsertKeys(src, ix.keyBuf[:0])
+		f.DeleteWithKeys(ix.keyBuf, sid)
+		ix.sum.removeKeys(ord, ix.keyBuf)
 	}
-	for _, f := range ix.dfis {
-		f.Delete(src, sid)
-	}
+	ix.sum.removeSizeBucket(ix.sidSizeBucket[sid])
+	ix.sidSizeBucket[sid] = noSizeBucket
 	ix.sigs[sid] = nil
 	ix.n--
 	return nil

@@ -314,6 +314,10 @@ type BatchQuery struct {
 	Q set.Set
 	// Lo, Hi is the Jaccard similarity range [s1, s2].
 	Lo, Hi float64
+	// Sig, if non-nil, is Q's min-hash signature computed by an embedder
+	// built from the same options (the engine signs each query once and
+	// fans the signature to every shard's sub-batch). Nil signs locally.
+	Sig minhash.Signature
 }
 
 // BatchResult is the outcome of one batch entry: exactly what Query would
@@ -352,7 +356,7 @@ func (ix *Index) QueryBatch(queries []BatchQuery, opt QueryOptions) []BatchResul
 		}
 		for i := range queries {
 			r := &results[i]
-			r.Matches, r.Stats, r.Err = ix.queryLocked(queries[i].Q, queries[i].Lo, queries[i].Hi, inner)
+			r.Matches, r.Stats, r.Err = ix.presignedLocked(queries[i].Q, queries[i].Sig, queries[i].Lo, queries[i].Hi, inner)
 		}
 		return results
 	}
@@ -379,7 +383,7 @@ func (ix *Index) QueryBatch(queries []BatchQuery, opt QueryOptions) []BatchResul
 					return
 				}
 				r := &results[i]
-				r.Matches, r.Stats, r.Err = ix.queryLocked(queries[i].Q, queries[i].Lo, queries[i].Hi, inner)
+				r.Matches, r.Stats, r.Err = ix.presignedLocked(queries[i].Q, queries[i].Sig, queries[i].Lo, queries[i].Hi, inner)
 			}
 		}(w)
 	}

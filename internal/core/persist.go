@@ -100,6 +100,16 @@ func (ix *Index) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
+// RegisterSnapshotGobTypes forces gob's process-global type-id allocation
+// for the snapshot types, in one fixed pass. gob numbers user types in
+// first-encode order across the whole process, and those ids appear in
+// the stream bytes — so without pinning, snapshot BYTES (not just their
+// meaning) would depend on which encode happened to run first. Callers
+// that promise byte-stable snapshots invoke this from init.
+func RegisterSnapshotGobTypes() {
+	_ = gob.NewEncoder(io.Discard).Encode(&snapshot{}) //ssrvet:ignore droppederr -- zero-value encode to io.Discard cannot fail; run for the type-id side effect
+}
+
 // validate rejects structurally or semantically corrupt snapshots before
 // any rebuild work happens. gob guarantees type shape but nothing about
 // values, so every field that sizes an allocation or parameterizes a loop

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/embed"
+	"repro/internal/optimize"
+	"repro/internal/set"
+	"repro/internal/storage"
+)
+
+// TestSizeBoundSoundness brute-forces the histogram bound: for every
+// stored size n and query size q in a broad range, the exact size-ratio
+// ceiling min/max must never exceed the bucket bound SizeUpperBound
+// consults — otherwise the prune could drop a real match.
+func TestSizeBoundSoundness(t *testing.T) {
+	sizes := []int{0, 1, 2, 3, 4, 7, 8, 15, 16, 31, 100, 1023, 1024, 5000}
+	for _, q := range sizes {
+		for _, n := range sizes {
+			ratio := 1.0
+			if q != n {
+				mn, mx := q, n
+				if mn > mx {
+					mn, mx = mx, mn
+				}
+				if mx == 0 {
+					ratio = 1
+				} else {
+					ratio = float64(mn) / float64(mx)
+				}
+			}
+			if q == 0 && n == 0 {
+				ratio = 1
+			}
+			bound := sizeBoundFor(q, int(sizeBucket(n)))
+			if bound < ratio-1e-12 {
+				t.Fatalf("q=%d n=%d: bucket bound %.6f below the true size ceiling %.6f", q, n, bound, ratio)
+			}
+		}
+	}
+}
+
+// TestSummaryUpperBoundHistogram: SizeUpperBound over a concrete
+// histogram must equal the max bucket bound and drop to 0 once every
+// refcount is released.
+func TestSummaryUpperBoundHistogram(t *testing.T) {
+	s := newSummary()
+	b1 := s.addSize(4)   // bucket for sizes [4,7]
+	b2 := s.addSize(400) // bucket for sizes [256,511]
+	if got := s.SizeUpperBound(5); got != 1 {
+		t.Fatalf("in-bucket query bound = %g, want 1", got)
+	}
+	if got, want := s.SizeUpperBound(64), 64.0/256.0; got != want {
+		t.Fatalf("between-buckets bound = %g, want %g", got, want)
+	}
+	s.removeSizeBucket(b2)
+	if got, want := s.SizeUpperBound(64), 7.0/64.0; got != want {
+		t.Fatalf("after removing the large bucket, bound = %g, want %g", got, want)
+	}
+	s.removeSizeBucket(b1)
+	if got := s.SizeUpperBound(64); got != 0 {
+		t.Fatalf("empty histogram bound = %g, want 0", got)
+	}
+	s.removeSizeBucket(noSizeBucket) // must be a no-op, not an underflow
+	if got := s.SizeUpperBound(0); got != 0 {
+		t.Fatalf("after no-op remove, bound = %g, want 0", got)
+	}
+}
+
+// summarySnapshot flattens a summary's counters for comparison.
+func summarySnapshot(s *Summary) ([summarySlots]uint32, [sizeBuckets]uint32) {
+	var occ [summarySlots]uint32
+	var sz [sizeBuckets]uint32
+	for i := range occ {
+		occ[i] = s.occ[i].Load()
+	}
+	for i := range sz {
+		sz[i] = s.sizes[i].Load()
+	}
+	return occ, sz
+}
+
+// rebuiltSummary recomputes what the summary should contain from the
+// index's actual filter-table contents and live set sizes.
+func rebuiltSummary(ix *Index) *Summary {
+	s := newSummary()
+	for ord, f := range ix.fis {
+		f.RangeStoredKeys(func(table int, key uint64) { s.addStoredKey(ord, table, key) })
+	}
+	for sid, b := range ix.sidSizeBucket {
+		if b == noSizeBucket {
+			continue
+		}
+		s.sizes[b].Add(1)
+		_ = sid
+	}
+	return s
+}
+
+func summaryTestSets(n int) []set.Set {
+	sets := make([]set.Set, n)
+	for i := range sets {
+		elems := make([]set.Elem, 0, 6+i%9)
+		for j := 0; j < 6+i%9; j++ {
+			elems = append(elems, set.Elem((i%7)*10+j))
+		}
+		sets[i] = set.New(elems...)
+	}
+	return sets
+}
+
+// TestSummaryTracksMutations pins the maintenance invariant: after any
+// mix of Inserts and Deletes, the incrementally-maintained summary equals
+// a from-scratch rebuild over the live table contents — every refcount,
+// every size bucket.
+func TestSummaryTracksMutations(t *testing.T) {
+	sets := summaryTestSets(48)
+	ix, err := Build(sets, Options{
+		Embed: embed.Options{K: 24, Bits: 6, Seed: 11},
+		Plan:  optimize.Options{Budget: 40, RecallTarget: 0.75},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(stage string) {
+		t.Helper()
+		gotOcc, gotSz := summarySnapshot(ix.sum)
+		wantOcc, wantSz := summarySnapshot(rebuiltSummary(ix))
+		if gotOcc != wantOcc {
+			t.Fatalf("%s: occupancy refcounts diverge from a fresh rebuild", stage)
+		}
+		if gotSz != wantSz {
+			t.Fatalf("%s: size histogram diverges from a fresh rebuild (got %v, want %v)", stage, gotSz, wantSz)
+		}
+	}
+	check("post-build")
+
+	var added []storage.SID
+	for i := 0; i < 20; i++ {
+		elems := make([]set.Elem, 0, 3+i%30)
+		for j := 0; j < 3+i%30; j++ {
+			elems = append(elems, set.Elem(1000+i*40+j))
+		}
+		sid, err := ix.Insert(set.New(elems...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		added = append(added, sid)
+	}
+	check("post-insert")
+
+	for i := 0; i < len(added); i += 2 {
+		if err := ix.Delete(added[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ix.Delete(3); err != nil {
+		t.Fatal(err)
+	}
+	check("post-delete")
+}
+
+// TestRangeProbeContract: invalid ranges and valid enclosures behave as
+// the engine relies on — no probe for an invalid range, a probe whose
+// occupancy test finds the query's own keys for a self-query, and a
+// sound Empty verdict on a summary with no matching keys.
+func TestRangeProbeContract(t *testing.T) {
+	sets := summaryTestSets(48)
+	ix, err := Build(sets, Options{
+		Embed: embed.Options{K: 24, Bits: 6, Seed: 11},
+		Plan:  optimize.Options{Budget: 40, RecallTarget: 0.75},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := ix.emb.Sign(sets[0])
+	if _, ok := ix.BuildRangeProbe(sets[0], sig, 0.9, 0.1); ok {
+		t.Fatal("BuildRangeProbe accepted an inverted range")
+	}
+	p, ok := ix.BuildRangeProbe(sets[0], sig, 0.3, 1.0)
+	if !ok {
+		t.Fatal("BuildRangeProbe rejected a valid range on a plan with FIs")
+	}
+	if p.QLen != sets[0].Len() {
+		t.Fatalf("probe QLen = %d, want %d", p.QLen, sets[0].Len())
+	}
+	if ix.sum.Empty(p) {
+		t.Fatal("the index's own summary reported a stored set's probe as empty")
+	}
+	if !newSummary().Empty(p) {
+		t.Fatal("a fresh (empty) summary failed to report the probe as empty")
+	}
+	if tp := ix.BuildTopKProbe(sets[0], sig); ix.sum.Empty(tp) {
+		t.Fatal("the index's own summary reported the TopK probe as empty")
+	}
+}
+
+// TestSummarySlotSpread sanity-checks the slot hash: distinct (fi,
+// table, key) triples from a realistic pattern must not pile into a
+// handful of slots (collisions only cost pruning power, but a degenerate
+// hash would silently disable the mechanism).
+func TestSummarySlotSpread(t *testing.T) {
+	seen := make(map[int]int)
+	for fi := 0; fi < 3; fi++ {
+		for table := 0; table < 64; table++ {
+			for k := uint64(0); k < 32; k++ {
+				seen[summarySlot(fi, table, k)]++
+			}
+		}
+	}
+	worst := 0
+	for _, c := range seen {
+		if c > worst {
+			worst = c
+		}
+	}
+	if worst > 8 {
+		t.Fatalf("slot hash piled %d of %d triples into one slot", worst, 3*64*32)
+	}
+	if len(seen) < 5000 {
+		t.Fatalf("slot hash used only %d distinct slots for 6144 triples", len(seen))
+	}
+}

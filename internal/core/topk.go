@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/minhash"
 	"repro/internal/set"
 	"repro/internal/storage"
 )
@@ -23,6 +24,13 @@ import (
 // even at the lowest partition point, fewer are returned; a scan fallback
 // is deliberately not performed (use scan.Query for exact answers).
 func (ix *Index) TopK(q set.Set, k int) ([]Match, QueryStats, error) {
+	return ix.TopKPresigned(q, nil, k)
+}
+
+// TopKPresigned is TopK with the query's min-hash signature already
+// computed (by an embedder built from the same options — the engine's
+// sign-once scatter path). A nil sig signs q locally.
+func (ix *Index) TopKPresigned(q set.Set, sig minhash.Signature, k int) ([]Match, QueryStats, error) {
 	var stats QueryStats
 	if k <= 0 {
 		return nil, stats, fmt.Errorf("core: k must be positive, got %d", k)
@@ -30,7 +38,9 @@ func (ix *Index) TopK(q set.Set, k int) ([]Match, QueryStats, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	start := time.Now()
-	sig := ix.emb.Sign(q)
+	if sig == nil {
+		sig = ix.emb.Sign(q)
+	}
 	src := ix.emb.Bits(sig)
 
 	// SFI points, descending; then the δ-point DFI as the final, loosest

@@ -41,6 +41,7 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -141,7 +142,25 @@ type Engine struct {
 	tmu sync.Mutex
 	// tracker is the online D_S drift sketch (nil until EnableTuning).
 	tracker atomic.Pointer[tuner.Tracker]
+
+	// pruneOff disables summary-based shard pruning (see prune.go).
+	// Results are byte-identical either way — the switch exists for
+	// benchmarking and the soundness property tests.
+	pruneOff atomic.Bool
+	// scatterPool recycles per-query scatter scratch (prune.go); the
+	// per-shard stats slice is excluded because it escapes into the
+	// returned QueryStats.PerShard.
+	scatterPool sync.Pool
 }
+
+// SetShardPruning toggles summary-based shard pruning (enabled by
+// default). Pruning is sound — upper bounds only — so answers are
+// byte-identical in both states; disabling it restores the
+// probe-every-shard scatter for comparison.
+func (e *Engine) SetShardPruning(enabled bool) { e.pruneOff.Store(!enabled) }
+
+// ShardPruning reports whether summary-based shard pruning is enabled.
+func (e *Engine) ShardPruning() bool { return !e.pruneOff.Load() }
 
 // loadView returns the current plan generation.
 func (e *Engine) loadView() *planView { return e.view.Load() }
@@ -220,6 +239,27 @@ func Build(sets []set.Set, opt Options) (*Engine, error) {
 		}
 	}
 
+	// Run the Section 5 optimizer exactly once, globally — the same
+	// machinery the retune path uses. Every shard would derive this very
+	// plan from (hist, Plan) anyway (BuildPlan is deterministic on its
+	// inputs), so injecting it as a per-shard override changes nothing in
+	// the built bytes while removing the dominant serial cost of sharded
+	// builds (N shards × one optimizer run). copt.Plan stays populated in
+	// each shard's build options: the re-tuner echoes its Budget /
+	// RecallTarget / SignatureK when planning future generations.
+	planOverride := copt.PlanOverride
+	if planOverride == nil {
+		popt := copt.Plan
+		if popt.SignatureK == 0 {
+			popt.SignatureK = emb.K()
+		}
+		plan, err := optimize.BuildPlan(hist, popt)
+		if err != nil {
+			return nil, err
+		}
+		planOverride = &plan
+	}
+
 	// Partition by router. Global order is preserved within each shard,
 	// so for a fixed (seed, Shards) the partition — and with it every
 	// shard build — is bit-identical run to run.
@@ -244,16 +284,37 @@ func Build(sets []set.Set, opt Options) (*Engine, error) {
 		routerSeed: opt.RouterSeed,
 		locals:     locals,
 	}
+	// Build shard cores in parallel, splitting the worker pool so the
+	// fan-out never oversubscribes beyond the one-worker-per-shard floor.
+	// core.Build is bit-identical for every worker count, so the parallel
+	// build produces exactly the bytes the serial loop did.
+	pool := copt.Workers
+	if pool <= 0 {
+		pool = runtime.GOMAXPROCS(0)
+	}
+	shares := core.SplitPool(pool, n)
 	cores := make([]*core.Index, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
 	for si := range parts {
-		sopt := copt
-		sopt.Distribution = hist
-		sopt.PrecomputedSignatures = parts[si].sigs
-		ix, err := core.Build(parts[si].sets, sopt)
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			sopt := copt
+			sopt.Distribution = hist
+			sopt.PlanOverride = planOverride
+			sopt.PrecomputedSignatures = parts[si].sigs
+			sopt.Workers = shares[si]
+			cores[si], errs[si] = core.Build(parts[si].sets, sopt)
+		}(si)
+	}
+	wg.Wait()
+	for si, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("engine: building shard %d: %w", si, err)
 		}
-		cores[si] = ix
+	}
+	for si := range parts {
 		e.shards[si] = &shard{toGlobal: parts[si].toGlobal}
 	}
 	e.setView(0, cores, hist)

@@ -124,6 +124,15 @@ func (e *Engine) ShardSnapshot(si int) (coreBytes []byte, toGlobal []uint32, num
 	return buf.Bytes(), toGlobal, numGlobals, nil
 }
 
+// RegisterSnapshotGobTypes pins gob's process-global type-id allocation
+// for the sharded container type. See core.RegisterSnapshotGobTypes for
+// why: gob ids are assigned in first-encode order and leak into stream
+// bytes, so allocation must not depend on whether a sharded or a
+// single-shard Save runs first.
+func RegisterSnapshotGobTypes() {
+	_ = gob.NewEncoder(io.Discard).Encode(&shardedSnapshot{}) //ssrvet:ignore droppederr -- zero-value encode to io.Discard cannot fail; run for the type-id side effect
+}
+
 // Load reconstructs an engine from a snapshot written by Save. Bare core
 // snapshots (including every pre-engine snapshot) load as single-shard
 // engines; SSRSHD1 containers rebuild each shard and re-validate the

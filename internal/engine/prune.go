@@ -1,0 +1,120 @@
+// Summary-based shard pruning for the scatter paths.
+//
+// Every shard carries a core.Summary (see internal/core/summary.go): an
+// occupancy refcount over its filter-table keys plus a live set-size
+// histogram, maintained under the shard's core write lock and readable
+// lock-free. Because all shards of one plan generation share an identical
+// plan with identical per-FI sampled positions, a query's probe keys are
+// shard-independent: the engine derives one core.ShardProbe per query
+// (against shard 0's core, whose immutable plan state stands in for all)
+// and tests each shard's summary against it.
+//
+// A shard is skipped only when it provably contributes nothing:
+//
+//   - its candidate set is empty (no probe key of any positive-probe FI is
+//     occupied — candidates are subsets of those FIs' probe vectors), or
+//   - no live set can verify into range (the size histogram bounds exact
+//     Jaccard via J(q,s) <= min/max of the cardinalities, and that bound
+//     falls strictly below s1 — or, for TopK, strictly below another
+//     shard's already-established k-th-best similarity).
+//
+// Both tests are upper bounds, so pruning never changes the gathered
+// match slice — only the I/O and candidate accounting of the shards that
+// were never probed. The soundness property tests pin byte-identity of
+// matches with pruning forced on vs off.
+//
+// The scratch pool here also serves the issue's allocation point: the
+// scatter previously allocated its matches/errs fan-out slices per query.
+// The per-shard stats slice stays freshly allocated — it escapes into the
+// returned QueryStats.PerShard.
+package engine
+
+import (
+	"math"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/minhash"
+	"repro/internal/set"
+)
+
+// scatterScratch is the reusable per-query state of one scatter.
+type scatterScratch struct {
+	sig     minhash.Signature
+	matches [][]core.Match
+	errs    []error
+	skip    []bool
+}
+
+// getScatter returns pooled scratch sized for n shards and a k-coordinate
+// signature.
+func (e *Engine) getScatter(n, k int) *scatterScratch {
+	sc, _ := e.scatterPool.Get().(*scatterScratch)
+	if sc == nil {
+		sc = &scatterScratch{}
+	}
+	if cap(sc.sig) < k {
+		sc.sig = make(minhash.Signature, k)
+	}
+	sc.sig = sc.sig[:k]
+	if cap(sc.matches) < n {
+		sc.matches = make([][]core.Match, n)
+		sc.errs = make([]error, n)
+		sc.skip = make([]bool, n)
+	}
+	sc.matches = sc.matches[:n]
+	sc.errs = sc.errs[:n]
+	sc.skip = sc.skip[:n]
+	for i := 0; i < n; i++ {
+		sc.matches[i] = nil
+		sc.errs[i] = nil
+		sc.skip[i] = false
+	}
+	return sc
+}
+
+func (e *Engine) putScatter(sc *scatterScratch) { e.scatterPool.Put(sc) }
+
+// pruneRange marks the shards a range query [s1, s2] can skip. It returns
+// the probe (nil when pruning is off or inapplicable — invalid range or a
+// plan with no usable FI, where every shard must run to fail identically)
+// and the number of shards marked in skip.
+func (e *Engine) pruneRange(v *planView, q set.Set, sig minhash.Signature, s1, s2 float64, skip []bool) (*core.ShardProbe, int) {
+	if e.pruneOff.Load() {
+		return nil, 0
+	}
+	probe, ok := v.cores[0].BuildRangeProbe(q, sig, s1, s2)
+	if !ok {
+		return nil, 0
+	}
+	pruned := 0
+	for si := range skip {
+		sum := v.cores[si].Summary()
+		if sum.Empty(probe) || sum.SizeUpperBound(probe.QLen) < s1 {
+			skip[si] = true
+			pruned++
+		}
+	}
+	return probe, pruned
+}
+
+// topkThreshold shares the best known k-th similarity across the shard
+// goroutines of one TopK scatter: a monotone CAS-max over float bits
+// (valid because similarities are non-negative, where IEEE-754 ordering
+// matches the bit ordering).
+type topkThreshold struct{ bits atomic.Uint64 }
+
+func (t *topkThreshold) load() float64 { return math.Float64frombits(t.bits.Load()) }
+
+func (t *topkThreshold) raise(sim float64) {
+	if sim < 0 {
+		return
+	}
+	b := math.Float64bits(sim)
+	for {
+		cur := t.bits.Load()
+		if b <= cur || t.bits.CompareAndSwap(cur, b) {
+			return
+		}
+	}
+}

@@ -13,8 +13,11 @@ package engine
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/minhash"
 	"repro/internal/set"
 	"repro/internal/storage"
 )
@@ -28,7 +31,18 @@ type QueryStats struct {
 	// Every shard of one query answers from the same generation — the
 	// scatter loads the engine's plan view exactly once.
 	PlanGeneration uint64
-	// PerShard holds each shard's own accounting, indexed by shard.
+	// ShardsQueried is the number of shards the scatter actually probed;
+	// ShardsPruned is the number skipped by summary pruning (prune.go).
+	// They sum to the shard count. Pruned shards contribute zero to every
+	// other counter — pruning changes accounting, never matches.
+	ShardsQueried int
+	ShardsPruned  int
+	// Gather is the wall time of the final cross-shard merge — the
+	// gather half of scatter-gather. Zero for single-shard engines,
+	// where no merge runs.
+	Gather time.Duration
+	// PerShard holds each shard's own accounting, indexed by shard
+	// (zero-valued entries for pruned shards).
 	PerShard []core.QueryStats
 }
 
@@ -83,52 +97,72 @@ func (e *Engine) Query(q set.Set, s1, s2 float64) ([]core.Match, QueryStats, err
 	return e.QueryWithOptions(q, s1, s2, core.QueryOptions{})
 }
 
-// QueryWithOptions scatters the range query across all shards and gathers
-// the union. Matches come back in the core's total order over GLOBAL
-// sids. The option's worker pool is split proportionally across shards
-// (each shard's share bounds its verification fan-out), so the scatter
-// never oversubscribes the pool beyond the one-worker-per-shard floor.
+// QueryWithOptions scatters the range query across the shards the summary
+// pruning pass cannot rule out and gathers the union. Matches come back
+// in the core's total order over GLOBAL sids. The query is signed once
+// and the signature fanned to every shard (embedders are identical across
+// shards), and the option's worker pool is split proportionally across
+// the SURVIVING shards only, so pruned shards strand no workers and the
+// scatter never oversubscribes the pool beyond the one-worker-per-shard
+// floor.
 func (e *Engine) QueryWithOptions(q set.Set, s1, s2 float64, opt core.QueryOptions) ([]core.Match, QueryStats, error) {
 	// One view load per query: every shard answers from this generation,
 	// even if a retune swaps the plan mid-scatter.
 	v := e.loadView()
 	if e.single {
 		m, st, err := v.cores[0].QueryWithOptions(q, s1, s2, opt)
-		return m, QueryStats{QueryStats: st, PlanGeneration: v.gen, PerShard: []core.QueryStats{st}}, err
+		return m, QueryStats{QueryStats: st, PlanGeneration: v.gen, ShardsQueried: 1, PerShard: []core.QueryStats{st}}, err
 	}
 	n := len(e.shards)
 	per := make([]core.QueryStats, n)
-	matches := make([][]core.Match, n)
-	errs := make([]error, n)
-	shares := core.SplitPool(queryPool(opt.Workers), n)
+	sc := e.getScatter(n, v.cores[0].Embedder().K())
+	defer e.putScatter(sc)
+	v.cores[0].Embedder().SignInto(q, sc.sig)
+	probe, pruned := e.pruneRange(v, q, sc.sig, s1, s2, sc.skip)
+	shares := core.SplitPool(queryPool(opt.Workers), n-pruned)
 	var wg sync.WaitGroup
+	widx := 0
 	for si := range e.shards {
+		if sc.skip[si] {
+			continue
+		}
 		wg.Add(1)
-		go func(si int) {
+		go func(si, w int) {
 			defer wg.Done()
 			sh := e.shards[si]
 			inner := opt
-			inner.Workers = shares[si]
-			m, st, err := v.cores[si].QueryWithOptions(q, s1, s2, inner)
+			inner.Workers = shares[w]
+			m, st, err := v.cores[si].QueryPresigned(q, sc.sig, s1, s2, inner)
 			if err != nil {
-				errs[si] = err
+				sc.errs[si] = err
 				return
 			}
 			// Capture the mapping after the query: every sid it returned
 			// was fully inserted, so its toGlobal entry exists.
-			matches[si] = toGlobalMatches(m, sh.mapping())
+			sc.matches[si] = toGlobalMatches(m, sh.mapping())
 			per[si] = st
-		}(si)
+		}(si, widx)
+		widx++
 	}
 	wg.Wait()
 	agg := aggregate(per)
 	agg.PlanGeneration = v.gen
-	for _, err := range errs {
+	agg.ShardsQueried = n - pruned
+	agg.ShardsPruned = pruned
+	if probe != nil {
+		// Shard 0 may have been pruned; the probe carries the enclosure
+		// every shard would have reported.
+		agg.EnclosedLo, agg.EnclosedHi = probe.Lo, probe.Hi
+	}
+	for _, err := range sc.errs {
 		if err != nil {
 			return nil, agg, err
 		}
 	}
-	return gather(matches), agg, nil
+	start := time.Now()
+	m := gather(sc.matches)
+	agg.Gather = time.Since(start)
+	return m, agg, nil
 }
 
 // gather concatenates per-shard match lists and restores the total order.
@@ -148,10 +182,13 @@ func gather(perShard [][]core.Match) []core.Match {
 	return out
 }
 
-// QueryBatch answers a slice of range queries: each shard runs the whole
-// batch against its partition (with its proportional share of the worker
-// pool), then per-query results gather across shards. Entry i's outcome
-// is exactly what Query(queries[i]) would return.
+// QueryBatch answers a slice of range queries: every query is signed once
+// and pruned against the shard summaries, each shard runs its sub-batch
+// of surviving queries against its partition, then per-query results
+// gather across shards. Entry i's outcome is exactly what
+// Query(queries[i]) would return. The worker pool is split proportionally
+// over only the shards with non-empty sub-batches, so a shard whose every
+// query was pruned (or that answers instantly) strands no workers.
 func (e *Engine) QueryBatch(queries []core.BatchQuery, opt core.QueryOptions) []BatchResult {
 	out := make([]BatchResult, len(queries))
 	if len(queries) == 0 {
@@ -163,48 +200,122 @@ func (e *Engine) QueryBatch(queries []core.BatchQuery, opt core.QueryOptions) []
 		for i, r := range res {
 			out[i] = BatchResult{
 				Matches: r.Matches,
-				Stats:   QueryStats{QueryStats: r.Stats, PlanGeneration: v.gen, PerShard: []core.QueryStats{r.Stats}},
+				Stats:   QueryStats{QueryStats: r.Stats, PlanGeneration: v.gen, ShardsQueried: 1, PerShard: []core.QueryStats{r.Stats}},
 				Err:     r.Err,
 			}
 		}
 		return out
 	}
 	n := len(e.shards)
+
+	// Sign every query once and derive its pruning probe (nil probe =
+	// unprunable: invalid range or no usable FI — every shard runs it and
+	// fails identically).
+	emb := v.cores[0].Embedder()
+	sigs := make([]minhash.Signature, len(queries))
+	probes := make([]*core.ShardProbe, len(queries))
+	buf := make([]uint64, len(queries)*emb.K())
+	for i := range queries {
+		sigs[i] = minhash.Signature(buf[i*emb.K() : (i+1)*emb.K() : (i+1)*emb.K()])
+		emb.SignInto(queries[i].Q, sigs[i])
+		if !e.pruneOff.Load() {
+			if p, ok := v.cores[0].BuildRangeProbe(queries[i].Q, sigs[i], queries[i].Lo, queries[i].Hi); ok {
+				probes[i] = p
+			}
+		}
+	}
+
+	// Per-shard sub-batches: idxs[si][j] is the original position of the
+	// shard's j-th surviving query.
+	subs := make([][]core.BatchQuery, n)
+	idxs := make([][]int, n)
+	participating := 0
+	for si := 0; si < n; si++ {
+		sum := v.cores[si].Summary()
+		for i := range queries {
+			if p := probes[i]; p != nil && (sum.Empty(p) || sum.SizeUpperBound(p.QLen) < queries[i].Lo) {
+				continue
+			}
+			subs[si] = append(subs[si], core.BatchQuery{Q: queries[i].Q, Lo: queries[i].Lo, Hi: queries[i].Hi, Sig: sigs[i]})
+			idxs[si] = append(idxs[si], i)
+		}
+		if len(subs[si]) > 0 {
+			participating++
+		}
+	}
+
 	shardRes := make([][]core.BatchResult, n)
 	tgs := make([][]uint32, n)
-	shares := core.SplitPool(queryPool(opt.Workers), n)
+	shares := core.SplitPool(queryPool(opt.Workers), participating)
 	var wg sync.WaitGroup
+	widx := 0
 	for si := range e.shards {
+		if len(subs[si]) == 0 {
+			continue
+		}
 		wg.Add(1)
-		go func(si int) {
+		go func(si, w int) {
 			defer wg.Done()
 			sh := e.shards[si]
 			inner := opt
-			inner.Workers = shares[si]
-			shardRes[si] = v.cores[si].QueryBatch(queries, inner)
+			inner.Workers = shares[w]
+			shardRes[si] = v.cores[si].QueryBatch(subs[si], inner)
 			tgs[si] = sh.mapping()
-		}(si)
+		}(si, widx)
+		widx++
 	}
 	wg.Wait()
+
+	// Scatter shard answers back to their original batch positions.
+	type slot struct {
+		stats   core.QueryStats
+		matches []core.Match
+		ran     bool
+		err     error
+	}
+	slots := make([][]slot, len(queries))
+	for i := range slots {
+		slots[i] = make([]slot, n)
+	}
+	for si := 0; si < n; si++ {
+		for j, i := range idxs[si] {
+			r := shardRes[si][j]
+			slots[i][si] = slot{stats: r.Stats, matches: toGlobalMatches(r.Matches, tgs[si]), ran: true, err: r.Err}
+		}
+	}
+	parts := make([][]core.Match, n)
 	for i := range queries {
 		per := make([]core.QueryStats, n)
-		parts := make([][]core.Match, n)
+		queried := 0
 		var firstErr error
 		for si := 0; si < n; si++ {
-			r := shardRes[si][i]
-			if r.Err != nil && firstErr == nil {
-				firstErr = r.Err
+			s := slots[i][si]
+			if !s.ran {
+				parts[si] = nil
+				continue
 			}
-			per[si] = r.Stats
-			parts[si] = toGlobalMatches(r.Matches, tgs[si])
+			queried++
+			if s.err != nil && firstErr == nil {
+				firstErr = s.err
+			}
+			per[si] = s.stats
+			parts[si] = s.matches
 		}
 		agg := aggregate(per)
 		agg.PlanGeneration = v.gen
+		agg.ShardsQueried = queried
+		agg.ShardsPruned = n - queried
+		if p := probes[i]; p != nil {
+			agg.EnclosedLo, agg.EnclosedHi = p.Lo, p.Hi
+		}
 		if firstErr != nil {
 			out[i] = BatchResult{Stats: agg, Err: firstErr}
 			continue
 		}
-		out[i] = BatchResult{Matches: gather(parts), Stats: agg}
+		start := time.Now()
+		m := gather(parts)
+		agg.Gather = time.Since(start)
+		out[i] = BatchResult{Matches: m, Stats: agg}
 	}
 	return out
 }
@@ -213,43 +324,90 @@ func (e *Engine) QueryBatch(queries []core.BatchQuery, opt core.QueryOptions) []
 // local top-k is a superset of its contribution to the global top-k, so
 // the gathered answer has exactly the quality of a monolithic TopK (the
 // same one-sided filter approximation, no extra loss).
+//
+// Two prunes apply, both whole-shard and both sound to byte-identity of
+// the truncated gather. Occupancy: a shard none of whose SFI (or δ-DFI)
+// probe keys are occupied surfaces no candidates — skipping it removes
+// nothing from the union. Threshold: shard goroutines share an atomic
+// k-th-best similarity, raised by every shard that returns a full k
+// results (its local k-th lower-bounds the final global k-th); a shard
+// whose size-histogram upper bound falls STRICTLY below the shared
+// threshold can only produce matches that sort strictly after the final
+// k-th position, so the truncated gather is unchanged. Strict inequality
+// keeps ties safe (an equal-similarity match could win its tie-break on
+// sid).
 func (e *Engine) TopK(q set.Set, k int) ([]core.Match, QueryStats, error) {
 	v := e.loadView()
 	if e.single {
 		m, st, err := v.cores[0].TopK(q, k)
-		return m, QueryStats{QueryStats: st, PlanGeneration: v.gen, PerShard: []core.QueryStats{st}}, err
+		return m, QueryStats{QueryStats: st, PlanGeneration: v.gen, ShardsQueried: 1, PerShard: []core.QueryStats{st}}, err
 	}
 	n := len(e.shards)
 	per := make([]core.QueryStats, n)
-	matches := make([][]core.Match, n)
-	errs := make([]error, n)
+	sc := e.getScatter(n, v.cores[0].Embedder().K())
+	defer e.putScatter(sc)
+	v.cores[0].Embedder().SignInto(q, sc.sig)
+
+	// Occupancy prune. Only for valid k — k <= 0 must reach the cores so
+	// every shard fails identically.
+	var probe *core.ShardProbe
+	pruned := 0
+	if k > 0 && !e.pruneOff.Load() {
+		probe = v.cores[0].BuildTopKProbe(q, sc.sig)
+		for si := range e.shards {
+			if v.cores[si].Summary().Empty(probe) {
+				sc.skip[si] = true
+				pruned++
+			}
+		}
+	}
+
+	var thr topkThreshold
+	var latePruned atomic.Int64
 	var wg sync.WaitGroup
 	for si := range e.shards {
+		if sc.skip[si] {
+			continue
+		}
 		wg.Add(1)
 		go func(si int) {
 			defer wg.Done()
 			sh := e.shards[si]
-			m, st, err := v.cores[si].TopK(q, k)
+			if probe != nil {
+				if ub := v.cores[si].Summary().SizeUpperBound(probe.QLen); ub < thr.load() {
+					latePruned.Add(1)
+					return
+				}
+			}
+			m, st, err := v.cores[si].TopKPresigned(q, sc.sig, k)
 			if err != nil {
-				errs[si] = err
+				sc.errs[si] = err
 				return
 			}
-			matches[si] = toGlobalMatches(m, sh.mapping())
+			if len(m) >= k {
+				thr.raise(m[k-1].Similarity)
+			}
+			sc.matches[si] = toGlobalMatches(m, sh.mapping())
 			per[si] = st
 		}(si)
 	}
 	wg.Wait()
+	pruned += int(latePruned.Load())
 	agg := aggregate(per)
 	agg.PlanGeneration = v.gen
-	for _, err := range errs {
+	agg.ShardsQueried = n - pruned
+	agg.ShardsPruned = pruned
+	for _, err := range sc.errs {
 		if err != nil {
 			return nil, agg, err
 		}
 	}
-	all := gather(matches)
+	start := time.Now()
+	all := gather(sc.matches)
 	if len(all) > k {
 		all = all[:k]
 	}
+	agg.Gather = time.Since(start)
 	agg.Results = len(all)
 	return all, agg, nil
 }
@@ -288,7 +446,7 @@ func (e *Engine) QueryAuto(q set.Set, lo, hi float64, m storage.CostModel) ([]co
 	v := e.loadView()
 	if e.single {
 		matches, route, st, err := v.cores[0].QueryAuto(q, lo, hi, m)
-		return matches, route.String(), QueryStats{QueryStats: st, PlanGeneration: v.gen, PerShard: []core.QueryStats{st}}, err
+		return matches, route.String(), QueryStats{QueryStats: st, PlanGeneration: v.gen, ShardsQueried: 1, PerShard: []core.QueryStats{st}}, err
 	}
 	n := len(e.shards)
 	per := make([]core.QueryStats, n)
@@ -314,6 +472,7 @@ func (e *Engine) QueryAuto(q set.Set, lo, hi float64, m storage.CostModel) ([]co
 	wg.Wait()
 	agg := aggregate(per)
 	agg.PlanGeneration = v.gen
+	agg.ShardsQueried = n
 	for _, err := range errs {
 		if err != nil {
 			return nil, "", agg, err

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/embed"
 	"repro/internal/filter"
@@ -443,9 +444,18 @@ func cutsFor(hist *simdist.Histogram, n int, p Placement) []float64 {
 	return out
 }
 
+// planRuns counts BuildPlan invocations process-wide. The sharded engine's
+// single-pass build promises the optimizer runs once per build (not once
+// per shard); tests pin that promise by reading PlanRuns deltas.
+var planRuns atomic.Int64
+
+// PlanRuns returns the process-wide number of BuildPlan invocations.
+func PlanRuns() int64 { return planRuns.Load() }
+
 // BuildPlan runs the index construction algorithm of Figure 4 against the
 // similarity distribution hist.
 func BuildPlan(hist *simdist.Histogram, opt Options) (Plan, error) {
+	planRuns.Add(1)
 	if opt.Budget < 2 {
 		return Plan{}, fmt.Errorf("optimize: budget must be >= 2 (the minimal plan has an SFI and a DFI), got %d", opt.Budget)
 	}

@@ -50,12 +50,14 @@ type Server struct {
 // statCounters accumulates query accounting across the server's
 // lifetime; each query-like endpoint records its ssr.Stats here.
 type statCounters struct {
-	queries    atomic.Int64
-	candidates atomic.Int64
-	results    atomic.Int64
-	screened   atomic.Int64
-	randReads  atomic.Int64
-	seqReads   atomic.Int64
+	queries       atomic.Int64
+	candidates    atomic.Int64
+	results       atomic.Int64
+	screened      atomic.Int64
+	randReads     atomic.Int64
+	seqReads      atomic.Int64
+	shardsQueried atomic.Int64
+	shardsPruned  atomic.Int64
 }
 
 func (c *statCounters) record(st ssr.Stats) {
@@ -65,6 +67,8 @@ func (c *statCounters) record(st ssr.Stats) {
 	c.screened.Add(int64(st.Screened))
 	c.randReads.Add(st.RandomPageReads)
 	c.seqReads.Add(st.SequentialPageReads)
+	c.shardsQueried.Add(int64(st.ShardsQueried))
+	c.shardsPruned.Add(int64(st.ShardsPruned))
 }
 
 // New returns a handler serving the given index.
@@ -165,6 +169,8 @@ type statsResponse struct {
 		Screened            int64 `json:"screened"`
 		RandomPageReads     int64 `json:"randomPageReads"`
 		SequentialPageReads int64 `json:"sequentialPageReads"`
+		ShardsQueried       int64 `json:"shardsQueried"`
+		ShardsPruned        int64 `json:"shardsPruned"`
 	} `json:"queries"`
 	Tuner tunerView `json:"tuner"`
 }
@@ -186,6 +192,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Queries.Screened = s.totals.screened.Load()
 	resp.Queries.RandomPageReads = s.totals.randReads.Load()
 	resp.Queries.SequentialPageReads = s.totals.seqReads.Load()
+	resp.Queries.ShardsQueried = s.totals.shardsQueried.Load()
+	resp.Queries.ShardsPruned = s.totals.shardsPruned.Load()
 	ts := s.ix.TunerState()
 	resp.Tuner = tunerView{
 		Enabled:        ts.Enabled,
@@ -241,6 +249,8 @@ type queryStatView struct {
 	SimulatedIOMicros int64  `json:"simulatedIOMicros"`
 	CPUMicros         int64  `json:"cpuMicros"`
 	PlanGeneration    uint64 `json:"planGeneration"`
+	ShardsQueried     int    `json:"shardsQueried"`
+	ShardsPruned      int    `json:"shardsPruned,omitempty"`
 	Elapsed           string `json:"elapsed"`
 }
 
@@ -254,6 +264,8 @@ func statView(st ssr.Stats, elapsed time.Duration) queryStatView {
 		SimulatedIOMicros: st.SimulatedIOTime.Microseconds(),
 		CPUMicros:         st.CPUTime.Microseconds(),
 		PlanGeneration:    st.PlanGeneration,
+		ShardsQueried:     st.ShardsQueried,
+		ShardsPruned:      st.ShardsPruned,
 		Elapsed:           elapsed.String(),
 	}
 }

@@ -117,6 +117,27 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// ReadPoint is one cell of the narrow-range read matrix: the narrow
+// workload measured at one GOMAXPROCS value with summary pruning enabled.
+type ReadPoint struct {
+	// Procs is the GOMAXPROCS the cell ran at.
+	Procs int `json:"procs"`
+	// P50Micros / P99Micros are per-query latency percentiles.
+	P50Micros float64 `json:"p50Micros"`
+	P99Micros float64 `json:"p99Micros"`
+	// P50GatherMicros is the p50 of the gather-only component (the final
+	// cross-shard merge) — the part of the scatter tax that survives
+	// pruning. Zero at shards=1, where no merge runs.
+	P50GatherMicros float64 `json:"p50GatherMicros"`
+	// ShardsQueried / PrunedShards total the per-query scatter accounting
+	// over the whole workload: queried + pruned = queries × shard count.
+	ShardsQueried int64 `json:"shardsQueried"`
+	PrunedShards  int64 `json:"prunedShards"`
+	// Checksum digests the workload's full answers (must match every
+	// other cell, every shard count, and the pruning-off pass).
+	Checksum string `json:"checksum"`
+}
+
 // Entry is the measurement at one shard count.
 type Entry struct {
 	Shards int `json:"shards"`
@@ -129,6 +150,14 @@ type Entry struct {
 	// ResultsChecksum digests every query's full match list (sids and
 	// similarities). Identical across shard counts ⇔ identical answers.
 	ResultsChecksum string `json:"resultsChecksum"`
+	// NarrowReads is the narrow-range read matrix: the high-floor
+	// fixed-width workload (the one summary pruning can localize) at each
+	// GOMAXPROCS in the report's ReadProcs, pruning enabled.
+	NarrowReads []ReadPoint `json:"narrowReads"`
+	// NarrowChecksumNoPrune is the narrow workload's checksum with
+	// pruning force-disabled — pinning that pruning never changes
+	// answers, only accounting.
+	NarrowChecksumNoPrune string `json:"narrowChecksumNoPrune"`
 	// DurableInsertsPerSec is concurrent insert throughput against a
 	// durable index with per-mutation sync (SyncAlways), write-only load.
 	DurableInsertsPerSec float64 `json:"durableInsertsPerSec"`
@@ -153,13 +182,17 @@ type Report struct {
 	Readers     int    `json:"readers"`
 	Prealloc    int64  `json:"preallocBytes"`
 	SyncMode    string `json:"syncMode"`
+	// ReadProcs lists the GOMAXPROCS values of the narrow read matrix
+	// (1 and NumCPU, deduplicated on single-core hosts).
+	ReadProcs []int `json:"readProcs"`
 	// Basis documents what the speedup measures on this machine.
 	Basis string `json:"basis"`
 
 	Entries []Entry `json:"entries"`
 
 	// IdenticalResults is true when every shard count produced the same
-	// ResultsChecksum.
+	// ResultsChecksum AND every narrow-matrix cell — including the
+	// pruning-off pass — produced the same narrow checksum.
 	IdenticalResults bool `json:"identicalResults"`
 	// InsertSpeedupVsSingle[i] is Entries[i] write-only throughput /
 	// Entries[0] throughput (Entries[0] should be the single-shard
@@ -215,24 +248,50 @@ func percentile(sorted []time.Duration, p float64) float64 {
 	return float64(sorted[i].Nanoseconds()) / 1e3
 }
 
-// measureQueries runs the workload, returning sorted latencies and the
-// answer checksum.
-func measureQueries(ix *ssr.Index, qs []workload.Query) ([]time.Duration, string, error) {
+// readSample is one measured pass of a query workload.
+type readSample struct {
+	lat       []time.Duration // sorted per-query latencies
+	gatherLat []time.Duration // sorted per-query gather-only components
+	checksum  string          // FNV-64a over every query's full match list
+	queried   int64           // total shards probed across the workload
+	pruned    int64           // total shards summary-pruned across it
+}
+
+// measureRead runs the workload once, collecting latencies, the gather
+// component, scatter accounting, and the answer checksum.
+func measureRead(ix *ssr.Index, qs []workload.Query) (*readSample, error) {
 	h := fnv.New64a()
-	lat := make([]time.Duration, 0, len(qs))
+	s := &readSample{
+		lat:       make([]time.Duration, 0, len(qs)),
+		gatherLat: make([]time.Duration, 0, len(qs)),
+	}
 	for i, q := range qs {
 		start := time.Now()
-		matches, _, err := ix.QuerySID(q.SID, q.Lo, q.Hi)
-		lat = append(lat, time.Since(start))
+		matches, st, err := ix.QuerySID(q.SID, q.Lo, q.Hi)
+		s.lat = append(s.lat, time.Since(start))
 		if err != nil {
-			return nil, "", fmt.Errorf("query %d: %w", i, err)
+			return nil, fmt.Errorf("query %d: %w", i, err)
 		}
+		s.gatherLat = append(s.gatherLat, st.GatherTime)
+		s.queried += int64(st.ShardsQueried)
+		s.pruned += int64(st.ShardsPruned)
 		for _, m := range matches {
 			fmt.Fprintf(h, "%d:%d:%.9f;", i, m.SID, m.Similarity)
 		}
 	}
-	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
-	return lat, fmt.Sprintf("%016x", h.Sum64()), nil
+	sort.Slice(s.lat, func(a, b int) bool { return s.lat[a] < s.lat[b] })
+	sort.Slice(s.gatherLat, func(a, b int) bool { return s.gatherLat[a] < s.gatherLat[b] })
+	s.checksum = fmt.Sprintf("%016x", h.Sum64())
+	return s, nil
+}
+
+// readProcs returns the GOMAXPROCS values of the read matrix: 1 and
+// NumCPU, deduplicated on single-core hosts.
+func readProcs() []int {
+	if n := runtime.NumCPU(); n > 1 {
+		return []int{1, n}
+	}
+	return []int{1}
 }
 
 // measureDurableInserts bootstraps a durable index in dir and hammers it
@@ -315,6 +374,17 @@ func Run(w io.Writer, cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The narrow workload asks only for high-similarity ranges — the
+	// regime where most shards hold no qualifying sets, so summary pruning
+	// can skip them. This is the read matrix's workload.
+	narrow, err := workload.Queries(n, workload.QueryParams{
+		Count: cfg.Queries, FixedWidth: true,
+		MinWidth: 0.05, MaxWidth: 0.15, MinLo: 0.75,
+		Seed: cfg.Seed + 77,
+	})
+	if err != nil {
+		return nil, err
+	}
 
 	rep := &Report{
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
@@ -328,10 +398,16 @@ func Run(w io.Writer, cfg Config) (*Report, error) {
 		Readers:     cfg.Readers,
 		Prealloc:    cfg.PreallocBytes,
 		SyncMode:    ssr.SyncAlways.String(),
+		ReadProcs:   readProcs(),
 		Basis: "write-only speedup from overlapping per-shard WAL fdatasync on preallocated segments; " +
 			"mixed speedup additionally from per-shard locking (a monolith query blocks the only write lane, " +
-			"a scatter-gather query blocks one lane at a time); no CPU parallelism on this host — " +
-			"query results verified identical across shard counts pre-stress",
+			"a scatter-gather query blocks one lane at a time); narrow-range reads can additionally skip " +
+			"shards via summary pruning (key occupancy and size-histogram upper bounds), but on this " +
+			"uniform hash-routed collection the optimizer's single-cut plan probes through the low-point " +
+			"SFI whose short keys are occupied in every shard, so zero shards are soundly prunable and the " +
+			"narrow-read matrix measures raw fan-out cost (fixed per-table probe overhead repeated per " +
+			"shard, amortized only by GOMAXPROCS>1 scatter parallelism); " +
+			"query results verified identical across shard counts and pruning modes pre-stress",
 	}
 	fmt.Fprintf(w, "Sharded engine bench (N=%d, budget %d, k=%d, %d queries, %d inserts x %d writers + %d readers, GOMAXPROCS=%d)\n",
 		cfg.N, cfg.Budget, cfg.MinHashes, len(qs), cfg.Inserts, cfg.Writers, cfg.Readers, rep.GOMAXPROCS)
@@ -353,9 +429,37 @@ func Run(w io.Writer, cfg Config) (*Report, error) {
 		}
 		buildWall := time.Since(start)
 
-		lat, sum, err := measureQueries(ix, qs)
+		broad, err := measureRead(ix, qs)
 		if err != nil {
 			return nil, fmt.Errorf("shards=%d: %w", shards, err)
+		}
+
+		// Narrow-range read matrix: the same index, pruning enabled, at
+		// each GOMAXPROCS of the matrix — then one pruning-off pass whose
+		// checksum pins that pruning never changed an answer.
+		var points []ReadPoint
+		for _, procs := range rep.ReadProcs {
+			prev := runtime.GOMAXPROCS(procs)
+			nar, err := measureRead(ix, narrow)
+			runtime.GOMAXPROCS(prev)
+			if err != nil {
+				return nil, fmt.Errorf("shards=%d narrow procs=%d: %w", shards, procs, err)
+			}
+			points = append(points, ReadPoint{
+				Procs:           procs,
+				P50Micros:       percentile(nar.lat, 0.50),
+				P99Micros:       percentile(nar.lat, 0.99),
+				P50GatherMicros: percentile(nar.gatherLat, 0.50),
+				ShardsQueried:   nar.queried,
+				PrunedShards:    nar.pruned,
+				Checksum:        nar.checksum,
+			})
+		}
+		ix.SetShardPruning(false)
+		noPrune, err := measureRead(ix, narrow)
+		ix.SetShardPruning(true)
+		if err != nil {
+			return nil, fmt.Errorf("shards=%d narrow pruning-off: %w", shards, err)
 		}
 
 		// Each stress phase gets a fresh directory and a fresh collection:
@@ -389,25 +493,40 @@ func Run(w io.Writer, cfg Config) (*Report, error) {
 		}
 
 		e := Entry{
-			Shards:               shards,
-			BuildMillis:          float64(buildWall.Microseconds()) / 1e3,
-			P50QueryMicros:       percentile(lat, 0.50),
-			P99QueryMicros:       percentile(lat, 0.99),
-			ResultsChecksum:      sum,
-			DurableInsertsPerSec: ips,
-			MixedInsertsPerSec:   mips,
-			MixedQueriesPerSec:   mqps,
+			Shards:                shards,
+			BuildMillis:           float64(buildWall.Microseconds()) / 1e3,
+			P50QueryMicros:        percentile(broad.lat, 0.50),
+			P99QueryMicros:        percentile(broad.lat, 0.99),
+			ResultsChecksum:       broad.checksum,
+			NarrowReads:           points,
+			NarrowChecksumNoPrune: noPrune.checksum,
+			DurableInsertsPerSec:  ips,
+			MixedInsertsPerSec:    mips,
+			MixedQueriesPerSec:    mqps,
 		}
 		rep.Entries = append(rep.Entries, e)
 		fmt.Fprintf(w, "  shards=%d  build %8.1fms   query p50 %7.1fµs p99 %7.1fµs   inserts %6.0f/s write-only, %6.0f/s mixed (+%.0f q/s)   checksum %s\n",
 			e.Shards, e.BuildMillis, e.P50QueryMicros, e.P99QueryMicros,
 			e.DurableInsertsPerSec, e.MixedInsertsPerSec, e.MixedQueriesPerSec, e.ResultsChecksum)
+		for _, p := range e.NarrowReads {
+			fmt.Fprintf(w, "    narrow procs=%d  p50 %7.1fµs p99 %7.1fµs gather-p50 %5.1fµs  pruned %d/%d shard-visits\n",
+				p.Procs, p.P50Micros, p.P99Micros, p.P50GatherMicros, p.PrunedShards, p.PrunedShards+p.ShardsQueried)
+		}
 	}
 
 	rep.IdenticalResults = true
+	narrowSum := rep.Entries[0].NarrowReads[0].Checksum
 	for _, e := range rep.Entries {
 		if e.ResultsChecksum != rep.Entries[0].ResultsChecksum {
 			rep.IdenticalResults = false
+		}
+		if e.NarrowChecksumNoPrune != narrowSum {
+			rep.IdenticalResults = false
+		}
+		for _, p := range e.NarrowReads {
+			if p.Checksum != narrowSum {
+				rep.IdenticalResults = false
+			}
 		}
 	}
 	base := rep.Entries[0].DurableInsertsPerSec
@@ -423,7 +542,7 @@ func Run(w io.Writer, cfg Config) (*Report, error) {
 		rep.InsertSpeedupVsSingle = append(rep.InsertSpeedupVsSingle, sp)
 		rep.MixedInsertSpeedupVsSingle = append(rep.MixedInsertSpeedupVsSingle, msp)
 	}
-	fmt.Fprintf(w, "  identical results across shard counts: %v\n", rep.IdenticalResults)
+	fmt.Fprintf(w, "  identical results across shard counts and pruning modes: %v\n", rep.IdenticalResults)
 	for i, e := range rep.Entries {
 		fmt.Fprintf(w, "  insert speedup vs shards=%d: shards=%d -> %.2fx write-only, %.2fx mixed\n",
 			rep.Entries[0].Shards, e.Shards, rep.InsertSpeedupVsSingle[i], rep.MixedInsertSpeedupVsSingle[i])

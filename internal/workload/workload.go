@@ -265,6 +265,12 @@ type QueryParams struct {
 	// MinWidth, MaxWidth bound the range width in FixedWidth mode
 	// (defaults 0.05 and 0.3).
 	MinWidth, MaxWidth float64
+	// MinLo, in FixedWidth mode, floors the lower bound of every range:
+	// lo is drawn uniformly from [MinLo, 1-w] instead of [0, 1-w]. Zero
+	// (the default) reproduces the unfloored stream exactly. Use a high
+	// floor to build narrow high-similarity workloads where most shards
+	// hold no qualifying sets.
+	MinLo float64
 	// Seed makes the workload reproducible.
 	Seed int64
 }
@@ -289,13 +295,19 @@ func Queries(collectionSize int, p QueryParams) ([]Query, error) {
 	if minW > maxW {
 		return nil, fmt.Errorf("workload: MinWidth %g > MaxWidth %g", minW, maxW)
 	}
+	if p.MinLo < 0 || p.MinLo+minW > 1 {
+		return nil, fmt.Errorf("workload: MinLo %g leaves no room for width %g", p.MinLo, minW)
+	}
 	rng := rand.New(rand.NewSource(p.Seed))
 	out := make([]Query, p.Count)
 	for i := range out {
 		var lo, hi float64
 		if p.FixedWidth {
 			w := minW + rng.Float64()*(maxW-minW)
-			lo = rng.Float64() * (1 - w)
+			if w > 1-p.MinLo {
+				w = 1 - p.MinLo
+			}
+			lo = p.MinLo + rng.Float64()*(1-p.MinLo-w)
 			hi = lo + w
 		} else {
 			lo, hi = rng.Float64(), rng.Float64()

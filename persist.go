@@ -8,10 +8,30 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/set"
 	"repro/internal/simdist"
 )
+
+// gob assigns user type ids from a process-global counter in first-encode
+// order, and those ids appear verbatim in the encoded bytes. Without
+// pinning, a sharded Save running first in the process would shift the
+// type id a later single-shard Save writes for publicSnapshot — the bytes
+// would depend on call history, breaking the golden-fixture guarantee
+// that Save output is a pure function of index state. Allocate every
+// snapshot type here in one canonical order: the core snapshot types
+// first and publicSnapshot immediately after (matching the order a fresh
+// process's first single-shard Save would produce, which is what the
+// golden fixture was generated from), then the remaining formats.
+func init() {
+	core.RegisterSnapshotGobTypes()
+	enc := gob.NewEncoder(io.Discard)
+	_ = enc.Encode(&publicSnapshot{}) //ssrvet:ignore droppederr -- zero-value encode to io.Discard cannot fail; run for the type-id side effect
+	_ = enc.Encode(&tunerTrailer{})   //ssrvet:ignore droppederr -- zero-value encode to io.Discard cannot fail; run for the type-id side effect
+	engine.RegisterSnapshotGobTypes()
+	_ = enc.Encode(&shardCheckpoint{}) //ssrvet:ignore droppederr -- zero-value encode to io.Discard cannot fail; run for the type-id side effect
+}
 
 // persistMagic guards the public snapshot format (which wraps the core
 // snapshot with the string dictionary).

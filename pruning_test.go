@@ -1,0 +1,328 @@
+package ssr
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Shard-pruning soundness tests. The engine may answer a scatter query
+// without probing shards whose summaries prove they cannot contribute
+// (internal/engine/prune.go). The contract under test: the match list is
+// byte-identical with pruning forced on vs off, on every path (range,
+// batch, top-k), at every shard count, across mutations, retunes, and
+// durable recovery — pruning changes accounting, never answers.
+//
+// Whole-shard pruning fires in sparse regimes — shards left empty (or
+// near-empty) by routing or deletes, and shards whose live set sizes are
+// all far from the query's. On large hash-routed collections every shard
+// is a statistical sample of the whole, so little prunes; the positive
+// controls below therefore use small and size-skewed collections where
+// pruning provably triggers, keeping the identity assertion non-vacuous.
+
+// sizeSkewedCollection interleaves huge and tiny sets with no overlap, so
+// shards that happen to hold only tiny sets cannot reach a high range
+// from a huge query (the size-histogram prune).
+func sizeSkewedCollection() *Collection {
+	c := NewCollection()
+	for i := 0; i < 40; i++ {
+		n := 4
+		if i%2 == 0 {
+			n = 400
+		}
+		var elems []string
+		for j := 0; j < n; j++ {
+			elems = append(elems, fmt.Sprintf("x%d-%d", i, j))
+		}
+		c.Add(elems...)
+	}
+	return c
+}
+
+// sparseCollection has fewer sets than the shard counts under test, so
+// some shards are empty (the occupancy prune).
+func sparseCollection() *Collection {
+	c := NewCollection()
+	for i := 0; i < 6; i++ {
+		var elems []string
+		for j := 0; j < 10; j++ {
+			elems = append(elems, fmt.Sprintf("s%d-e%d", i, j))
+		}
+		c.Add(elems...)
+	}
+	return c
+}
+
+// pruneProbeRanges mixes regimes: narrow high ranges (the pruning
+// target), ranges crossing the plan's cut, and the full range.
+var pruneProbeRanges = [][2]float64{
+	{0.9, 1.0}, {0.75, 0.85}, {0.5, 1.0}, {0.1, 0.9}, {0.0, 1.0},
+}
+
+// assertPruningIdentity runs every (sid, range) probe twice — pruning on,
+// then off — and fails on any divergence in the match list. It returns
+// the total shards pruned, for positive-control assertions.
+func assertPruningIdentity(t *testing.T, ix *Index, label string, sids []int) int {
+	t.Helper()
+	shards := ix.Shards()
+	totalPruned := 0
+	for _, sid := range sids {
+		for _, r := range pruneProbeRanges {
+			ix.SetShardPruning(true)
+			on, stOn, errOn := ix.QuerySID(sid, r[0], r[1])
+			ix.SetShardPruning(false)
+			off, stOff, errOff := ix.QuerySID(sid, r[0], r[1])
+			ix.SetShardPruning(true)
+			if (errOn == nil) != (errOff == nil) {
+				t.Fatalf("%s sid=%d [%g,%g]: error diverges with pruning: on=%v off=%v",
+					label, sid, r[0], r[1], errOn, errOff)
+			}
+			if errOn != nil {
+				continue
+			}
+			if fmt.Sprint(on) != fmt.Sprint(off) {
+				t.Fatalf("%s sid=%d [%g,%g]: matches diverge with pruning:\n  on  %v\n  off %v",
+					label, sid, r[0], r[1], on, off)
+			}
+			if stOn.ShardsQueried+stOn.ShardsPruned != shards {
+				t.Fatalf("%s sid=%d [%g,%g]: queried %d + pruned %d != %d shards",
+					label, sid, r[0], r[1], stOn.ShardsQueried, stOn.ShardsPruned, shards)
+			}
+			if stOff.ShardsPruned != 0 {
+				t.Fatalf("%s sid=%d [%g,%g]: pruning off still reported %d pruned shards",
+					label, sid, r[0], r[1], stOff.ShardsPruned)
+			}
+			totalPruned += stOn.ShardsPruned
+		}
+	}
+	return totalPruned
+}
+
+// TestShardPruningSoundness is the core identity property across
+// collections and shard counts, with positive controls that pruning
+// actually fired on the adversarial collections.
+func TestShardPruningSoundness(t *testing.T) {
+	sids := []int{0, 1, 5, 17, 30, 39}
+	collections := []struct {
+		name      string
+		fresh     func() *Collection
+		opt       Options
+		sids      []int
+		wantPrune bool // must prune at shards=8 or the control is vacuous
+	}{
+		{"golden", goldenSnapshotCollection, goldenSnapshotOptions(), sids, false},
+		{"size-skewed", sizeSkewedCollection, goldenSnapshotOptions(), sids, true},
+		{"sparse", sparseCollection, goldenSnapshotOptions(), []int{0, 2, 5}, true},
+	}
+	for _, tc := range collections {
+		for _, shards := range []int{1, 4, 8} {
+			opt := tc.opt
+			opt.Shards = shards
+			ix, err := Build(tc.fresh(), opt)
+			if err != nil {
+				t.Fatalf("%s shards=%d: Build: %v", tc.name, shards, err)
+			}
+			label := fmt.Sprintf("%s shards=%d", tc.name, shards)
+			pruned := assertPruningIdentity(t, ix, label, tc.sids)
+			if shards == 1 && pruned != 0 {
+				t.Fatalf("%s: single-shard index pruned %d shards", label, pruned)
+			}
+			if shards == 8 && tc.wantPrune && pruned == 0 {
+				t.Fatalf("%s: positive control failed — no shard was ever pruned", label)
+			}
+		}
+	}
+}
+
+// TestShardPruningSoundnessAfterMutations pins the identity through the
+// summary's maintenance paths: inserts, deletes, and a full retune
+// (which rebuilds every shard's summary from the new plan's buckets).
+func TestShardPruningSoundnessAfterMutations(t *testing.T) {
+	opt := goldenSnapshotOptions()
+	opt.Shards = 4
+	ix, err := Build(sizeSkewedCollection(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var added []int
+	for i := 0; i < 30; i++ {
+		n := 3 + (i%4)*120
+		var elems []string
+		for j := 0; j < n; j++ {
+			elems = append(elems, fmt.Sprintf("mut%d-%d", i, j))
+		}
+		sid, err := ix.Add(elems...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		added = append(added, sid)
+	}
+	for i := 0; i < len(added); i += 3 {
+		if err := ix.Remove(added[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertPruningIdentity(t, ix, "post-mutation", []int{0, 1, 17, added[1], added[4]})
+
+	if _, err := ix.Retune(); err != nil {
+		t.Fatalf("Retune: %v", err)
+	}
+	if pruned := assertPruningIdentity(t, ix, "post-retune", []int{0, 1, 17, added[1], added[4]}); pruned == 0 {
+		t.Fatal("post-retune positive control failed — no shard was ever pruned")
+	}
+}
+
+// TestShardPruningSoundnessAfterRecovery pins that summaries rebuilt by
+// durable recovery (checkpoint load + WAL replay) prune identically.
+func TestShardPruningSoundnessAfterRecovery(t *testing.T) {
+	dir := t.TempDir()
+	opt := goldenSnapshotOptions()
+	opt.Shards = 4
+	ix, err := CreateDurable(dir, sizeSkewedCollection(), opt, DurableOptions{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		var elems []string
+		for j := 0; j < 5+(i%3)*150; j++ {
+			elems = append(elems, fmt.Sprintf("rec%d-%d", i, j))
+		}
+		if _, err := ix.Add(elems...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix.SetShardPruning(false)
+	var want [][]Match
+	for _, r := range pruneProbeRanges {
+		m, _, err := ix.QuerySID(0, r[0], r[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, m)
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenDurable(dir, DurableOptions{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	pruned := assertPruningIdentity(t, re, "recovered", []int{0, 1, 17, 41, 50})
+	if pruned == 0 {
+		t.Fatal("recovered positive control failed — no shard was ever pruned")
+	}
+	for i, r := range pruneProbeRanges {
+		m, _, err := re.QuerySID(0, r[0], r[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(m) != fmt.Sprint(want[i]) {
+			t.Fatalf("range [%g,%g]: recovered pruned answers diverge from pre-crash unpruned answers", r[0], r[1])
+		}
+	}
+}
+
+// TestQueryBatchPruningSoundness: the batch path prunes per (query, shard)
+// and splits its worker pool over participating shards only; every entry
+// must still answer exactly like its standalone query.
+func TestQueryBatchPruningSoundness(t *testing.T) {
+	opt := goldenSnapshotOptions()
+	opt.Shards = 8
+	ix, err := Build(sizeSkewedCollection(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch []BatchQuery
+	for i := 0; i < 40; i += 5 {
+		var elems []string
+		n := 4
+		if i%2 == 0 {
+			n = 400
+		}
+		for j := 0; j < n; j++ {
+			elems = append(elems, fmt.Sprintf("x%d-%d", i, j))
+		}
+		for _, r := range pruneProbeRanges {
+			batch = append(batch, BatchQuery{Elements: elems, Lo: r[0], Hi: r[1]})
+		}
+	}
+	// An invalid entry must keep failing identically with pruning on.
+	batch = append(batch, BatchQuery{Elements: []string{"x0-0"}, Lo: 0.9, Hi: 0.1})
+
+	for _, workers := range []int{1, 3, 16} {
+		res := ix.QueryBatch(batch, QueryOptions{Workers: workers})
+		totalPruned := 0
+		for i, r := range res {
+			q := batch[i]
+			want, _, wantErr := ix.Query(q.Elements, q.Lo, q.Hi)
+			if (r.Err == nil) != (wantErr == nil) {
+				t.Fatalf("workers=%d entry %d: batch err %v, standalone err %v", workers, i, r.Err, wantErr)
+			}
+			if r.Err != nil {
+				continue
+			}
+			if fmt.Sprint(r.Matches) != fmt.Sprint(want) {
+				t.Fatalf("workers=%d entry %d [%g,%g]: batch matches diverge from standalone:\n  batch %v\n  solo  %v",
+					workers, i, q.Lo, q.Hi, r.Matches, want)
+			}
+			if r.Stats.ShardsQueried+r.Stats.ShardsPruned != 8 {
+				t.Fatalf("workers=%d entry %d: queried %d + pruned %d != 8",
+					workers, i, r.Stats.ShardsQueried, r.Stats.ShardsPruned)
+			}
+			totalPruned += r.Stats.ShardsPruned
+		}
+		if totalPruned == 0 {
+			t.Fatalf("workers=%d: batch positive control failed — no shard was ever pruned", workers)
+		}
+	}
+}
+
+// TestTopKPruningSoundness: top-k answers are identical with pruning on
+// vs off, and a sparse index (empty shards) demonstrably skips them.
+func TestTopKPruningSoundness(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		coll      func() *Collection
+		sids      []int
+		wantPrune bool
+	}{
+		{"golden", goldenSnapshotCollection, []int{0, 7, 40}, false},
+		{"sparse", sparseCollection, []int{0, 3, 5}, true},
+	} {
+		opt := goldenSnapshotOptions()
+		opt.Shards = 8
+		ix, err := Build(tc.coll(), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalPruned := 0
+		for _, sid := range tc.sids {
+			for _, k := range []int{1, 3, 10} {
+				ix.SetShardPruning(true)
+				on, st, errOn := ix.TopKSID(sid, k)
+				ix.SetShardPruning(false)
+				off, _, errOff := ix.TopKSID(sid, k)
+				ix.SetShardPruning(true)
+				if (errOn == nil) != (errOff == nil) {
+					t.Fatalf("%s sid=%d k=%d: error diverges: on=%v off=%v", tc.name, sid, k, errOn, errOff)
+				}
+				if errOn != nil {
+					continue
+				}
+				if fmt.Sprint(on) != fmt.Sprint(off) {
+					t.Fatalf("%s sid=%d k=%d: top-k diverges with pruning:\n  on  %v\n  off %v",
+						tc.name, sid, k, on, off)
+				}
+				if st.ShardsQueried+st.ShardsPruned != 8 {
+					t.Fatalf("%s sid=%d k=%d: queried %d + pruned %d != 8",
+						tc.name, sid, k, st.ShardsQueried, st.ShardsPruned)
+				}
+				totalPruned += st.ShardsPruned
+			}
+		}
+		if tc.wantPrune && totalPruned == 0 {
+			t.Fatalf("%s: top-k positive control failed — no shard was ever pruned", tc.name)
+		}
+	}
+}

@@ -216,8 +216,18 @@ type Stats struct {
 	// the build-time plan, and every adaptive retune increments it. All
 	// shards of one query always answer from the same generation.
 	PlanGeneration uint64
+	// ShardsQueried is how many shards the scatter actually probed;
+	// ShardsPruned is how many the per-shard summaries proved unable to
+	// contribute, skipped without being touched. They sum to the shard
+	// count. Pruning is sound (upper bounds only), so matches never depend
+	// on it — only the I/O and candidate accounting of skipped shards.
+	ShardsQueried, ShardsPruned int
+	// GatherTime is the wall time of the final cross-shard merge — the
+	// gather half of scatter-gather (zero on an unsharded index).
+	GatherTime time.Duration
 	// PerShard holds each shard's own accounting, indexed by shard number
-	// (one entry on an unsharded index).
+	// (one entry on an unsharded index; zero-valued entries for pruned
+	// shards).
 	PerShard []ShardStats
 }
 
@@ -314,6 +324,12 @@ func Build(c *Collection, opt Options) (*Index, error) {
 // runs on (1 for the classic monolithic layout).
 func (ix *Index) Shards() int { return ix.inner.NumShards() }
 
+// SetShardPruning toggles summary-based shard pruning on a sharded index
+// (enabled by default). Pruning skips shards whose summaries prove they
+// cannot contribute to a query; it is sound — matches are byte-identical
+// either way — so the switch exists for benchmarking and verification.
+func (ix *Index) SetShardPruning(enabled bool) { ix.inner.SetShardPruning(enabled) }
+
 // Query returns the sets whose Jaccard similarity with the query elements
 // lies in [lo, hi], sorted by descending similarity.
 func (ix *Index) Query(elements []string, lo, hi float64) ([]Match, Stats, error) {
@@ -377,6 +393,9 @@ func convertStats(qs engine.QueryStats) Stats {
 		SimulatedIOTime:     qs.SimIOTime(model),
 		CPUTime:             qs.CPU,
 		PlanGeneration:      qs.PlanGeneration,
+		ShardsQueried:       qs.ShardsQueried,
+		ShardsPruned:        qs.ShardsPruned,
+		GatherTime:          qs.Gather,
 	}
 	for i := range qs.PerShard {
 		ps := &qs.PerShard[i]
