@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet ssrvet race crash fuzz-smoke bench-json bench-shards bench-drift check
+.PHONY: all build test vet ssrvet race crash fuzz-smoke bench-json bench-shards bench-drift bench-plan check
 
 all: check
 
@@ -73,5 +73,13 @@ bench-shards:
 # last two phases so the rows differ only in the plan that served them.
 bench-drift:
 	$(GO) run ./cmd/ssrbench -exp drift -json -n $(BENCH_N) -queries $(BENCH_QUERIES) -out BENCH_drift.json
+
+# The query-planner report: repeat-query result-cache speedup and hit
+# rate, wide-range screen-only vs fi-probe (with measured recall), and
+# tiny-collection direct-scan vs fi-probe — plus checksums proving every
+# exact plan answers byte-identically to the default pipeline
+# (identicalResults in the JSON).
+bench-plan:
+	$(GO) run ./cmd/ssrbench -exp plan -json -out BENCH_plan.json
 
 check: build vet test

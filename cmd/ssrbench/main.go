@@ -12,6 +12,8 @@
 //	                                    # sharded-engine report as JSON
 //	ssrbench -exp drift -json -out BENCH_drift.json
 //	                                    # adaptive re-tuning under drift
+//	ssrbench -exp plan -json -out BENCH_plan.json
+//	                                    # cost-based query planner report
 //
 // The paper's experiments used 200,000-set collections; the defaults here
 // are laptop-scale but preserve the reported shapes. Raise -n and -queries
@@ -27,12 +29,13 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/planbench"
 	"repro/internal/shardbench"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig6a, fig6b, fig7a, fig7b, filtercurve, rltradeoff, placement, allocation, intervals, dfigain, embedding, profile, bench, drift, shards, all")
+		exp      = flag.String("exp", "all", "experiment: fig6a, fig6b, fig7a, fig7b, filtercurve, rltradeoff, placement, allocation, intervals, dfigain, embedding, profile, bench, drift, shards, plan, all")
 		n        = flag.Int("n", 0, "collection size per dataset (0 = default)")
 		queries  = flag.Int("queries", 0, "number of random queries (0 = default)")
 		budget   = flag.Int("budget", 0, "hash-table budget override (0 = per-experiment default)")
@@ -54,6 +57,13 @@ func main() {
 		RecallTarget: *recall,
 	}
 	shardCfg := shardbench.Config{
+		N:         *n,
+		Queries:   *queries,
+		Budget:    *budget,
+		MinHashes: *k,
+		Seed:      *seed,
+	}
+	planCfg := planbench.Config{
 		N:         *n,
 		Queries:   *queries,
 		Budget:    *budget,
@@ -86,6 +96,8 @@ func main() {
 		switch strings.ToLower(*exp) {
 		case "shards":
 			rep, err = shardbench.Run(os.Stderr, shardCfg)
+		case "plan":
+			rep, err = planbench.Run(os.Stderr, planCfg)
 		case "drift":
 			rep, err = experiments.Drift(os.Stderr, cfg)
 		default:
@@ -103,19 +115,24 @@ func main() {
 		}
 		return
 	}
-	if err := run(out, strings.ToLower(*exp), cfg, shardCfg, *sstar); err != nil {
+	if err := run(out, strings.ToLower(*exp), cfg, shardCfg, planCfg, *sstar); err != nil {
 		fmt.Fprintf(os.Stderr, "ssrbench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 // run dispatches one experiment (or all of them) to w.
-func run(w io.Writer, exp string, cfg experiments.Config, shardCfg shardbench.Config, sstar float64) error {
+func run(w io.Writer, exp string, cfg experiments.Config, shardCfg shardbench.Config, planCfg planbench.Config, sstar float64) error {
 	// The sharded-engine stress bench runs for minutes and mutates durable
 	// scratch directories, so it is invoked by name only — never as part
-	// of "all".
+	// of "all". The planner bench is likewise name-only: it is a report,
+	// not one of the paper's figures.
 	if exp == "shards" {
 		_, err := shardbench.Run(w, shardCfg)
+		return err
+	}
+	if exp == "plan" {
+		_, err := planbench.Run(w, planCfg)
 		return err
 	}
 	type job struct {
@@ -148,7 +165,7 @@ func run(w io.Writer, exp string, cfg experiments.Config, shardCfg shardbench.Co
 		for i, j := range jobs {
 			names[i] = j.name
 		}
-		return fmt.Errorf("unknown experiment %q (have: %s, shards, all)", exp, strings.Join(names, ", "))
+		return fmt.Errorf("unknown experiment %q (have: %s, shards, plan, all)", exp, strings.Join(names, ", "))
 	}
 	for i, j := range jobs {
 		if i > 0 {

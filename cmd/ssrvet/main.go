@@ -20,7 +20,7 @@
 //	floatcmp       repro/internal/{lsh,optimize,simdist,eval}
 //	droppederr     repro (persist.go and friends), repro/internal/{storage,textio,server,wal,recovery,engine,tuner}, repro/cmd/...
 //	guardedescape  everywhere
-//	lockorder      repro (durable.go, ssr.go), repro/internal/{engine,core,tuner} — the documented lock hierarchy
+//	lockorder      repro (durable.go, ssr.go), repro/internal/{engine,core,tuner,plan} — the documented lock hierarchy
 //	maprange       repro, repro/internal/{core,engine,optimize,storage,textio,lsh,minhash} — pinned artifacts and signatures
 //	atomicview     everywhere
 //	looplife       everywhere
@@ -99,11 +99,13 @@ var suite = []scopedAnalyzer{
 	{lockorder.New(lockorder.Repo()), func(path string) bool {
 		// The packages participating in the documented lock hierarchy:
 		// durable.go and Collection at the root, the engine's shard and
-		// mapping locks, the core index lock, and the drift tracker.
+		// mapping locks, the core index lock, the drift tracker, and the
+		// planner's cache mutexes (outside everything).
 		return path == "repro" || prefixScope(
 			"repro/internal/engine",
 			"repro/internal/core",
 			"repro/internal/tuner",
+			"repro/internal/plan",
 		)(path)
 	}},
 	{maprange.Analyzer, func(path string) bool {

@@ -15,6 +15,7 @@ import (
 func fixtureConfig() lockorder.Config {
 	return lockorder.Config{
 		Levels: []lockorder.Level{
+			{Name: "plan-cache", Mutexes: []string{"lockuse.Cache.mu"}},
 			{Name: "tune", Mutexes: []string{"lockuse.Engine.tmu"}},
 			{Name: "engine-shard", Mutexes: []string{"lockuse.Shard.mu"}},
 			{Name: "mapping", Mutexes: []string{"lockuse.Engine.gmu"}},
@@ -25,8 +26,8 @@ func fixtureConfig() lockorder.Config {
 
 func TestLockOrder(t *testing.T) {
 	diags := analysistest.Run(t, "testdata/src/lockuse", lockorder.New(fixtureConfig()))
-	if len(diags) != 4 {
-		t.Errorf("got %d diagnostics, want 4", len(diags))
+	if len(diags) != 5 {
+		t.Errorf("got %d diagnostics, want 5", len(diags))
 	}
 }
 
@@ -40,7 +41,7 @@ func TestRepoTreeClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkgs, err := load.Load(root, "./", "./internal/engine", "./internal/core", "./internal/tuner")
+	pkgs, err := load.Load(root, "./", "./internal/engine", "./internal/core", "./internal/tuner", "./internal/plan")
 	if err != nil {
 		t.Fatalf("loading repo packages: %v", err)
 	}

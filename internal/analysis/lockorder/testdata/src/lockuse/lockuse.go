@@ -1,11 +1,18 @@
 // Package lockuse is a lockorder fixture reproducing the repo's
-// documented hierarchy in miniature: tune → engine-shard → mapping →
-// core. Acquisitions that follow the chain pass; a deliberate inversion,
-// a transitive inversion through a helper, and locks leaked on a return
-// path are flagged.
+// documented hierarchy in miniature: plan-cache strictly outside, then
+// tune → engine-shard → mapping → core. Acquisitions that follow the
+// chain pass; a deliberate inversion, a transitive inversion through a
+// helper, a cache acquired under a shard lock, and locks leaked on a
+// return path are flagged.
 package lockuse
 
 import "sync"
+
+// Cache is the plan-cache level: acquired only with nothing else held.
+type Cache struct {
+	mu      sync.Mutex
+	entries int
+}
 
 // Core is the lowest level of the fixture hierarchy.
 type Core struct {
@@ -49,6 +56,31 @@ func (e *Engine) Inverted() {
 	sh.mu.Lock() // want "lock order inversion"
 	sh.mu.Unlock()
 	sh.core.mu.Unlock()
+}
+
+// CacheInsideShard acquires the plan-cache level while holding a shard
+// lock — the inversion the planner's lock discipline forbids: cache
+// lookups must complete before any shard lock is taken.
+func (e *Engine) CacheInsideShard(c *Cache) {
+	sh := e.shards[0]
+	sh.mu.Lock()
+	c.mu.Lock() // want "lock order inversion"
+	c.entries++
+	c.mu.Unlock()
+	sh.mu.Unlock()
+}
+
+// CacheBeforeShard is the sanctioned shape: the cache lookup completes
+// with nothing held, then the pipeline descends the chain.
+func (e *Engine) CacheBeforeShard(c *Cache) {
+	c.mu.Lock()
+	hit := c.entries > 0
+	c.mu.Unlock()
+	if !hit {
+		sh := e.shards[0]
+		sh.mu.Lock()
+		sh.mu.Unlock()
+	}
 }
 
 // lockShard is a helper whose summary carries the engine-shard level.

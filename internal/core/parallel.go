@@ -61,6 +61,12 @@ type QueryOptions struct {
 	// MinParallelVerify is the candidate count at or above which
 	// verification fans across workers (0 selects a built-in default).
 	MinParallelVerify int
+	// AllowApproximate permits the engine's planner to answer from
+	// signature estimates alone (the screen-only plan) when the query
+	// range is wide relative to the estimator's confidence width. Core
+	// itself ignores the flag: it gates which executor the engine
+	// dispatches, not how any executor behaves.
+	AllowApproximate bool
 }
 
 // resolveWorkers maps an Options/QueryOptions worker count to a concrete

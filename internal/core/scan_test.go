@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// scanRanges covers every case of the Section 4.3 range combination: a
+// pure-DFI high band, an interior band, half-open ranges, and the full
+// interval.
+var scanRanges = [][2]float64{
+	{0.9, 1.0},
+	{0.75, 0.85},
+	{0.5, 1.0},
+	{0.1, 0.9},
+	{0.0, 1.0},
+}
+
+// TestScanMatchesQueryPresigned pins the direct-scan executor's exactness
+// contract: for every range and query, ScanPresigned returns the same
+// candidates and byte-identical matches as the filter-probe pipeline,
+// with screening on and off. This is the foundation the planner's
+// byte-identity guarantee rests on.
+func TestScanMatchesQueryPresigned(t *testing.T) {
+	ix, sets := buildWorkers(t, 300, 60, 0, 42)
+	for _, screen := range []bool{false, true} {
+		opt := QueryOptions{Screen: screen}
+		for _, r := range scanRanges {
+			for _, qi := range []int{0, len(sets) / 3, len(sets) - 1} {
+				want, wantStats, err := ix.QueryPresigned(sets[qi], nil, r[0], r[1], opt)
+				if err != nil {
+					t.Fatalf("probe screen=%v range=%v sid=%d: %v", screen, r, qi, err)
+				}
+				got, gotStats, err := ix.ScanPresigned(sets[qi], nil, r[0], r[1], opt)
+				if err != nil {
+					t.Fatalf("scan screen=%v range=%v sid=%d: %v", screen, r, qi, err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("screen=%v range=%v sid=%d: scan %d matches, probe %d",
+						screen, r, qi, len(got), len(want))
+				}
+				for i := range want {
+					if got[i].SID != want[i].SID ||
+						math.Float64bits(got[i].Similarity) != math.Float64bits(want[i].Similarity) {
+						t.Fatalf("screen=%v range=%v sid=%d match %d: scan %+v, probe %+v",
+							screen, r, qi, i, got[i], want[i])
+					}
+				}
+				if gotStats.Candidates != wantStats.Candidates {
+					t.Fatalf("screen=%v range=%v sid=%d: scan saw %d candidates, probe %d",
+						screen, r, qi, gotStats.Candidates, wantStats.Candidates)
+				}
+				if gotStats.EnclosedLo != wantStats.EnclosedLo || gotStats.EnclosedHi != wantStats.EnclosedHi {
+					t.Fatalf("screen=%v range=%v sid=%d: enclosures differ: [%g,%g] vs [%g,%g]",
+						screen, r, qi, gotStats.EnclosedLo, gotStats.EnclosedHi,
+						wantStats.EnclosedLo, wantStats.EnclosedHi)
+				}
+			}
+		}
+	}
+}
+
+// TestScanChargesSequentialIO pins the cost-model shape the planner
+// prices: the scan executor reads the heap sequentially and performs no
+// random candidate fetches.
+func TestScanChargesSequentialIO(t *testing.T) {
+	ix, sets := buildWorkers(t, 300, 60, 0, 42)
+	_, st, err := ix.ScanPresigned(sets[0], nil, 0.5, 1.0, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FetchIO.Rand() != 0 {
+		t.Fatalf("scan performed %d random reads; want 0", st.FetchIO.Rand())
+	}
+	if st.FetchIO.Seq() == 0 {
+		t.Fatal("scan charged no sequential reads")
+	}
+}
+
+// TestScreenPresigned pins the screen-only executor: same candidate set
+// as the probe pipeline, zero data fetches, and every reported match is
+// a signature estimate inside the requested range.
+func TestScreenPresigned(t *testing.T) {
+	ix, sets := buildWorkers(t, 300, 60, 0, 42)
+	for _, r := range scanRanges {
+		for _, qi := range []int{0, len(sets) / 2} {
+			_, probeStats, err := ix.QueryPresigned(sets[qi], nil, r[0], r[1], QueryOptions{})
+			if err != nil {
+				t.Fatalf("probe range=%v sid=%d: %v", r, qi, err)
+			}
+			got, st, err := ix.ScreenPresigned(sets[qi], nil, r[0], r[1], QueryOptions{})
+			if err != nil {
+				t.Fatalf("screen range=%v sid=%d: %v", r, qi, err)
+			}
+			if st.Candidates != probeStats.Candidates {
+				t.Fatalf("range=%v sid=%d: screen saw %d candidates, probe %d",
+					r, qi, st.Candidates, probeStats.Candidates)
+			}
+			if st.FetchIO.Rand() != 0 || st.FetchIO.Seq() != 0 {
+				t.Fatalf("range=%v sid=%d: screen-only fetched data pages (%d rand, %d seq)",
+					r, qi, st.FetchIO.Rand(), st.FetchIO.Seq())
+			}
+			if st.Results != len(got) || st.Screened != st.Candidates-len(got) {
+				t.Fatalf("range=%v sid=%d: accounting results=%d screened=%d for %d/%d",
+					r, qi, st.Results, st.Screened, len(got), st.Candidates)
+			}
+			for _, m := range got {
+				if m.Similarity < r[0] || m.Similarity > r[1] {
+					t.Fatalf("range=%v sid=%d: estimate %g outside range", r, qi, m.Similarity)
+				}
+			}
+		}
+	}
+}
+
+// TestScanInvalidRange pins error parity with the probe pipeline.
+func TestScanInvalidRange(t *testing.T) {
+	ix, sets := buildWorkers(t, 50, 60, 0, 42)
+	if _, _, err := ix.ScanPresigned(sets[0], nil, 0.9, 0.5, QueryOptions{}); err == nil {
+		t.Fatal("inverted range accepted by ScanPresigned")
+	}
+	if _, _, err := ix.ScreenPresigned(sets[0], nil, 0.9, 0.5, QueryOptions{}); err == nil {
+		t.Fatal("inverted range accepted by ScreenPresigned")
+	}
+}
+
+// TestChernoffEps95 sanity-checks the exported confidence width: positive
+// and shrinking with k.
+func TestChernoffEps95(t *testing.T) {
+	e64, e256 := ChernoffEps95(64), ChernoffEps95(256)
+	if e64 <= 0 || e256 <= 0 || e256 >= e64 {
+		t.Fatalf("eps95(64)=%g eps95(256)=%g; want positive and decreasing", e64, e256)
+	}
+}

@@ -36,7 +36,13 @@
 // Lock order: durable shard mutex → engine shard mutex → engine mapping
 // lock (gmu) → core index lock. The collection lock of the public layer
 // is a leaf: it never wraps an engine call. The drift tracker's internal
-// mutex is likewise a leaf under the engine shard mutex.
+// mutex is likewise a leaf under the engine shard mutex. The planner's
+// cache mutexes (internal/plan) sit OUTSIDE — above — this entire chain:
+// cache lookups and stores happen while holding no engine or core lock,
+// and no engine code may touch a cache with any chain lock held.
+// Invalidation is lazy (generation + mutation-counter tokens checked at
+// lookup), so mutation and retune paths never call into the caches at
+// all.
 package engine
 
 import (
@@ -98,6 +104,13 @@ type shard struct {
 	// the new generation equals the old one's state at swap time.
 	journalOn bool
 	journal   []journalOp
+	// muts counts applied mutations (inserts + deletes) on this shard,
+	// monotonically. The planner snapshots every shard's counter into its
+	// cache tokens; a later mismatch invalidates the entry. Bumped under
+	// sh.mu by noteInsert/noteDelete (journal replay into a new plan
+	// generation does not bump — the generation change itself
+	// invalidates), read lock-free.
+	muts atomic.Uint64
 }
 
 // journalOp is one mutation recorded during a retune's rebuild window.
@@ -151,6 +164,11 @@ type Engine struct {
 	// per-shard stats slice is excluded because it escapes into the
 	// returned QueryStats.PerShard.
 	scatterPool sync.Pool
+
+	// planner is the cost-based query planner and its caches (planner.go);
+	// nil until EnablePlanner. Swapped atomically so queries observe a
+	// consistent (policy, caches) pair.
+	planner atomic.Pointer[plannerState]
 }
 
 // SetShardPruning toggles summary-based shard pruning (enabled by
@@ -416,17 +434,19 @@ func (e *Engine) Insert(s set.Set) (uint32, error) {
 	return g, nil
 }
 
-// noteInsert journals an applied insert while a retune is in flight.
-// Caller holds sh.mu.
+// noteInsert journals an applied insert while a retune is in flight and
+// bumps the shard's mutation counter. Caller holds sh.mu.
 func (sh *shard) noteInsert(local uint32, s set.Set) {
+	sh.muts.Add(1)
 	if sh.journalOn {
 		sh.journal = append(sh.journal, journalOp{local: local, s: s})
 	}
 }
 
-// noteDelete journals an applied delete while a retune is in flight.
-// Caller holds sh.mu.
+// noteDelete journals an applied delete while a retune is in flight and
+// bumps the shard's mutation counter. Caller holds sh.mu.
 func (sh *shard) noteDelete(local uint32) {
+	sh.muts.Add(1)
 	if sh.journalOn {
 		sh.journal = append(sh.journal, journalOp{del: true, local: local})
 	}

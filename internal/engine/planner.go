@@ -1,0 +1,365 @@
+// Cost-based query planning over the sharded engine.
+//
+// With the planner enabled, every range query flows through queryPlanned:
+//
+//  1. Snapshot the invalidation token — the plan generation plus every
+//     shard's mutation counter. The snapshot happens BEFORE the view load
+//     and the query runs, so a mutation landing mid-query makes the token
+//     stale rather than the served results (conservative, never wrong).
+//  2. Probe the result cache. A hit returns the cached matches before any
+//     scatter scratch is pooled and before any shard lock is touched.
+//  3. Probe the plan cache (bucketed range → Decision, tolerant of
+//     bounded mutation drift within a generation), else price the three
+//     plans from the live D_S sketch (the tuner's, when tuning is on),
+//     the Lemma 1 capture fraction, and the storage cost model.
+//  4. Execute the decision through the ordinary scatter, with per-shard
+//     executor overrides (probe / scan / screen), and store exact results
+//     back into the result cache.
+//
+// Exact plans (fi-probe, direct-scan, and everything the result cache
+// serves) are byte-identical to the default pipeline; the approximate
+// screen-only plan is dispatched only under QueryOptions.AllowApproximate
+// and is never cached. Lock order: both caches lock strictly outside the
+// engine chain — every cache call in this file runs while holding no
+// other lock (see the package comment in engine.go).
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/minhash"
+	"repro/internal/plan"
+	"repro/internal/set"
+	"repro/internal/storage"
+)
+
+// planCachedLabel is the QueryStats.Plan value of a result-cache hit.
+const planCachedLabel = "cached"
+
+// maxCacheElems bounds the query cardinality the result cache accepts:
+// hashing and equality-checking huge query sets costs more than the
+// pipeline they would skip.
+const maxCacheElems = 4096
+
+// maxCacheMatches bounds the result size the cache stores, keeping the
+// worst-case cache footprint at entries × matches × 16 bytes.
+const maxCacheMatches = 4096
+
+// PlannerPolicy configures EnablePlanner. The zero value selects the
+// defaults noted per field; negative cache sizes disable that cache.
+type PlannerPolicy struct {
+	// ResultCacheEntries sizes the query-result cache (0 = 1024,
+	// negative = no result cache).
+	ResultCacheEntries int
+	// PlanCacheEntries sizes the plan-decision cache (0 = 256, negative =
+	// no plan cache).
+	PlanCacheEntries int
+	// MutationTolerance is the total mutation drift a cached plan
+	// DECISION survives within one generation (0 = 1024). Result-cache
+	// entries never tolerate drift — any mutation invalidates them.
+	MutationTolerance uint64
+	// ScreenWidthFactor overrides the screen-only width gate
+	// (0 = plan.DefaultScreenWidthFactor).
+	ScreenWidthFactor float64
+	// ForcePlan pins every query to one plan, bypassing cost comparison:
+	// "fi-probe", "direct-scan", or "screen-only" (the latter still
+	// requires AllowApproximate, else it degrades to fi-probe). Empty
+	// selects by cost. For benchmarks and the byte-identity tests.
+	ForcePlan string
+}
+
+// plannerState is the atomically-swapped planner configuration: policy
+// plus caches, replaced wholesale by EnablePlanner/DisablePlanner.
+type plannerState struct {
+	policy  PlannerPolicy
+	results *plan.ResultCache
+	plans   *plan.PlanCache
+}
+
+// EnablePlanner turns on cost-based planning with the given policy.
+// Existing cached state (from a previous enable) is discarded.
+func (e *Engine) EnablePlanner(p PlannerPolicy) {
+	if p.ResultCacheEntries == 0 {
+		p.ResultCacheEntries = 1024
+	}
+	if p.PlanCacheEntries == 0 {
+		p.PlanCacheEntries = 256
+	}
+	if p.MutationTolerance == 0 {
+		p.MutationTolerance = 1024
+	}
+	st := &plannerState{policy: p}
+	if p.ResultCacheEntries > 0 {
+		st.results = plan.NewResultCache(p.ResultCacheEntries)
+	}
+	if p.PlanCacheEntries > 0 {
+		st.plans = plan.NewPlanCache(p.PlanCacheEntries)
+	}
+	e.planner.Store(st)
+}
+
+// DisablePlanner restores the default pipeline and drops both caches.
+func (e *Engine) DisablePlanner() { e.planner.Store(nil) }
+
+// PlannerEnabled reports whether cost-based planning is active.
+func (e *Engine) PlannerEnabled() bool { return e.planner.Load() != nil }
+
+// mutsSnapshot captures every shard's mutation counter, lock-free.
+func (e *Engine) mutsSnapshot() []uint64 {
+	out := make([]uint64, len(e.shards))
+	for i, sh := range e.shards {
+		out[i] = sh.muts.Load()
+	}
+	return out
+}
+
+// resultKeyFor derives the result-cache key of one query; ok is false for
+// uncacheable queries (oversized). The Elems slice aliases the query for
+// the lookup — Put copies before storing.
+func resultKeyFor(q set.Set, s1, s2 float64, opt core.QueryOptions) (plan.ResultKey, bool) {
+	elems := q.Elems()
+	if len(elems) > maxCacheElems {
+		return plan.ResultKey{}, false
+	}
+	var flags uint64
+	if opt.Screen {
+		flags |= 1
+	}
+	if opt.AllowApproximate {
+		flags |= 2
+	}
+	margin := 0.0
+	if opt.Screen {
+		margin = opt.ScreenMargin
+	}
+	return plan.ResultKey{Elems: elems, Lo: s1, Hi: s2, Flags: flags, Margin: margin}, true
+}
+
+// cachedStats builds the QueryStats of a result-cache hit.
+func cachedStats(gen uint64, hit plan.CachedResult) QueryStats {
+	st := QueryStats{PlanGeneration: gen, Plan: planCachedLabel, CacheHits: 1}
+	st.Results = len(hit.Matches)
+	st.EnclosedLo, st.EnclosedHi = hit.EnclosedLo, hit.EnclosedHi
+	return st
+}
+
+// queryPlanned is QueryWithOptions under the planner. The result-cache
+// probe happens before getScatter and before any shard or core lock — a
+// warm repeat query allocates nothing but its stats.
+func (e *Engine) queryPlanned(ps *plannerState, q set.Set, s1, s2 float64, opt core.QueryOptions) ([]core.Match, QueryStats, error) {
+	muts := e.mutsSnapshot()
+	v := e.loadView()
+	tok := plan.Token{Gen: v.gen, Muts: muts}
+	key, cacheable := resultKeyFor(q, s1, s2, opt)
+	if cacheable && ps.results != nil {
+		if hit, ok := ps.results.Get(key, tok); ok {
+			return hit.Matches, cachedStats(v.gen, hit), nil
+		}
+	}
+	dec := e.decidePlan(ps, v, tok, s1, s2, opt)
+	m, st, err := e.queryScatter(v, &dec, q, s1, s2, opt)
+	st.Plan = dec.Kind.String()
+	if cacheable && ps.results != nil {
+		st.CacheMisses = 1
+		// Approximate answers are never cached: everything the result
+		// cache serves must be byte-identical to the default pipeline.
+		if err == nil && dec.Kind != plan.ScreenOnly && len(m) <= maxCacheMatches {
+			ps.results.Put(key, tok, plan.CachedResult{Matches: m, EnclosedLo: st.EnclosedLo, EnclosedHi: st.EnclosedHi})
+		}
+	}
+	return m, st, err
+}
+
+// decidePlan resolves the Decision for one (range, options) pair: forced
+// plan, plan-cache hit, or a fresh cost comparison (stored back).
+func (e *Engine) decidePlan(ps *plannerState, v *planView, tok plan.Token, s1, s2 float64, opt core.QueryOptions) plan.Decision {
+	switch ps.policy.ForcePlan {
+	case "fi-probe":
+		return plan.Decision{Kind: plan.FIProbe}
+	case "direct-scan":
+		per := make([]plan.Kind, len(v.cores))
+		for i := range per {
+			per[i] = plan.DirectScan
+		}
+		return plan.Decision{Kind: plan.DirectScan, PerShard: per}
+	case "screen-only":
+		if opt.AllowApproximate {
+			return plan.Decision{Kind: plan.ScreenOnly}
+		}
+		return plan.Decision{Kind: plan.FIProbe}
+	}
+	var flags uint64
+	if opt.AllowApproximate {
+		flags |= 1
+	}
+	key := plan.MakePlanKey(s1, s2, flags)
+	if ps.plans != nil {
+		if dec, ok := ps.plans.Get(key, tok, ps.policy.MutationTolerance); ok {
+			return dec
+		}
+	}
+	dec := e.computeDecision(v, s1, s2, opt, ps.policy.ScreenWidthFactor)
+	if ps.plans != nil {
+		ps.plans.Put(key, tok, dec)
+	}
+	return dec
+}
+
+// computeDecision assembles the cost inputs — live D_S (the tuner's
+// sketch when tuning is on and non-empty, else the generation's build
+// histogram), Lemma 1 capture at the enclosed range, per-shard heap
+// geometry — and prices the plans.
+func (e *Engine) computeDecision(v *planView, s1, s2 float64, opt core.QueryOptions, widthFactor float64) plan.Decision {
+	c0 := v.cores[0]
+	hist := v.hist
+	if tr := e.tracker.Load(); tr != nil {
+		if sk := tr.Sketch(); sk != nil && sk.Total() > 0 {
+			hist = sk
+		}
+	}
+	shards := make([]plan.ShardInput, len(v.cores))
+	totalLive := 0
+	for si, ix := range v.cores {
+		live, pages, pps := ix.ScanCostInputs()
+		shards[si] = plan.ShardInput{Live: live, ScanPages: pages, PagesPerSet: pps}
+		totalLive += live
+	}
+	frac, ok := c0.CaptureFraction(hist, s1, s2)
+	pred := 0.0
+	if totalLive > 1 {
+		// The capture integral predicts the captured fraction of pairs;
+		// for one query against N live sets that is frac·(N−1) candidates
+		// (the Section 5 identity, as in core.EstimateCandidates).
+		pred = frac * float64(totalLive-1)
+	}
+	return plan.Decide(plan.Inputs{
+		Predicted:         pred,
+		NoEstimate:        !ok,
+		ProbeTables:       c0.ProbeTables(s1, s2),
+		Shards:            shards,
+		Model:             storage.DefaultCostModel(),
+		Width:             s2 - s1,
+		Eps95:             core.ChernoffEps95(c0.Embedder().K()),
+		ScreenWidthFactor: widthFactor,
+		AllowApproximate:  opt.AllowApproximate,
+	})
+}
+
+// kindFor resolves the executor for shard si under a decision (nil =
+// planner off = fi-probe).
+func kindFor(dec *plan.Decision, si int) plan.Kind {
+	switch {
+	case dec == nil:
+		return plan.FIProbe
+	case dec.Kind == plan.ScreenOnly:
+		return plan.ScreenOnly
+	case dec.PerShard != nil:
+		return dec.PerShard[si]
+	}
+	return dec.Kind
+}
+
+// runShardPlan dispatches one shard's query to the decided executor. All
+// three accept a nil sig (they sign locally — the single-shard path).
+func runShardPlan(ix *core.Index, kind plan.Kind, q set.Set, sig minhash.Signature, s1, s2 float64, opt core.QueryOptions) ([]core.Match, core.QueryStats, error) {
+	switch kind {
+	case plan.DirectScan:
+		return ix.ScanPresigned(q, sig, s1, s2, opt)
+	case plan.ScreenOnly:
+		return ix.ScreenPresigned(q, sig, s1, s2, opt)
+	default:
+		return ix.QueryPresigned(q, sig, s1, s2, opt)
+	}
+}
+
+// queryBatchPlanned is QueryBatch under the planner: one token for the
+// whole batch, result-cache hits short-circuit, fi-probe decisions keep
+// the sub-batch fast path (one probe matrix, shared scatter), and
+// non-default plans run per entry across a bounded worker loop.
+func (e *Engine) queryBatchPlanned(ps *plannerState, queries []core.BatchQuery, opt core.QueryOptions, out []BatchResult) {
+	muts := e.mutsSnapshot()
+	v := e.loadView()
+	tok := plan.Token{Gen: v.gen, Muts: muts}
+
+	type pending struct {
+		i         int
+		dec       plan.Decision
+		key       plan.ResultKey
+		cacheable bool
+	}
+	var fiQueries []core.BatchQuery
+	var fiMeta []pending
+	var rest []pending
+	for i := range queries {
+		q := queries[i]
+		key, cacheable := resultKeyFor(q.Q, q.Lo, q.Hi, opt)
+		if cacheable && ps.results != nil {
+			if hit, ok := ps.results.Get(key, tok); ok {
+				out[i] = BatchResult{Matches: hit.Matches, Stats: cachedStats(v.gen, hit)}
+				continue
+			}
+		}
+		p := pending{i: i, dec: e.decidePlan(ps, v, tok, q.Lo, q.Hi, opt), key: key, cacheable: cacheable}
+		if p.dec.Kind == plan.FIProbe {
+			fiQueries = append(fiQueries, q)
+			fiMeta = append(fiMeta, p)
+		} else {
+			rest = append(rest, p)
+		}
+	}
+
+	finish := func(p pending, r BatchResult) {
+		r.Stats.Plan = p.dec.Kind.String()
+		if p.cacheable && ps.results != nil {
+			r.Stats.CacheMisses = 1
+			if r.Err == nil && p.dec.Kind != plan.ScreenOnly && len(r.Matches) <= maxCacheMatches {
+				ps.results.Put(p.key, tok, plan.CachedResult{
+					Matches:    r.Matches,
+					EnclosedLo: r.Stats.EnclosedLo,
+					EnclosedHi: r.Stats.EnclosedHi,
+				})
+			}
+		}
+		out[p.i] = r
+	}
+
+	if len(fiQueries) > 0 {
+		sub := make([]BatchResult, len(fiQueries))
+		e.queryBatchInto(v, fiQueries, opt, sub)
+		for j, p := range fiMeta {
+			finish(p, sub[j])
+		}
+	}
+	if len(rest) == 0 {
+		return
+	}
+	pool := queryPool(opt.Workers)
+	workers := pool
+	if workers > len(rest) {
+		workers = len(rest)
+	}
+	shares := core.SplitPool(pool, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			inner := opt
+			inner.Workers = shares[w]
+			for {
+				j := int(next.Add(1)) - 1
+				if j >= len(rest) {
+					return
+				}
+				p := rest[j]
+				q := queries[p.i]
+				m, st, err := e.queryScatter(v, &p.dec, q.Q, q.Lo, q.Hi, inner)
+				finish(p, BatchResult{Matches: m, Stats: st, Err: err})
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -98,6 +98,30 @@ func (e *Engine) pruneRange(v *planView, q set.Set, sig minhash.Signature, s1, s
 	return probe, pruned
 }
 
+// pruneOccupancy is pruneRange restricted to the occupancy test. The
+// screen-only plan answers from signature ESTIMATES, and the size
+// histogram bounds only EXACT Jaccard — an estimate can land inside
+// [s1, s2] for a set whose exact similarity (and size bound) sits below
+// s1 — so size-based pruning is unsound there. Occupancy remains sound:
+// screen-only candidates still come from the same filter probe vectors.
+func (e *Engine) pruneOccupancy(v *planView, q set.Set, sig minhash.Signature, s1, s2 float64, skip []bool) (*core.ShardProbe, int) {
+	if e.pruneOff.Load() {
+		return nil, 0
+	}
+	probe, ok := v.cores[0].BuildRangeProbe(q, sig, s1, s2)
+	if !ok {
+		return nil, 0
+	}
+	pruned := 0
+	for si := range skip {
+		if v.cores[si].Summary().Empty(probe) {
+			skip[si] = true
+			pruned++
+		}
+	}
+	return probe, pruned
+}
+
 // topkThreshold shares the best known k-th similarity across the shard
 // goroutines of one TopK scatter: a monotone CAS-max over float bits
 // (valid because similarities are non-negative, where IEEE-754 ordering

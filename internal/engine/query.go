@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/minhash"
+	"repro/internal/plan"
 	"repro/internal/set"
 	"repro/internal/storage"
 )
@@ -41,6 +42,15 @@ type QueryStats struct {
 	// gather half of scatter-gather. Zero for single-shard engines,
 	// where no merge runs.
 	Gather time.Duration
+	// Plan is the planner's chosen plan label — "fi-probe",
+	// "direct-scan", "screen-only", "mixed", or "cached" (served from the
+	// result cache). Empty when the planner is disabled.
+	Plan string
+	// CacheHits / CacheMisses count result-cache outcomes for this query
+	// (0 or 1 per query; batch callers sum them). Both zero when the
+	// planner is disabled or the query is uncacheable.
+	CacheHits   int
+	CacheMisses int
 	// PerShard holds each shard's own accounting, indexed by shard
 	// (zero-valued entries for pruned shards).
 	PerShard []core.QueryStats
@@ -106,11 +116,22 @@ func (e *Engine) Query(q set.Set, s1, s2 float64) ([]core.Match, QueryStats, err
 // scatter never oversubscribes the pool beyond the one-worker-per-shard
 // floor.
 func (e *Engine) QueryWithOptions(q set.Set, s1, s2 float64, opt core.QueryOptions) ([]core.Match, QueryStats, error) {
+	if ps := e.planner.Load(); ps != nil {
+		return e.queryPlanned(ps, q, s1, s2, opt)
+	}
 	// One view load per query: every shard answers from this generation,
 	// even if a retune swaps the plan mid-scatter.
-	v := e.loadView()
+	return e.queryScatter(e.loadView(), nil, q, s1, s2, opt)
+}
+
+// queryScatter runs one range query against view v under decision dec
+// (nil = the default fi-probe pipeline). Per-shard executors come from
+// the decision; summary pruning applies its occupancy-only variant for
+// screen-only decisions (the size bound holds for exact Jaccard, not for
+// estimates) and the full test otherwise.
+func (e *Engine) queryScatter(v *planView, dec *plan.Decision, q set.Set, s1, s2 float64, opt core.QueryOptions) ([]core.Match, QueryStats, error) {
 	if e.single {
-		m, st, err := v.cores[0].QueryWithOptions(q, s1, s2, opt)
+		m, st, err := runShardPlan(v.cores[0], kindFor(dec, 0), q, nil, s1, s2, opt)
 		return m, QueryStats{QueryStats: st, PlanGeneration: v.gen, ShardsQueried: 1, PerShard: []core.QueryStats{st}}, err
 	}
 	n := len(e.shards)
@@ -118,7 +139,13 @@ func (e *Engine) QueryWithOptions(q set.Set, s1, s2 float64, opt core.QueryOptio
 	sc := e.getScatter(n, v.cores[0].Embedder().K())
 	defer e.putScatter(sc)
 	v.cores[0].Embedder().SignInto(q, sc.sig)
-	probe, pruned := e.pruneRange(v, q, sc.sig, s1, s2, sc.skip)
+	var probe *core.ShardProbe
+	var pruned int
+	if dec != nil && dec.Kind == plan.ScreenOnly {
+		probe, pruned = e.pruneOccupancy(v, q, sc.sig, s1, s2, sc.skip)
+	} else {
+		probe, pruned = e.pruneRange(v, q, sc.sig, s1, s2, sc.skip)
+	}
 	shares := core.SplitPool(queryPool(opt.Workers), n-pruned)
 	var wg sync.WaitGroup
 	widx := 0
@@ -132,7 +159,7 @@ func (e *Engine) QueryWithOptions(q set.Set, s1, s2 float64, opt core.QueryOptio
 			sh := e.shards[si]
 			inner := opt
 			inner.Workers = shares[w]
-			m, st, err := v.cores[si].QueryPresigned(q, sc.sig, s1, s2, inner)
+			m, st, err := runShardPlan(v.cores[si], kindFor(dec, si), q, sc.sig, s1, s2, inner)
 			if err != nil {
 				sc.errs[si] = err
 				return
@@ -194,7 +221,19 @@ func (e *Engine) QueryBatch(queries []core.BatchQuery, opt core.QueryOptions) []
 	if len(queries) == 0 {
 		return out
 	}
-	v := e.loadView()
+	if ps := e.planner.Load(); ps != nil {
+		e.queryBatchPlanned(ps, queries, opt, out)
+		return out
+	}
+	e.queryBatchInto(e.loadView(), queries, opt, out)
+	return out
+}
+
+// queryBatchInto is the default (fi-probe) batch pipeline against a fixed
+// view, writing entry i's outcome to out[i]. The planner routes its
+// fi-probe sub-batches here so they keep the shared probe matrix and
+// proportional pool split.
+func (e *Engine) queryBatchInto(v *planView, queries []core.BatchQuery, opt core.QueryOptions, out []BatchResult) {
 	if e.single {
 		res := v.cores[0].QueryBatch(queries, opt)
 		for i, r := range res {
@@ -204,7 +243,7 @@ func (e *Engine) QueryBatch(queries []core.BatchQuery, opt core.QueryOptions) []
 				Err:     r.Err,
 			}
 		}
-		return out
+		return
 	}
 	n := len(e.shards)
 
@@ -317,7 +356,6 @@ func (e *Engine) QueryBatch(queries []core.BatchQuery, opt core.QueryOptions) []
 		agg.Gather = time.Since(start)
 		out[i] = BatchResult{Matches: m, Stats: agg}
 	}
-	return out
 }
 
 // TopK gathers each shard's k best and keeps the global k best. A shard's

@@ -58,6 +58,14 @@ type statCounters struct {
 	seqReads      atomic.Int64
 	shardsQueried atomic.Int64
 	shardsPruned  atomic.Int64
+	cacheHits     atomic.Int64
+	cacheMisses   atomic.Int64
+	// Planner plan choices, keyed by ssr.Stats.PlanChosen labels.
+	planFIProbe    atomic.Int64
+	planDirectScan atomic.Int64
+	planScreenOnly atomic.Int64
+	planMixed      atomic.Int64
+	planCached     atomic.Int64
 }
 
 func (c *statCounters) record(st ssr.Stats) {
@@ -69,6 +77,20 @@ func (c *statCounters) record(st ssr.Stats) {
 	c.seqReads.Add(st.SequentialPageReads)
 	c.shardsQueried.Add(int64(st.ShardsQueried))
 	c.shardsPruned.Add(int64(st.ShardsPruned))
+	c.cacheHits.Add(int64(st.CacheHits))
+	c.cacheMisses.Add(int64(st.CacheMisses))
+	switch st.PlanChosen {
+	case "fi-probe":
+		c.planFIProbe.Add(1)
+	case "direct-scan":
+		c.planDirectScan.Add(1)
+	case "screen-only":
+		c.planScreenOnly.Add(1)
+	case "mixed":
+		c.planMixed.Add(1)
+	case "cached":
+		c.planCached.Add(1)
+	}
 }
 
 // New returns a handler serving the given index.
@@ -171,7 +193,18 @@ type statsResponse struct {
 		SequentialPageReads int64 `json:"sequentialPageReads"`
 		ShardsQueried       int64 `json:"shardsQueried"`
 		ShardsPruned        int64 `json:"shardsPruned"`
+		CacheHits           int64 `json:"cacheHits"`
+		CacheMisses         int64 `json:"cacheMisses"`
 	} `json:"queries"`
+	// Plans counts planner plan choices across all recorded queries (all
+	// zero when the index was built without the planner).
+	Plans struct {
+		FIProbe    int64 `json:"fiProbe"`
+		DirectScan int64 `json:"directScan"`
+		ScreenOnly int64 `json:"screenOnly"`
+		Mixed      int64 `json:"mixed"`
+		Cached     int64 `json:"cached"`
+	} `json:"plans"`
 	Tuner tunerView `json:"tuner"`
 }
 
@@ -194,6 +227,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Queries.SequentialPageReads = s.totals.seqReads.Load()
 	resp.Queries.ShardsQueried = s.totals.shardsQueried.Load()
 	resp.Queries.ShardsPruned = s.totals.shardsPruned.Load()
+	resp.Queries.CacheHits = s.totals.cacheHits.Load()
+	resp.Queries.CacheMisses = s.totals.cacheMisses.Load()
+	resp.Plans.FIProbe = s.totals.planFIProbe.Load()
+	resp.Plans.DirectScan = s.totals.planDirectScan.Load()
+	resp.Plans.ScreenOnly = s.totals.planScreenOnly.Load()
+	resp.Plans.Mixed = s.totals.planMixed.Load()
+	resp.Plans.Cached = s.totals.planCached.Load()
 	ts := s.ix.TunerState()
 	resp.Tuner = tunerView{
 		Enabled:        ts.Enabled,
@@ -251,6 +291,9 @@ type queryStatView struct {
 	PlanGeneration    uint64 `json:"planGeneration"`
 	ShardsQueried     int    `json:"shardsQueried"`
 	ShardsPruned      int    `json:"shardsPruned,omitempty"`
+	Plan              string `json:"plan,omitempty"`
+	CacheHits         int    `json:"cacheHits,omitempty"`
+	CacheMisses       int    `json:"cacheMisses,omitempty"`
 	Elapsed           string `json:"elapsed"`
 }
 
@@ -266,6 +309,9 @@ func statView(st ssr.Stats, elapsed time.Duration) queryStatView {
 		PlanGeneration:    st.PlanGeneration,
 		ShardsQueried:     st.ShardsQueried,
 		ShardsPruned:      st.ShardsPruned,
+		Plan:              st.PlanChosen,
+		CacheHits:         st.CacheHits,
+		CacheMisses:       st.CacheMisses,
 		Elapsed:           elapsed.String(),
 	}
 }
@@ -325,6 +371,9 @@ type batchRequest struct {
 	Screen       bool           `json:"screen"`
 	ScreenMargin float64        `json:"screenMargin"`
 	Workers      int            `json:"workers"`
+	// AllowApproximate lets the planner (if the index enables it) answer
+	// wide ranges from signature estimates (see ssr.QueryOptions).
+	AllowApproximate bool `json:"allowApproximate"`
 }
 
 // batchEntryResponse is one positional result of /query/batch.
@@ -368,9 +417,10 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	results := s.ix.QueryBatch(batch, ssr.QueryOptions{
-		Screen:       req.Screen,
-		ScreenMargin: req.ScreenMargin,
-		Workers:      req.Workers,
+		Screen:           req.Screen,
+		ScreenMargin:     req.ScreenMargin,
+		Workers:          req.Workers,
+		AllowApproximate: req.AllowApproximate,
 	})
 	elapsed := time.Since(start)
 	resp := batchResponse{Results: make([]batchEntryResponse, len(results)), Elapsed: elapsed.String()}

@@ -98,6 +98,18 @@ type Options struct {
 	// TunePolicy tunes AutoTune's decision rule; the zero value selects
 	// defaults. Ignored unless AutoTune is set.
 	TunePolicy TunePolicy
+	// Planner enables the cost-based query planner: each range query is
+	// priced from the live similarity distribution and the storage cost
+	// model, then executed by the cheapest of fi-probe (the default
+	// pipeline), direct-scan, or — only with QueryOptions.AllowApproximate
+	// — screen-only, with plan decisions and exact results cached and
+	// invalidated by plan-generation and mutation counters. Exact plans
+	// and all cached answers are byte-identical to the default pipeline.
+	// Equivalent to calling EnablePlanner on the built index.
+	Planner bool
+	// PlannerPolicy tunes the planner; the zero value selects defaults.
+	// Ignored unless Planner is set.
+	PlannerPolicy PlannerPolicy
 }
 
 // Collection accumulates sets before building an index. Elements are
@@ -225,6 +237,13 @@ type Stats struct {
 	// GatherTime is the wall time of the final cross-shard merge — the
 	// gather half of scatter-gather (zero on an unsharded index).
 	GatherTime time.Duration
+	// PlanChosen is the query planner's chosen plan: "fi-probe",
+	// "direct-scan", "screen-only", "mixed", or "cached" (answered from
+	// the result cache). Empty when the planner is disabled.
+	PlanChosen string
+	// CacheHits / CacheMisses count result-cache outcomes for this query
+	// (both zero when the planner or its result cache is disabled).
+	CacheHits, CacheMisses int
 	// PerShard holds each shard's own accounting, indexed by shard number
 	// (one entry on an unsharded index; zero-valued entries for pruned
 	// shards).
@@ -312,6 +331,9 @@ func Build(c *Collection, opt Options) (*Index, error) {
 		return nil, err
 	}
 	ix := &Index{coll: c, inner: inner}
+	if opt.Planner {
+		ix.EnablePlanner(opt.PlannerPolicy)
+	}
 	if opt.AutoTune {
 		if err := ix.EnableAutoTune(opt.TunePolicy); err != nil {
 			return nil, err
@@ -349,6 +371,22 @@ func (ix *Index) QuerySID(sid int, lo, hi float64) ([]Match, Stats, error) {
 		return nil, Stats{}, fmt.Errorf("ssr: sid %d out of range", sid)
 	}
 	return ix.query(q, lo, hi)
+}
+
+// QuerySIDWithOptions is QuerySID with explicit query options
+// (screening, workers, AllowApproximate).
+func (ix *Index) QuerySIDWithOptions(sid int, lo, hi float64, opt QueryOptions) ([]Match, Stats, error) {
+	ix.coll.mu.Lock()
+	ok := sid >= 0 && sid < len(ix.coll.sets)
+	var q set.Set
+	if ok {
+		q = ix.coll.sets[sid]
+	}
+	ix.coll.mu.Unlock()
+	if !ok {
+		return nil, Stats{}, fmt.Errorf("ssr: sid %d out of range", sid)
+	}
+	return ix.queryOpts(q, lo, hi, opt)
 }
 
 // QueryIDs queries with externally numbered elements (matching AddIDs).
@@ -396,6 +434,9 @@ func convertStats(qs engine.QueryStats) Stats {
 		ShardsQueried:       qs.ShardsQueried,
 		ShardsPruned:        qs.ShardsPruned,
 		GatherTime:          qs.Gather,
+		PlanChosen:          qs.Plan,
+		CacheHits:           qs.CacheHits,
+		CacheMisses:         qs.CacheMisses,
 	}
 	for i := range qs.PerShard {
 		ps := &qs.PerShard[i]
@@ -424,13 +465,23 @@ type QueryOptions struct {
 	// Workers bounds query parallelism (batch fan-out and per-query
 	// candidate verification). 0 uses every CPU, 1 forces serial processing.
 	Workers int
+	// AllowApproximate permits the query planner (Options.Planner) to
+	// answer from signature estimates alone — the screen-only plan — when
+	// the range is wide relative to the estimator's 95%-confidence width
+	// and the cost model favours it. Returned similarities are then
+	// ESTIMATES, not exact Jaccard, and sets near the range boundary can
+	// be missed or misplaced; Stats.PlanChosen reports "screen-only" when
+	// it happened. Ignored when the planner is disabled — no other path
+	// ever returns approximate similarities.
+	AllowApproximate bool
 }
 
 func (o QueryOptions) toCore() core.QueryOptions {
 	return core.QueryOptions{
-		Screen:       o.Screen,
-		ScreenMargin: o.ScreenMargin,
-		Workers:      o.Workers,
+		Screen:           o.Screen,
+		ScreenMargin:     o.ScreenMargin,
+		Workers:          o.Workers,
+		AllowApproximate: o.AllowApproximate,
 	}
 }
 
