@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet ssrvet race crash fuzz-smoke bench-json bench-shards bench-drift bench-plan check
+.PHONY: all build test vet ssrvet race crash fuzz-smoke bench-json bench-shards bench-drift bench-plan bench-screen check
 
 all: check
 
@@ -46,6 +46,7 @@ fuzz-smoke:
 	$(GO) test ./internal/storage/ -run '^$$' -fuzz FuzzSetEncoding -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/storage/ -run '^$$' -fuzz FuzzDecodeCorrupt -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/ecc/ -run '^$$' -fuzz FuzzHadamardRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/minhash/ -run '^$$' -fuzz FuzzPackedSignatureRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/wal/ -run '^$$' -fuzz FuzzReplay -fuzztime $(FUZZTIME)
 	$(GO) test . -run '^$$' -fuzz FuzzLoad -fuzztime $(FUZZTIME)
 
@@ -81,5 +82,13 @@ bench-drift:
 # (identicalResults in the JSON).
 bench-plan:
 	$(GO) run ./cmd/ssrbench -exp plan -json -out BENCH_plan.json
+
+# The signing-family screening matrix: {classic, superminhash} ×
+# b ∈ {64, 4, 1} over one collection and workload — screened fraction,
+# signature bytes/set, estimator half-width, and a cross-family checksum
+# proving exact answers are byte-identical for every family
+# (identicalResults in the JSON).
+bench-screen:
+	$(GO) run ./cmd/ssrbench -exp screen -json -n $(BENCH_N) -queries $(BENCH_QUERIES) -budget $(BENCH_BUDGET) -out BENCH_screen.json
 
 check: build vet test

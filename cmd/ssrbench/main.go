@@ -35,7 +35,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig6a, fig6b, fig7a, fig7b, filtercurve, rltradeoff, placement, allocation, intervals, dfigain, embedding, profile, bench, drift, shards, plan, all")
+		exp      = flag.String("exp", "all", "experiment: fig6a, fig6b, fig7a, fig7b, filtercurve, rltradeoff, placement, allocation, intervals, dfigain, embedding, profile, bench, drift, shards, plan, screen, all")
 		n        = flag.Int("n", 0, "collection size per dataset (0 = default)")
 		queries  = flag.Int("queries", 0, "number of random queries (0 = default)")
 		budget   = flag.Int("budget", 0, "hash-table budget override (0 = per-experiment default)")
@@ -100,6 +100,8 @@ func main() {
 			rep, err = planbench.Run(os.Stderr, planCfg)
 		case "drift":
 			rep, err = experiments.Drift(os.Stderr, cfg)
+		case "screen":
+			rep, err = experiments.Screen(os.Stderr, cfg)
 		default:
 			rep, err = experiments.Bench(os.Stderr, cfg)
 		}
@@ -135,6 +137,12 @@ func run(w io.Writer, exp string, cfg experiments.Config, shardCfg shardbench.Co
 		_, err := planbench.Run(w, planCfg)
 		return err
 	}
+	// The signing-family screening matrix builds six indexes; name-only,
+	// like the planner bench.
+	if exp == "screen" {
+		_, err := experiments.Screen(w, cfg)
+		return err
+	}
 	type job struct {
 		name string
 		fn   func(io.Writer) error
@@ -165,7 +173,7 @@ func run(w io.Writer, exp string, cfg experiments.Config, shardCfg shardbench.Co
 		for i, j := range jobs {
 			names[i] = j.name
 		}
-		return fmt.Errorf("unknown experiment %q (have: %s, shards, plan, all)", exp, strings.Join(names, ", "))
+		return fmt.Errorf("unknown experiment %q (have: %s, shards, plan, screen, all)", exp, strings.Join(names, ", "))
 	}
 	for i, j := range jobs {
 		if i > 0 {

@@ -49,6 +49,8 @@ func main() {
 		k        = flag.Int("k", 100, "min-hash signature length")
 		seed     = flag.Int64("seed", 1, "build seed")
 		shards   = flag.Int("shards", 1, "independent index shards (1 = classic monolithic layout)")
+		signFam  = flag.String("sign-family", "", "signing family for stored signatures: classic (default) or superminhash; exact answers are identical either way")
+		signBits = flag.Int("sign-bits", 0, "bits stored per hash value (1, 2, 4, 8, or 64; 0 = full 64-bit words); lower values pack signatures b-bit style")
 
 		walDir       = flag.String("wal", "", "durability directory (write-ahead log + checkpoints)")
 		walSync      = flag.String("wal-sync", "always", "log sync policy: always, interval, never")
@@ -68,7 +70,8 @@ func main() {
 		log.Fatal("ssrserver: -wal and -snapshot are mutually exclusive (the durability directory has its own checkpoints)")
 	}
 
-	ix, err := openIndex(*data, *snapshot, *walDir, *walSync, *walSyncEvery, *walCkptBytes, *walPrealloc, *budget, *recall, *k, *seed, *shards)
+	signing := ssr.SigningOptions{Family: *signFam, BitsPerHash: *signBits}
+	ix, err := openIndex(*data, *snapshot, *walDir, *walSync, *walSyncEvery, *walCkptBytes, *walPrealloc, *budget, *recall, *k, *seed, *shards, signing)
 	if err != nil {
 		log.Fatalf("ssrserver: %v", err)
 	}
@@ -113,9 +116,9 @@ func main() {
 
 // openIndex resolves the three serving modes: durable (-wal), snapshot
 // (-snapshot), or ephemeral build (-data).
-func openIndex(data, snapshot, walDir, walSync string, walSyncEvery time.Duration, walCkptBytes, walPrealloc int64, budget int, recall float64, k int, seed int64, shards int) (*ssr.Index, error) {
+func openIndex(data, snapshot, walDir, walSync string, walSyncEvery time.Duration, walCkptBytes, walPrealloc int64, budget int, recall float64, k int, seed int64, shards int, signing ssr.SigningOptions) (*ssr.Index, error) {
 	if walDir == "" {
-		return buildOrLoad(data, snapshot, budget, recall, k, seed, shards)
+		return buildOrLoad(data, snapshot, budget, recall, k, seed, shards, signing)
 	}
 	mode, err := ssr.ParseSyncMode(walSync)
 	if err != nil {
@@ -150,6 +153,7 @@ func openIndex(data, snapshot, walDir, walSync string, walSyncEvery time.Duratio
 	start := time.Now()
 	ix, err := ssr.CreateDurable(walDir, coll, ssr.Options{
 		Budget: budget, RecallTarget: recall, MinHashes: k, Seed: seed, Shards: shards,
+		Signing: signing,
 	}, dopt)
 	if err != nil {
 		return nil, err
@@ -158,7 +162,7 @@ func openIndex(data, snapshot, walDir, walSync string, walSyncEvery time.Duratio
 	return ix, nil
 }
 
-func buildOrLoad(data, snapshot string, budget int, recall float64, k int, seed int64, shards int) (*ssr.Index, error) {
+func buildOrLoad(data, snapshot string, budget int, recall float64, k int, seed int64, shards int, signing ssr.SigningOptions) (*ssr.Index, error) {
 	switch {
 	case snapshot != "":
 		f, err := os.Open(snapshot)
@@ -175,6 +179,7 @@ func buildOrLoad(data, snapshot string, budget int, recall float64, k int, seed 
 		start := time.Now()
 		ix, err := ssr.Build(coll, ssr.Options{
 			Budget: budget, RecallTarget: recall, MinHashes: k, Seed: seed, Shards: shards,
+			Signing: signing,
 		})
 		if err != nil {
 			return nil, err

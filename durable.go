@@ -441,7 +441,18 @@ func openDurableSharded(dir string, man durableManifest, opt DurableOptions) (*I
 			planCopy := winPlan
 			sopt.PlanOverride = &planCopy
 			sopt.Distribution = winHist
-			sopt.PrecomputedSignatures = csigs
+			if cores[si].SigningConfig().IsClassic64() {
+				sopt.PrecomputedSignatures = csigs
+			} else {
+				// Captured signatures are the stored packed words; feed
+				// them back through the packed channel so the rebuild
+				// neither re-signs nor misreads them as full classic ones.
+				packed := make([][]uint64, len(csigs))
+				for i, s := range csigs {
+					packed[i] = s
+				}
+				sopt.PackedSignatures = packed
+			}
 			sopt.Tombstones = ctombs
 			rebuilt, err := core.Build(csets, sopt)
 			if err != nil {

@@ -14,6 +14,7 @@ import (
 	"repro/internal/btree"
 	"repro/internal/embed"
 	"repro/internal/filter"
+	"repro/internal/lsh"
 	"repro/internal/minhash"
 	"repro/internal/optimize"
 	"repro/internal/set"
@@ -26,6 +27,13 @@ type Options struct {
 	// Embed configures the S → V → H pipeline. Zero value selects
 	// embed.DefaultOptions (k=100, b=8).
 	Embed embed.Options
+	// Signing selects the signing family for STORED signatures and every
+	// similarity estimate (screening, screen-only answers, the tuner's
+	// sketch). The zero value is classic k-min at 64 bits/hash — the
+	// historical layout. Candidate generation (Hamming embedding, filter
+	// keys) always runs on classic full-width signatures regardless, so
+	// exact answers are byte-identical across families.
+	Signing minhash.Config
 	// Plan configures the Section 5 optimizer. Budget is required.
 	Plan optimize.Options
 	// PageSize is the simulated disk page size (0 = storage default).
@@ -50,18 +58,30 @@ type Options struct {
 	// the optimizer; the distribution is then neither estimated nor
 	// consulted. Used by snapshot loading to reproduce an index exactly.
 	PlanOverride *optimize.Plan
-	// PrecomputedSignatures, if non-nil, must hold one signature per set
-	// computed under exactly the Embed options given; min-hash signing
-	// (the dominant build cost) is then skipped. Used by snapshot loading.
+	// PrecomputedSignatures, if non-nil, must hold one FULL classic
+	// signature per set computed under exactly the Embed options given;
+	// min-hash signing (the dominant build cost) is then skipped. Used by
+	// snapshot loading and the engine's sign-once partitioned build.
 	// Positions marked in Tombstones must hold nil signatures.
 	PrecomputedSignatures []minhash.Signature
+	// PackedSignatures, if non-nil, must hold one PACKED signature per set
+	// under the configured Signing family (fam.Words() words each, nil at
+	// tombstoned positions) and is installed as the stored representation
+	// directly. Requires PlanOverride (the packed estimates must not feed
+	// D_S). Snapshot loading and retune use it for non-classic-64 families,
+	// whose captured signatures are packed.
+	PackedSignatures [][]uint64
+	// UnionSizeHint is the approximate average union cardinality of
+	// compared pairs, used by families whose confidence width depends on it
+	// (SuperMinHash). 0 derives 2× the mean live set size at build time.
+	UnionSizeHint int
 	// Tombstones, if non-nil, marks positions of sets[i] whose sid was
 	// allocated and later deleted: the placeholder is appended to the store
 	// and immediately tombstoned, keeping every later sid at its original
 	// value, but it enters no filter index and the B+tree skips it. This is
 	// what lets the durability layer replay logged operations that name
 	// original sids against a reloaded snapshot. Requires PlanOverride and
-	// PrecomputedSignatures.
+	// precomputed (full or packed) signatures.
 	Tombstones []bool
 	// DisableBTree skips the B+tree and resolves sids from the in-memory
 	// directory (candidate page I/O is still charged identically).
@@ -131,8 +151,21 @@ type Index struct {
 	store *storage.SetStore
 	tree  *btree.Tree
 	hist  *simdist.Histogram
-	sigs  []minhash.Signature
-	n     int
+	// sigs holds the STORED signatures in the signing family's packed
+	// layout (for the default classic-64 family the packed layout is the
+	// historical full Signature, bit for bit). All similarity estimates go
+	// through fam; filter keys always come from classic full signatures.
+	sigs []minhash.Signature
+	n    int
+	// fam is the signing family; classic64 short-circuits the packing
+	// paths, recoverable says whether embedding bits can be re-derived from
+	// stored words, famEps is the family's 95% half-width at unionHint.
+	// All immutable after Build.
+	fam         minhash.Family
+	classic64   bool
+	recoverable bool
+	famEps      float64
+	unionHint   int
 	// fis lists the filter indices in plan order; sfiOrd/dfiOrd map a
 	// partition point to its ordinal in fis. Plan order is identical across
 	// shards built from the same plan, which is what lets the engine derive
@@ -204,13 +237,21 @@ func Build(sets []set.Set, opt Options) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	scfg, err := opt.Signing.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	fam, err := scfg.New(emb.Perms(), emb.K(), eopt.Seed)
+	if err != nil {
+		return nil, err
+	}
 
 	if opt.Tombstones != nil {
 		if len(opt.Tombstones) != len(sets) {
 			return nil, fmt.Errorf("core: %d tombstone marks for %d sets", len(opt.Tombstones), len(sets))
 		}
-		if opt.PlanOverride == nil || opt.PrecomputedSignatures == nil {
-			return nil, fmt.Errorf("core: Tombstones requires PlanOverride and PrecomputedSignatures")
+		if opt.PlanOverride == nil || (opt.PrecomputedSignatures == nil && opt.PackedSignatures == nil) {
+			return nil, fmt.Errorf("core: Tombstones requires PlanOverride and precomputed signatures")
 		}
 	}
 	tombstoned := func(i int) bool { return opt.Tombstones != nil && opt.Tombstones[i] }
@@ -221,22 +262,70 @@ func Build(sets []set.Set, opt Options) (*Index, error) {
 		}
 	}
 
+	// Validate supplied signatures up front, before any build side effect
+	// (store appends, signing): a wrong-length signature must fail the
+	// build cleanly rather than panic deep inside the pipeline.
+	if opt.PrecomputedSignatures != nil {
+		if len(opt.PrecomputedSignatures) != len(sets) {
+			return nil, fmt.Errorf("core: %d precomputed signatures for %d sets", len(opt.PrecomputedSignatures), len(sets))
+		}
+		for i, sig := range opt.PrecomputedSignatures {
+			if tombstoned(i) {
+				if sig != nil {
+					return nil, fmt.Errorf("core: tombstoned position %d carries a signature", i)
+				}
+				continue
+			}
+			if len(sig) != emb.K() {
+				return nil, fmt.Errorf("core: signature %d has %d coordinates, embedding has k=%d", i, len(sig), emb.K())
+			}
+		}
+	}
+	if opt.PackedSignatures != nil {
+		if opt.PlanOverride == nil {
+			return nil, fmt.Errorf("core: PackedSignatures requires PlanOverride")
+		}
+		if len(opt.PackedSignatures) != len(sets) {
+			return nil, fmt.Errorf("core: %d packed signatures for %d sets", len(opt.PackedSignatures), len(sets))
+		}
+		for i, w := range opt.PackedSignatures {
+			if tombstoned(i) {
+				if w != nil {
+					return nil, fmt.Errorf("core: tombstoned position %d carries a packed signature", i)
+				}
+				continue
+			}
+			if len(w) != fam.Words() {
+				return nil, fmt.Errorf("core: packed signature %d has %d words, family %s/b=%d wants %d",
+					i, len(w), fam.Name(), fam.BitsPerHash(), fam.Words())
+			}
+		}
+	}
+
 	resolved := opt
 	resolved.Embed = eopt
-	resolved.Tombstones = nil // transient load instruction, not a build parameter
+	resolved.Signing = scfg
+	resolved.Tombstones = nil       // transient load instruction, not a build parameter
+	resolved.PackedSignatures = nil // likewise
 	workers := resolveWorkers(opt.Workers)
 	ix := &Index{
-		buildOpts: resolved,
-		emb:       emb,
-		sfis:      make(map[float64]*filter.Index),
-		dfis:      make(map[float64]*filter.Index),
-		sfiOrd:    make(map[float64]int),
-		dfiOrd:    make(map[float64]int),
-		store:     storage.NewSetStoreWithPayload(opt.PageSize, opt.PayloadPerElem),
-		n:         live,
-		dataPager: storage.NewPager(opt.PageSize),
+		buildOpts:   resolved,
+		emb:         emb,
+		fam:         fam,
+		classic64:   scfg.IsClassic64(),
+		recoverable: fam.Recoverable(emb.EmbedBits()),
+		sfis:        make(map[float64]*filter.Index),
+		dfis:        make(map[float64]*filter.Index),
+		sfiOrd:      make(map[float64]int),
+		dfiOrd:      make(map[float64]int),
+		store:       storage.NewSetStoreWithPayload(opt.PageSize, opt.PayloadPerElem),
+		n:           live,
+		dataPager:   storage.NewPager(opt.PageSize),
 	}
-	ix.scratch.New = func() any { return &queryScratch{sig: make(minhash.Signature, emb.K())} }
+	famWords := fam.Words()
+	ix.scratch.New = func() any {
+		return &queryScratch{sig: make(minhash.Signature, emb.K()), packed: make([]uint64, famWords)}
+	}
 
 	// 1. Persist the collection; sids are dense append order. Tombstoned
 	// positions keep their sid allocated but are deleted on the spot and
@@ -270,31 +359,49 @@ func Build(sets []set.Set, opt Options) (*Index, error) {
 		ix.store.SetLocator(treeLocator{t: ix.tree, countIO: opt.CountLocatorIO})
 	}
 
-	// 2. Min-hash signatures (the V-space vectors).
+	// 2. Min-hash signatures. fullSigs are the classic full-width
+	// signatures that drive the Hamming embedding (filter keys) and D_S;
+	// ix.sigs is the stored family representation. For classic-64 the two
+	// coincide. fullSigs may stay nil on packed-only loads, where filters
+	// are populated from packed words (recoverable families) or by
+	// re-signing classic from the stored sets.
+	var fullSigs []minhash.Signature
 	if opt.PrecomputedSignatures != nil {
-		if len(opt.PrecomputedSignatures) != len(sets) {
-			return nil, fmt.Errorf("core: %d precomputed signatures for %d sets", len(opt.PrecomputedSignatures), len(sets))
-		}
-		for i, sig := range opt.PrecomputedSignatures {
-			if tombstoned(i) {
-				if sig != nil {
-					return nil, fmt.Errorf("core: tombstoned position %d carries a signature", i)
-				}
-				continue
-			}
-			if len(sig) != emb.K() {
-				return nil, fmt.Errorf("core: signature %d has %d coordinates, embedding has k=%d", i, len(sig), emb.K())
+		fullSigs = opt.PrecomputedSignatures
+	}
+	switch {
+	case opt.PackedSignatures != nil:
+		packed := make([]minhash.Signature, len(opt.PackedSignatures))
+		for i, w := range opt.PackedSignatures {
+			if w != nil {
+				packed[i] = minhash.Signature(w)
 			}
 		}
-		ix.sigs = opt.PrecomputedSignatures
-	} else {
-		ix.sigs = signCollection(emb, sets, workers)
+		ix.sigs = packed
+		if ix.classic64 && fullSigs == nil {
+			fullSigs = packed // identical representation at 64 bits/hash
+		}
+	case ix.classic64:
+		if fullSigs == nil {
+			fullSigs = signCollection(emb, sets, workers)
+			nilTombstoned(fullSigs, opt.Tombstones)
+		}
+		ix.sigs = fullSigs
+	default:
+		if fullSigs == nil {
+			fullSigs = signCollection(emb, sets, workers)
+			nilTombstoned(fullSigs, opt.Tombstones)
+		}
+		ix.sigs = packCollection(fam, fullSigs, sets, workers)
 	}
 
-	// 3. Similarity distribution D_S (skipped under a plan override).
+	// 3. Similarity distribution D_S (skipped under a plan override; the
+	// packed-only input shape always carries one). Estimation always runs
+	// on the classic full signatures, so D_S — and the plan derived from
+	// it — is identical across signing families.
 	ix.hist = opt.Distribution
 	if ix.hist == nil && opt.PlanOverride == nil {
-		h, err := EstimateDistribution(sets, ix.sigs, opt)
+		h, err := EstimateDistribution(sets, fullSigs, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -346,7 +453,19 @@ func Build(sets []set.Set, opt Options) (*Index, error) {
 		}
 	}
 	ix.fis = fidxs
-	populateFilters(emb, ix.sigs, fidxs, workers)
+	switch {
+	case fullSigs != nil:
+		populateFilters(emb, fullSigs, fidxs, workers)
+	case ix.recoverable:
+		populateFiltersPacked(emb, fam, ix.sigs, fidxs, workers)
+	default:
+		// Packed-only load of a family that cannot reproduce the embedding
+		// bits: re-sign classic from the stored sets for key derivation
+		// only (deterministic, so keys match the original build exactly).
+		full := signCollection(emb, sets, workers)
+		nilTombstoned(full, opt.Tombstones)
+		populateFilters(emb, full, fidxs, workers)
+	}
 
 	// 6. Pruning summary: occupancy refcounts straight from the populated
 	// buckets (O(entries), no re-hashing) plus the live-size histogram.
@@ -364,7 +483,38 @@ func Build(sets []set.Set, opt Options) (*Index, error) {
 		}
 		ix.sidSizeBucket[i] = ix.sum.addSize(s.Len())
 	}
+
+	// 7. Family confidence half-width. The union hint (≈ average pair
+	// union) defaults to 2× the mean live set size; it is recorded in
+	// buildOpts so snapshots and retune rebuilds reproduce the same width.
+	hint := opt.UnionSizeHint
+	if hint <= 0 && live > 0 {
+		total := 0
+		for i, s := range sets {
+			if !tombstoned(i) {
+				total += s.Len()
+			}
+		}
+		hint = 2 * total / live
+	}
+	ix.unionHint = hint
+	ix.famEps = fam.Eps95(hint)
+	ix.buildOpts.UnionSizeHint = hint
 	return ix, nil
+}
+
+// nilTombstoned clears signatures at tombstoned positions after a fresh
+// signing pass (a tombstoned placeholder signs like an empty set, but must
+// enter no filter index and screen against nothing).
+func nilTombstoned(sigs []minhash.Signature, tombstones []bool) {
+	if tombstones == nil {
+		return
+	}
+	for i, dead := range tombstones {
+		if dead {
+			sigs[i] = nil
+		}
+	}
 }
 
 // EstimateDistribution reproduces Build's similarity-distribution step as
@@ -397,6 +547,36 @@ func EstimateDistribution(sets []set.Set, sigs []minhash.Signature, opt Options)
 		sample = 1
 	}
 	return simdist.SampleSignaturePairsN(sigs, sample, opt.DistBins, opt.DistSeed+7, resolveWorkers(opt.Workers))
+}
+
+// EstimateDistributionFamily is EstimateDistribution with pair
+// similarities estimated through a signing family from PACKED signatures —
+// the retune path of non-classic families, whose captured signatures are
+// packed. The pair sample sequence is identical to EstimateDistribution's
+// (same seed arithmetic), only the per-pair estimator differs.
+func EstimateDistributionFamily(sets []set.Set, sigs []minhash.Signature, fam minhash.Family, opt Options) (*simdist.Histogram, error) {
+	if opt.Distribution != nil {
+		return opt.Distribution, nil
+	}
+	if opt.DistSample < 0 {
+		return simdist.ExactPairs(sets, opt.DistBins), nil
+	}
+	sample := opt.DistSample
+	if sample == 0 {
+		sample = 100 * len(sets)
+		if sample > 200000 {
+			sample = 200000
+		}
+	}
+	maxPairs := len(sets) * (len(sets) - 1) / 2
+	if sample > maxPairs {
+		sample = maxPairs
+	}
+	if sample < 1 {
+		sample = 1
+	}
+	est := func(a, b minhash.Signature) (float64, error) { return fam.Estimate(a, b) }
+	return simdist.SampleSignaturePairsEst(sigs, sample, opt.DistBins, opt.DistSeed+7, resolveWorkers(opt.Workers), est)
 }
 
 // SignCollection computes every set's min-hash signature exactly as Build
@@ -453,8 +633,10 @@ func (ix *Index) SetsBySID() ([]*set.Set, error) {
 
 // CaptureRebuild returns everything a from-scratch Build needs to
 // reproduce this index's exact sid space at a consistent point in time:
-// the sets and signatures indexed by sid, and the tombstone marks for
-// deleted sids. The captured signatures alias the index's (signatures are
+// the sets and STORED signatures indexed by sid (full classic under the
+// default family, the family's packed words otherwise — feed them back as
+// PrecomputedSignatures or PackedSignatures accordingly), and the
+// tombstone marks for deleted sids. The captured signatures alias the index's (signatures are
 // immutable once assigned), and sets alias the store's append-only heap —
 // both stay valid as the live index keeps mutating, because neither is
 // ever rewritten in place. The re-tuner captures each shard under its
@@ -482,10 +664,12 @@ func (ix *Index) CaptureRebuild() (sets []set.Set, sigs []minhash.Signature, tom
 	return sets, sigs, tombstones, nil
 }
 
-// Signature returns sid's stored min-hash signature (nil for tombstoned
+// Signature returns sid's STORED signature — full classic under the
+// default family, the family's packed words otherwise (nil for tombstoned
 // sids). Signatures are immutable once assigned, so the returned slice
 // stays valid without the lock. The engine feeds it to the drift tracker
-// right after an insert, avoiding a second signing pass.
+// right after an insert, avoiding a second signing pass; the tracker's
+// estimator must therefore be the family's.
 func (ix *Index) Signature(sid storage.SID) minhash.Signature {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
@@ -751,7 +935,11 @@ func (ix *Index) presignedLocked(q set.Set, sig minhash.Signature, s1, s2 float6
 	if err != nil {
 		return nil, stats, err
 	}
-	matches, err := ix.verifyCandidates(q, sig, cands, s1, s2, opt, &stats)
+	var qp []uint64
+	if opt.Screen {
+		qp = ix.packQuery(q, sig, sc.packed)
+	}
+	matches, err := ix.verifyCandidates(q, qp, cands, s1, s2, opt, &stats)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -801,7 +989,15 @@ func (ix *Index) Insert(s set.Set) (storage.SID, error) {
 		}
 	}
 	sig := ix.emb.Sign(s)
-	ix.sigs = append(ix.sigs, sig)
+	stored := sig
+	if !ix.classic64 {
+		w := make([]uint64, ix.fam.Words())
+		if !ix.fam.PackFull(sig, w) {
+			ix.fam.Sign(s, w)
+		}
+		stored = minhash.Signature(w)
+	}
+	ix.sigs = append(ix.sigs, stored)
 	src := ix.emb.Bits(sig)
 	// Derive each FI's table keys once, feeding both the table and the
 	// pruning summary (plan order, so summary slots agree across shards).
@@ -828,10 +1024,25 @@ func (ix *Index) Delete(sid storage.SID) error {
 	if ix.sigs[sid] == nil {
 		return fmt.Errorf("core: sid %d already deleted", sid)
 	}
+	// Key derivation needs the classic embedding bits. Families that can't
+	// reproduce them from stored words re-sign from the set, which must be
+	// fetched before the record is tombstoned.
+	var src lsh.BitSource
+	switch {
+	case ix.classic64:
+		src = ix.emb.Bits(ix.sigs[sid])
+	case ix.recoverable:
+		src = &embed.PackedSigBits{E: ix.emb, Fam: ix.fam, Words: ix.sigs[sid]}
+	default:
+		s, err := ix.store.Fetch(sid, nil)
+		if err != nil {
+			return err
+		}
+		src = ix.emb.Bits(ix.emb.Sign(s))
+	}
 	if err := ix.store.Delete(sid); err != nil {
 		return err
 	}
-	src := ix.emb.Bits(ix.sigs[sid])
 	// Same keys Insert stored (same signature, same sampled positions), so
 	// the summary refcounts return exactly to their pre-insert values.
 	for ord, f := range ix.fis {
@@ -867,19 +1078,54 @@ func (ix *Index) FilterIndexes() []optimize.FI {
 	return out
 }
 
-// EstimateSimilarity returns the min-hash estimate of sim(q, sid) without
-// touching storage, together with the 95%-confidence Chernoff half-width
-// for the index's signature length.
+// EstimateSimilarity returns the signing family's estimate of sim(q, sid)
+// without touching storage, together with the family's 95%-confidence
+// half-width (the classic Chernoff width under the default family).
 func (ix *Index) EstimateSimilarity(q set.Set, sid storage.SID) (est float64, epsAt95 float64, err error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	if int(sid) >= len(ix.sigs) {
 		return 0, 0, fmt.Errorf("core: sid %d out of range", sid)
 	}
+	if ix.sigs[sid] == nil {
+		return 0, 0, fmt.Errorf("core: sid %d deleted", sid)
+	}
 	qs := ix.emb.Sign(q)
-	est, err = minhash.Estimate(qs, ix.sigs[sid])
+	qp := ix.packQuery(q, qs, make([]uint64, ix.fam.Words()))
+	est, err = ix.fam.Estimate(qp, ix.sigs[sid])
 	if err != nil {
 		return 0, 0, err
 	}
-	return est, chernoffEps95(ix.emb.K()), nil
+	return est, ix.famEps, nil
 }
+
+// packQuery derives the query's stored-family representation from its full
+// classic signature, writing into dst (length fam.Words()) for families
+// that pack, or signing from the set for families on a different hash
+// stream. For classic-64 it returns the full signature itself.
+func (ix *Index) packQuery(q set.Set, full minhash.Signature, dst []uint64) []uint64 {
+	if ix.classic64 {
+		return full
+	}
+	if !ix.fam.PackFull(full, dst) {
+		ix.fam.Sign(q, dst)
+	}
+	return dst
+}
+
+// SigningFamily returns the index's signing family (immutable after Build).
+func (ix *Index) SigningFamily() minhash.Family { return ix.fam }
+
+// SigningConfig returns the resolved signing selection.
+func (ix *Index) SigningConfig() minhash.Config { return ix.buildOpts.Signing }
+
+// Eps95 is the signing family's two-sided 95%-confidence half-width — the
+// default screening margin and the planner's screen-only answer width.
+func (ix *Index) Eps95() float64 { return ix.famEps }
+
+// SignatureBytesPerSet is the stored signature footprint per live set.
+func (ix *Index) SignatureBytesPerSet() int { return ix.fam.SignatureBytes() }
+
+// UnionSizeHint returns the resolved average-union hint the family width
+// was computed at (0 when the collection was empty at build).
+func (ix *Index) UnionSizeHint() int { return ix.unionHint }

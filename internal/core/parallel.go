@@ -41,18 +41,19 @@ const defaultMinParallelVerify = 48
 // verification workers above the default candidate threshold).
 type QueryOptions struct {
 	// Screen enables signature screening: before paying a random-access
-	// fetch, a candidate's similarity is estimated from the stored min-hash
-	// signatures (the Section 3.1 agreement estimator, k coordinate
-	// compares, no I/O) and the fetch is skipped when the estimate falls
-	// outside [s1−ε, s2+ε]. Skipped candidates are counted in
+	// fetch, a candidate's similarity is estimated through the index's
+	// signing family from the stored packed signatures (a word-parallel
+	// popcount loop, no I/O) and the fetch is skipped when the estimate
+	// falls outside [s1−ε, s2+ε]. Skipped candidates are counted in
 	// QueryStats.Screened. Screening trades a small recall loss (true
 	// matches whose estimate errs by more than ε) for one random page read
 	// per screened candidate; all returned matches remain exact.
 	Screen bool
-	// ScreenMargin is ε on the Jaccard scale. 0 selects the 95%-confidence
-	// Chernoff half-width for the index's signature length (the same bound
-	// EstimateSimilarity reports), which keeps the extra false-negative
-	// rate under 5% per candidate.
+	// ScreenMargin is ε on the Jaccard scale. 0 selects the signing
+	// family's 95%-confidence half-width (the same bound
+	// EstimateSimilarity reports — the classic Chernoff width under the
+	// default family), which keeps the extra false-negative rate under 5%
+	// per candidate.
 	ScreenMargin float64
 	// Workers bounds query parallelism: the batch fan-out pool of
 	// QueryBatch and per-query candidate verification. 0 selects
@@ -210,21 +211,80 @@ func populateFilters(emb *embed.Embedder, sigs []minhash.Signature, fis []*filte
 	wg.Wait()
 }
 
+// packCollection derives the stored (packed) signatures of a non-classic-64
+// family from the full classic signatures, falling back to signing from the
+// set for families on a different hash stream (SuperMinHash). Writes are
+// index-addressed, so the result is bit-identical for every worker count.
+func packCollection(fam minhash.Family, full []minhash.Signature, sets []set.Set, workers int) []minhash.Signature {
+	out := make([]minhash.Signature, len(full))
+	words := fam.Words()
+	parallelFor(len(full), workers, signChunk, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if full[i] == nil {
+				continue
+			}
+			dst := make([]uint64, words)
+			if !fam.PackFull(full[i], dst) {
+				fam.Sign(sets[i], dst)
+			}
+			out[i] = minhash.Signature(dst)
+		}
+	})
+	return out
+}
+
+// populateFiltersPacked is populateFilters over PACKED signatures whose
+// family can reproduce the embedding bits from storage (Recoverable) — the
+// packed-signature load path that avoids re-signing the collection.
+func populateFiltersPacked(emb *embed.Embedder, fam minhash.Family, sigs []minhash.Signature, fis []*filter.Index, workers int) {
+	populate := func(f *filter.Index) {
+		src := &embed.PackedSigBits{E: emb, Fam: fam}
+		for sid, sig := range sigs {
+			if sig == nil {
+				continue
+			}
+			src.Words = sig
+			f.Insert(src, storage.SID(sid))
+		}
+	}
+	if workers <= 1 || len(fis) <= 1 {
+		for _, f := range fis {
+			populate(f)
+		}
+		return
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for _, f := range fis {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(f *filter.Index) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			populate(f)
+		}(f)
+	}
+	wg.Wait()
+}
+
 // queryScratch holds the reusable per-query buffers pooled on the index:
-// the query signature and the probe/merge sid vectors of the Section 4.3
-// filter combination. Steady-state queries allocate only their results.
+// the full query signature, its packed family representation (screening),
+// and the probe/merge sid vectors of the Section 4.3 filter combination.
+// Steady-state queries allocate only their results.
 type queryScratch struct {
-	sig  minhash.Signature
-	bufs [7][]storage.SID
+	sig    minhash.Signature
+	packed []uint64
+	bufs   [7][]storage.SID
 }
 
 // verifyChunk runs the fetch-and-verify loop (with optional signature
 // screening) over one candidate slice, appending matches to dst and
-// charging fetches to io.
-func (ix *Index) verifyChunk(q set.Set, qsig minhash.Signature, cands []storage.SID, s1, s2 float64, screen bool, screenLo, screenHi float64, dst []Match, io *storage.Counter, screened *int) ([]Match, error) {
+// charging fetches to io. qp is the query's packed family signature (nil
+// unless screening).
+func (ix *Index) verifyChunk(q set.Set, qp []uint64, cands []storage.SID, s1, s2 float64, screen bool, screenLo, screenHi float64, dst []Match, io *storage.Counter, screened *int) ([]Match, error) {
 	for _, sid := range cands {
 		if screen {
-			est, err := minhash.Estimate(qsig, ix.sigs[sid])
+			est, err := ix.fam.Estimate(qp, ix.sigs[sid])
 			if err != nil {
 				return dst, fmt.Errorf("core: screening candidate %d: %w", sid, err)
 			}
@@ -249,12 +309,12 @@ func (ix *Index) verifyChunk(q set.Set, qsig minhash.Signature, cands []storage.
 // above the candidate-count threshold. Per-worker I/O counters and screened
 // counts are merged into stats with atomics after the workers join, so the
 // totals equal the serial accounting exactly.
-func (ix *Index) verifyCandidates(q set.Set, qsig minhash.Signature, cands []storage.SID, s1, s2 float64, opt QueryOptions, stats *QueryStats) ([]Match, error) {
+func (ix *Index) verifyCandidates(q set.Set, qp []uint64, cands []storage.SID, s1, s2 float64, opt QueryOptions, stats *QueryStats) ([]Match, error) {
 	var screenLo, screenHi float64
 	if opt.Screen {
 		eps := opt.ScreenMargin
 		if eps <= 0 {
-			eps = chernoffEps95(ix.emb.K())
+			eps = ix.famEps
 		}
 		screenLo, screenHi = s1-eps, s2+eps
 	}
@@ -266,7 +326,7 @@ func (ix *Index) verifyCandidates(q set.Set, qsig minhash.Signature, cands []sto
 	if workers <= 1 || len(cands) < minPar {
 		matches := make([]Match, 0, len(cands)/4+1)
 		var screened int
-		matches, err := ix.verifyChunk(q, qsig, cands, s1, s2, opt.Screen, screenLo, screenHi, matches, &stats.FetchIO, &screened)
+		matches, err := ix.verifyChunk(q, qp, cands, s1, s2, opt.Screen, screenLo, screenHi, matches, &stats.FetchIO, &screened)
 		stats.Screened += screened
 		return matches, err
 	}
@@ -289,7 +349,7 @@ func (ix *Index) verifyCandidates(q set.Set, qsig minhash.Signature, cands []sto
 			defer wg.Done()
 			var io storage.Counter
 			var screened int
-			m, err := ix.verifyChunk(q, qsig, cands[lo:hi], s1, s2, opt.Screen, screenLo, screenHi, nil, &io, &screened)
+			m, err := ix.verifyChunk(q, qp, cands[lo:hi], s1, s2, opt.Screen, screenLo, screenHi, nil, &io, &screened)
 			chunkMatches[w], chunkErrs[w] = m, err
 			fetchSeq.Add(io.Seq())
 			fetchRand.Add(io.Rand())

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/embed"
+	"repro/internal/lsh"
 	"repro/internal/minhash"
 	"repro/internal/set"
 	"repro/internal/simdist"
@@ -30,8 +31,9 @@ import (
 )
 
 // ChernoffEps95 returns the 95%-confidence half-width of the k-coordinate
-// min-hash agreement estimator (the screening default margin). Exported
-// for the planner's screen-only width gate.
+// min-hash agreement estimator (the classic family's screening margin).
+// Family-aware callers should prefer Index.Eps95, which accounts for the
+// packed-width debiasing and SuperMinHash's variance reduction.
 func ChernoffEps95(k int) float64 { return chernoffEps95(k) }
 
 // scanProbe is the precomputed candidacy test of one Section 4.3 range:
@@ -93,10 +95,10 @@ func (ix *Index) buildScanProbe(sig minhash.Signature, s1, s2 float64, stats *Qu
 // recomputes the stored entry's insert keys for ord and compares them
 // table-by-table against the query's probe keys — exactly the collision
 // test the hash tables perform, without touching bucket pages.
-func (p *scanProbe) candidate(ix *Index, sb *embed.SigBits, keyBuf *[]uint64) bool {
+func (p *scanProbe) candidate(ix *Index, src lsh.BitSource, keyBuf *[]uint64) bool {
 	member := func(ord int) bool {
 		qkeys := p.keys[ord]
-		*keyBuf = ix.fis[ord].AppendInsertKeys(sb, (*keyBuf)[:0])
+		*keyBuf = ix.fis[ord].AppendInsertKeys(src, (*keyBuf)[:0])
 		for t, k := range *keyBuf {
 			if k == qkeys[t] {
 				return true
@@ -136,26 +138,49 @@ func (ix *Index) ScanPresigned(q set.Set, sig minhash.Signature, s1, s2 float64,
 	}
 
 	var screenLo, screenHi float64
+	var qp []uint64
 	if opt.Screen {
 		eps := opt.ScreenMargin
 		if eps <= 0 {
-			eps = chernoffEps95(ix.emb.K())
+			eps = ix.famEps
 		}
 		screenLo, screenHi = s1-eps, s2+eps
+		qp = ix.packQuery(q, sig, sc.packed)
 	}
 
+	// Candidacy recomputes each stored entry's insert keys, which need the
+	// classic embedding bits: read them from stored words when the family
+	// can reproduce them, otherwise re-sign classic from the scanned set
+	// (the scan already has the set in hand, so this costs CPU only).
 	var matches []Match
 	var scanErr error
 	sb := embed.SigBits{E: ix.emb}
+	pb := embed.PackedSigBits{E: ix.emb, Fam: ix.fam}
+	var resigned minhash.Signature
+	if !ix.classic64 && !ix.recoverable {
+		resigned = make(minhash.Signature, ix.emb.K())
+	}
 	var keyBuf []uint64
 	err = ix.store.Scan(&stats.FetchIO, func(sid storage.SID, s set.Set) bool {
-		sb.Sig = ix.sigs[sid]
-		if !probe.candidate(ix, &sb, &keyBuf) {
+		var src lsh.BitSource
+		switch {
+		case ix.classic64:
+			sb.Sig = ix.sigs[sid]
+			src = &sb
+		case ix.recoverable:
+			pb.Words = ix.sigs[sid]
+			src = &pb
+		default:
+			ix.emb.SignInto(s, resigned)
+			sb.Sig = resigned
+			src = &sb
+		}
+		if !probe.candidate(ix, src, &keyBuf) {
 			return true
 		}
 		stats.Candidates++
 		if opt.Screen {
-			est, err := minhash.Estimate(sig, ix.sigs[sid])
+			est, err := ix.fam.Estimate(qp, ix.sigs[sid])
 			if err != nil {
 				scanErr = fmt.Errorf("core: screening candidate %d: %w", sid, err)
 				return false
@@ -209,9 +234,10 @@ func (ix *Index) ScreenPresigned(q set.Set, sig minhash.Signature, s1, s2 float6
 	if err != nil {
 		return nil, stats, err
 	}
+	qp := ix.packQuery(q, sig, sc.packed)
 	matches := make([]Match, 0, len(cands)/4+1)
 	for _, sid := range cands {
-		est, err := minhash.Estimate(sig, ix.sigs[sid])
+		est, err := ix.fam.Estimate(qp, ix.sigs[sid])
 		if err != nil {
 			return nil, stats, fmt.Errorf("core: screening candidate %d: %w", sid, err)
 		}

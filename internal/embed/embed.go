@@ -42,7 +42,7 @@ func DefaultOptions() Options {
 // Embedder carries out the full S → V → H transformation. It is immutable
 // after construction and safe for concurrent use.
 type Embedder struct {
-	family *minhash.Family
+	family *minhash.Perms
 	code   ecc.Code
 	k      int
 	b      int
@@ -82,6 +82,30 @@ func New(opt Options) (*Embedder, error) {
 
 // Dimension returns D = k·m, the Hamming-space dimensionality.
 func (e *Embedder) Dimension() int { return e.d }
+
+// Perms exposes the classic permutation bank, so signing families built
+// on classic k-min hashes (minhash.Config.New) share the exact
+// permutations the embedding pipeline uses.
+func (e *Embedder) Perms() *minhash.Perms { return e.family }
+
+// EmbedBits returns b, the truncation width each signature coordinate is
+// stored at in the Hamming embedding.
+func (e *Embedder) EmbedBits() int { return e.b }
+
+// PackedSigBits is a lazy BitSource over a PACKED classic signature: the
+// embedding bits are re-derived from the packed slots (valid only for
+// families whose Recoverable(EmbedBits) is true).
+type PackedSigBits struct {
+	E     *Embedder
+	Fam   minhash.Family
+	Words []uint64
+}
+
+// Bit returns bit pos of the embedded vector.
+func (s PackedSigBits) Bit(pos int) byte {
+	i, x := pos/s.E.m, pos%s.E.m
+	return s.E.code.Bit(s.Fam.Trunc(s.Words, i, s.E.b), x)
+}
 
 // K returns the signature length.
 func (e *Embedder) K() int { return e.k }

@@ -59,6 +59,9 @@ type BenchReport struct {
 	ScreenedSimIOMicros float64 `json:"screenedSimIOMicros"`
 	// ScreenedFraction is screened candidates / produced candidates.
 	ScreenedFraction float64 `json:"screenedFraction"`
+	// SignatureBytesPerSet is the stored signature footprint per set under
+	// the index's signing family (classic-64 here: k·8 bytes).
+	SignatureBytesPerSet int `json:"signatureBytesPerSet"`
 }
 
 // Bench builds the Set1 collection serially and in parallel, replays the
@@ -161,19 +164,20 @@ func Bench(w io.Writer, cfg Config) (*BenchReport, error) {
 
 	nq := float64(len(qs))
 	rep := &BenchReport{
-		GOMAXPROCS:          runtime.GOMAXPROCS(0),
-		N:                   cfg.N,
-		Budget:              budget,
-		MinHashes:           cfg.MinHashes,
-		Queries:             len(qs),
-		SerialBuildMillis:   float64(serialBuild.Microseconds()) / 1e3,
-		ParallelBuildMillis: float64(parallelBuild.Microseconds()) / 1e3,
-		BuildSetsPerSec:     float64(len(sets)) / parallelBuild.Seconds(),
-		SerialQueryMicros:   float64(serialWall.Microseconds()) / nq,
-		BatchQueryMicros:    float64(batchWall.Microseconds()) / nq,
-		SimIOMicrosPerQuery: float64(simIO.Microseconds()) / nq,
-		ScreenedSimIOMicros: float64(screenedIO.Microseconds()) / nq,
-		MeanPrecision:       precision / nq,
+		GOMAXPROCS:           runtime.GOMAXPROCS(0),
+		N:                    cfg.N,
+		Budget:               budget,
+		MinHashes:            cfg.MinHashes,
+		Queries:              len(qs),
+		SerialBuildMillis:    float64(serialBuild.Microseconds()) / 1e3,
+		ParallelBuildMillis:  float64(parallelBuild.Microseconds()) / 1e3,
+		BuildSetsPerSec:      float64(len(sets)) / parallelBuild.Seconds(),
+		SerialQueryMicros:    float64(serialWall.Microseconds()) / nq,
+		BatchQueryMicros:     float64(batchWall.Microseconds()) / nq,
+		SimIOMicrosPerQuery:  float64(simIO.Microseconds()) / nq,
+		ScreenedSimIOMicros:  float64(screenedIO.Microseconds()) / nq,
+		MeanPrecision:        precision / nq,
+		SignatureBytesPerSet: ix.SignatureBytesPerSet(),
 	}
 	if parallelBuild > 0 {
 		rep.BuildSpeedup = serialBuild.Seconds() / parallelBuild.Seconds()
@@ -195,7 +199,7 @@ func Bench(w io.Writer, cfg Config) (*BenchReport, error) {
 	fmt.Fprintf(w, "  query     serial %8.1fµs   batched  %8.1fµs   speedup %.2fx\n",
 		rep.SerialQueryMicros, rep.BatchQueryMicros, rep.QuerySpeedup)
 	fmt.Fprintf(w, "  quality   recall %.3f   precision %.3f\n", rep.MeanRecall, rep.MeanPrecision)
-	fmt.Fprintf(w, "  sim I/O   plain %8.1fµs/q   screened %8.1fµs/q   (%.1f%% of candidates screened)\n",
-		rep.SimIOMicrosPerQuery, rep.ScreenedSimIOMicros, 100*rep.ScreenedFraction)
+	fmt.Fprintf(w, "  sim I/O   plain %8.1fµs/q   screened %8.1fµs/q   (%.1f%% of candidates screened, %d signature B/set)\n",
+		rep.SimIOMicrosPerQuery, rep.ScreenedSimIOMicros, 100*rep.ScreenedFraction, rep.SignatureBytesPerSet)
 	return rep, nil
 }

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/embed"
+	"repro/internal/minhash"
+	"repro/internal/optimize"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// ScreenRow is one signing-family configuration's measurements.
+type ScreenRow struct {
+	// Family and BitsPerHash identify the configuration.
+	Family      string `json:"family"`
+	BitsPerHash int    `json:"bitsPerHash"`
+	// SignatureBytesPerSet is the stored signature footprint per set.
+	SignatureBytesPerSet int `json:"signatureBytesPerSet"`
+	// Eps95 is the family's 95%-confidence estimator half-width — the
+	// margin screening widens the query range by.
+	Eps95 float64 `json:"eps95"`
+	// ScreenedFraction is screened candidates / produced candidates over
+	// the screened replay of the workload.
+	ScreenedFraction float64 `json:"screenedFraction"`
+	// ScreenedSimIOMicros is the mean per-query simulated I/O of the
+	// screened replay (rtn = 8 cost model).
+	ScreenedSimIOMicros float64 `json:"screenedSimIOMicros"`
+	// ExactChecksum fingerprints the UNSCREENED exact answers (sid +
+	// similarity bits per match, query order). Identical across rows —
+	// candidate generation never depends on the signing family.
+	ExactChecksum uint64 `json:"exactChecksum"`
+}
+
+// ScreenReport is the cross-family screening matrix: {classic,
+// superminhash} × b ∈ {64, 4, 1} over one collection and workload.
+type ScreenReport struct {
+	N         int `json:"n"`
+	Budget    int `json:"budget"`
+	MinHashes int `json:"minHashes"`
+	Queries   int `json:"queries"`
+	// PlainSimIOMicros is the unscreened per-query simulated I/O —
+	// the baseline every row's ScreenedSimIOMicros is saving against.
+	PlainSimIOMicros float64 `json:"plainSimIOMicros"`
+	// IdenticalResults is true iff every row's exact answers carry the
+	// same checksum — the signing-family invariant the CI smoke asserts.
+	IdenticalResults bool        `json:"identicalResults"`
+	Rows             []ScreenRow `json:"rows"`
+}
+
+// screenConfigs is the benchmarked matrix.
+var screenConfigs = []minhash.Config{
+	{Base: "classic", BitsPerHash: 64},
+	{Base: "classic", BitsPerHash: 4},
+	{Base: "classic", BitsPerHash: 1},
+	{Base: "superminhash", BitsPerHash: 64},
+	{Base: "superminhash", BitsPerHash: 4},
+	{Base: "superminhash", BitsPerHash: 1},
+}
+
+// Screen builds one index per signing-family configuration over the same
+// collection and replays the same query workload through each: unscreened
+// for the exact-answer checksum, screened at the family's default margin
+// for the screening measurements.
+func Screen(w io.Writer, cfg Config) (*ScreenReport, error) {
+	cfg = cfg.withDefaults()
+	budget := cfg.Budget
+	if budget <= 0 {
+		budget = 500
+	}
+	sets, err := workload.Generate(workload.Set1Params(cfg.N))
+	if err != nil {
+		return nil, err
+	}
+	qs, err := workload.Queries(len(sets), workload.QueryParams{Count: cfg.Queries, Seed: cfg.Seed + 31})
+	if err != nil {
+		return nil, err
+	}
+	batch := make([]core.BatchQuery, len(qs))
+	for i, q := range qs {
+		batch[i] = core.BatchQuery{Q: sets[q.SID], Lo: q.Lo, Hi: q.Hi}
+	}
+	model := storage.DefaultCostModel()
+	nq := float64(len(qs))
+
+	rep := &ScreenReport{
+		N:                cfg.N,
+		Budget:           budget,
+		MinHashes:        cfg.MinHashes,
+		Queries:          len(qs),
+		IdenticalResults: true,
+	}
+	fmt.Fprintf(w, "Signing-family screening matrix (N=%d, budget %d, k=%d, %d queries)\n",
+		cfg.N, budget, cfg.MinHashes, len(qs))
+	for _, scfg := range screenConfigs {
+		opts := core.Options{
+			Embed:          embed.Options{K: cfg.MinHashes, Bits: 8, Seed: cfg.Seed},
+			Plan:           optimize.Options{Budget: budget, RecallTarget: cfg.RecallTarget},
+			DistSeed:       cfg.Seed,
+			PayloadPerElem: 110,
+			Signing:        scfg,
+		}
+		ix, err := core.Build(sets, opts)
+		if err != nil {
+			return nil, fmt.Errorf("building %s/%d: %w", scfg.Base, scfg.BitsPerHash, err)
+		}
+
+		// Exact replay: the answers must not depend on the family.
+		sum := fnv.New64a()
+		var plainIO time.Duration
+		for i, r := range ix.QueryBatch(batch, core.QueryOptions{}) {
+			if r.Err != nil {
+				return nil, fmt.Errorf("%s/%d query %d: %w", scfg.Base, scfg.BitsPerHash, i, r.Err)
+			}
+			plainIO += r.Stats.SimIOTime(model)
+			var buf [16]byte
+			for _, m := range r.Matches {
+				put64(buf[:8], uint64(m.SID))
+				put64(buf[8:], math.Float64bits(m.Similarity))
+				sum.Write(buf[:]) //ssrvet:ignore droppederr -- hash.Hash Write never errors
+			}
+		}
+		checksum := sum.Sum64()
+
+		// Screened replay at the family's default (Eps95) margin.
+		var screenedIO time.Duration
+		var screened, candidates int
+		for i, r := range ix.QueryBatch(batch, core.QueryOptions{Screen: true}) {
+			if r.Err != nil {
+				return nil, fmt.Errorf("%s/%d screened query %d: %w", scfg.Base, scfg.BitsPerHash, i, r.Err)
+			}
+			screenedIO += r.Stats.SimIOTime(model)
+			screened += r.Stats.Screened
+			candidates += r.Stats.Candidates
+		}
+
+		row := ScreenRow{
+			Family:               scfg.Base,
+			BitsPerHash:          scfg.BitsPerHash,
+			SignatureBytesPerSet: ix.SignatureBytesPerSet(),
+			Eps95:                ix.Eps95(),
+			ScreenedSimIOMicros:  float64(screenedIO.Microseconds()) / nq,
+			ExactChecksum:        checksum,
+		}
+		if candidates > 0 {
+			row.ScreenedFraction = float64(screened) / float64(candidates)
+		}
+		if rep.PlainSimIOMicros == 0 {
+			rep.PlainSimIOMicros = float64(plainIO.Microseconds()) / nq
+		}
+		if len(rep.Rows) > 0 && checksum != rep.Rows[0].ExactChecksum {
+			rep.IdenticalResults = false
+		}
+		rep.Rows = append(rep.Rows, row)
+		fmt.Fprintf(w, "  %-13s b=%-2d  %4d B/set  eps95 %.4f  screened %5.1f%%  sim I/O %8.1fµs/q  checksum %016x\n",
+			row.Family, row.BitsPerHash, row.SignatureBytesPerSet, row.Eps95,
+			100*row.ScreenedFraction, row.ScreenedSimIOMicros, row.ExactChecksum)
+	}
+	fmt.Fprintf(w, "  plain (unscreened) sim I/O %8.1fµs/q   identicalResults=%v\n",
+		rep.PlainSimIOMicros, rep.IdenticalResults)
+	return rep, nil
+}
+
+// put64 writes v big-endian (checksum input only; endianness just has to
+// be fixed).
+func put64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (56 - 8*i))
+	}
+}

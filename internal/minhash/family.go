@@ -1,0 +1,339 @@
+// Signing families: the pluggable signature representation behind the
+// index's stored signatures and every similarity ESTIMATE (screening,
+// screen-only plans, the tuner's drift sketch). Three representations are
+// provided:
+//
+//   - classic k-min at 64 bits/hash — byte-for-byte the historical
+//     Signature layout, the default;
+//   - classic k-min packed to b ∈ {1, 2, 4, 8} bits/hash — the b-bit
+//     minwise scheme of Li & König (arXiv:0910.3349): only the low b bits
+//     of each min-hash are kept, 64/b hashes per machine word, with the
+//     unbiased collision-probability estimator
+//     ŝ = (â − C) / (1 − C),   C = 2^{-b},
+//     where â is the fraction of agreeing b-bit slots; agreement is
+//     counted with a word-parallel XOR + shift-fold + popcount loop;
+//   - SuperMinHash (Ertl, arXiv:1706.05698, superminhash.go) at the same
+//     b choices — a lower-variance drop-in signing family.
+//
+// The Hamming embedding, filter keys, and therefore EXACT candidate
+// generation always run on classic full-width signatures regardless of
+// the configured family; the family governs only how signatures are
+// stored and how similarities are estimated from them. That split is what
+// keeps exact query answers byte-identical across families.
+package minhash
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/set"
+)
+
+// Family is one signing scheme: it produces a packed []uint64 signature
+// per set and estimates Jaccard similarity from two packed signatures.
+// Implementations are immutable after construction and safe for
+// concurrent use; both parties of an Estimate must come from the same
+// family (same base, k, bits, seed).
+type Family interface {
+	// Name is the family's base scheme: "classic" or "superminhash".
+	Name() string
+	// K is the number of underlying hash repetitions.
+	K() int
+	// BitsPerHash is the stored width per hash: 64, 8, 4, 2, or 1.
+	BitsPerHash() int
+	// Words is the packed signature length in 64-bit words.
+	Words() int
+	// SignatureBytes is the stored bytes per set (Words · 8).
+	SignatureBytes() int
+	// Sign computes the packed signature of s into dst (length Words).
+	Sign(s set.Set, dst []uint64)
+	// PackFull derives the packed signature from a full classic k-min
+	// signature, when the family is classic-based. It returns false for
+	// families that draw from a different hash stream (SuperMinHash) and
+	// must sign from the set itself.
+	PackFull(full Signature, dst []uint64) bool
+	// Estimate returns the (debiased) Jaccard estimate from two packed
+	// signatures, in [0, 1].
+	Estimate(a, b []uint64) (float64, error)
+	// Eps95 is the two-sided 95%-confidence half-width of Estimate.
+	// unionHint is an approximate average union cardinality of compared
+	// pairs (≤ 0 when unknown); SuperMinHash uses it to tighten the
+	// bound, classic ignores it.
+	Eps95(unionHint int) float64
+	// SimilarityLower / SimilarityUpper bound the true similarity from an
+	// estimate and a half-width, clamped to [0, 1]. Screening keeps a
+	// candidate iff [Lower, Upper] intersects the query range.
+	SimilarityLower(est, eps float64) float64
+	SimilarityUpper(est, eps float64) float64
+	// Recoverable reports whether the packed words reproduce the classic
+	// truncation Truncate(i, embedBits) for every hash — i.e. whether the
+	// Hamming-embedding bits can be re-derived from storage alone.
+	Recoverable(embedBits int) bool
+	// Trunc returns hash i's low `width` bits from the packed words. Only
+	// valid when Recoverable(width) is true.
+	Trunc(words []uint64, i, width int) uint64
+}
+
+// Config selects a signing family. The zero value is classic at 64
+// bits/hash — the historical format.
+type Config struct {
+	// Base is "", "classic", or "superminhash" ("" = classic).
+	Base string
+	// BitsPerHash is 0 (= 64), 64, 8, 4, 2, or 1.
+	BitsPerHash int
+}
+
+// Normalize resolves defaults and validates the selection.
+func (c Config) Normalize() (Config, error) {
+	switch c.Base {
+	case "":
+		c.Base = "classic"
+	case "classic", "superminhash":
+	default:
+		return c, fmt.Errorf("minhash: unknown signing family %q (have classic, superminhash)", c.Base)
+	}
+	switch c.BitsPerHash {
+	case 0:
+		c.BitsPerHash = 64
+	case 1, 2, 4, 8, 64:
+	default:
+		return c, fmt.Errorf("minhash: bits/hash must be 1, 2, 4, 8, or 64, got %d", c.BitsPerHash)
+	}
+	return c, nil
+}
+
+// IsClassic64 reports whether the (normalized) config is the historical
+// classic full-width layout, whose packed signature IS the classic
+// Signature.
+func (c Config) IsClassic64() bool {
+	return (c.Base == "" || c.Base == "classic") && (c.BitsPerHash == 0 || c.BitsPerHash == 64)
+}
+
+// New builds the configured family. Classic families reuse perms (the
+// embedder's permutation bank) so stored values agree bit-for-bit with
+// the embedding pipeline; perms may be nil for superminhash.
+func (c Config) New(perms *Perms, k int, seed int64) (Family, error) {
+	c, err := c.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("minhash: k must be >= 1, got %d", k)
+	}
+	switch c.Base {
+	case "classic":
+		if perms == nil {
+			if perms, err = NewFamily(k, seed); err != nil {
+				return nil, err
+			}
+		}
+		if perms.K() != k {
+			return nil, fmt.Errorf("minhash: perms bank has k=%d, family wants k=%d", perms.K(), k)
+		}
+		return &classicFamily{perms: perms, k: k, bph: c.BitsPerHash, words: PackedWords(k, c.BitsPerHash)}, nil
+	case "superminhash":
+		return newSuperMinHash(k, c.BitsPerHash, seed), nil
+	}
+	return nil, fmt.Errorf("minhash: unknown signing family %q", c.Base)
+}
+
+// PackedWords is the packed length in 64-bit words of k hashes at bph
+// bits each.
+func PackedWords(k, bph int) int {
+	if bph >= 64 {
+		return k
+	}
+	per := 64 / bph
+	return (k + per - 1) / per
+}
+
+// PackBits packs the low bph bits of each full-signature coordinate into
+// dst, 64/bph coordinates per word, coordinate i at bit (i mod per)·bph
+// of word i/per. Tail slots of the last word are zero, so two packed
+// signatures always agree on them.
+func PackBits(full Signature, bph int, dst []uint64) {
+	per := 64 / bph
+	mask := uint64(1)<<uint(bph) - 1
+	for w := range dst {
+		dst[w] = 0
+	}
+	for i, v := range full {
+		dst[i/per] |= (v & mask) << (uint(i%per) * uint(bph))
+	}
+}
+
+// PackedSlot extracts coordinate i's bph-bit value from packed words.
+func PackedSlot(words []uint64, i, bph int) uint64 {
+	if bph >= 64 {
+		return words[i]
+	}
+	per := 64 / bph
+	mask := uint64(1)<<uint(bph) - 1
+	return (words[i/per] >> (uint(i%per) * uint(bph))) & mask
+}
+
+// diffSlots counts the coordinates on which two packed signatures differ,
+// word-parallel: per word, XOR makes differing slots non-zero, an OR-fold
+// of right shifts collapses each slot to its low bit, and a popcount of
+// the slot-mask counts them. Tail slots are zero on both sides (PackBits,
+// Sign), so they never count as differing.
+func diffSlots(a, b []uint64, bph int) int {
+	d := 0
+	switch bph {
+	case 1:
+		for i := range a {
+			d += bits.OnesCount64(a[i] ^ b[i])
+		}
+	case 2:
+		const m = 0x5555555555555555
+		for i := range a {
+			x := a[i] ^ b[i]
+			x |= x >> 1
+			d += bits.OnesCount64(x & m)
+		}
+	case 4:
+		const m = 0x1111111111111111
+		for i := range a {
+			x := a[i] ^ b[i]
+			x |= x >> 2
+			x |= x >> 1
+			d += bits.OnesCount64(x & m)
+		}
+	case 8:
+		const m = 0x0101010101010101
+		for i := range a {
+			x := a[i] ^ b[i]
+			x |= x >> 4
+			x |= x >> 2
+			x |= x >> 1
+			d += bits.OnesCount64(x & m)
+		}
+	default: // 64: whole-word compare, the classic layout
+		for i := range a {
+			if a[i] != b[i] {
+				d++
+			}
+		}
+	}
+	return d
+}
+
+// packedEstimate turns an agreement fraction into a debiased similarity
+// estimate: at width bph an unrelated pair of hashes still agrees with
+// probability C = 2^{-bph}, so E[â] = s + (1−s)·C and the unbiased
+// estimator is ŝ = (â − C)/(1 − C), clamped to [0, 1] (Li & König).
+func packedEstimate(agree, k, bph int) float64 {
+	ahat := float64(agree) / float64(k)
+	if bph >= 64 {
+		return ahat
+	}
+	c := math.Pow(2, -float64(bph))
+	s := (ahat - c) / (1 - c)
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// eps95Base is the classic two-sided Chernoff 95% half-width at k
+// repetitions: the smallest eps with 2·exp(−2k·eps²) ≤ 0.05. Must stay
+// identical to core's historical ChernoffEps95.
+func eps95Base(k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	return math.Sqrt(math.Log(2/0.05) / (2 * float64(k)))
+}
+
+// packedEps95 widens a base half-width for the debiasing division: the
+// estimator noise on â maps to noise/(1−C) on ŝ.
+func packedEps95(eps float64, bph int) float64 {
+	if bph >= 64 {
+		return eps
+	}
+	return eps / (1 - math.Pow(2, -float64(bph)))
+}
+
+// clamp01 keeps similarity bounds on the Jaccard scale.
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// classicFamily stores classic k-min hashes, optionally packed to bph
+// bits. At bph = 64 the packed signature IS the historical Signature.
+type classicFamily struct {
+	perms *Perms
+	k     int
+	bph   int
+	words int
+}
+
+func (f *classicFamily) Name() string        { return "classic" }
+func (f *classicFamily) K() int              { return f.k }
+func (f *classicFamily) BitsPerHash() int    { return f.bph }
+func (f *classicFamily) Words() int          { return f.words }
+func (f *classicFamily) SignatureBytes() int { return f.words * 8 }
+
+func (f *classicFamily) Sign(s set.Set, dst []uint64) {
+	if f.bph >= 64 {
+		f.perms.SignInto(s, Signature(dst))
+		return
+	}
+	full := getFullScratch(f.k)
+	f.perms.SignInto(s, full.sig)
+	PackBits(full.sig, f.bph, dst)
+	putFullScratch(full)
+}
+
+func (f *classicFamily) PackFull(full Signature, dst []uint64) bool {
+	if f.bph >= 64 {
+		copy(dst, full)
+		return true
+	}
+	PackBits(full, f.bph, dst)
+	return true
+}
+
+func (f *classicFamily) Estimate(a, b []uint64) (float64, error) {
+	if err := checkWords(a, b, f.words); err != nil {
+		return 0, err
+	}
+	return packedEstimate(f.k-diffSlots(a, b, f.bph), f.k, f.bph), nil
+}
+
+func (f *classicFamily) Eps95(unionHint int) float64 {
+	return packedEps95(eps95Base(f.k), f.bph)
+}
+
+func (f *classicFamily) SimilarityLower(est, eps float64) float64 { return clamp01(est - eps) }
+func (f *classicFamily) SimilarityUpper(est, eps float64) float64 { return clamp01(est + eps) }
+
+func (f *classicFamily) Recoverable(embedBits int) bool {
+	return f.bph >= 64 || f.bph >= embedBits
+}
+
+func (f *classicFamily) Trunc(words []uint64, i, width int) uint64 {
+	return PackedSlot(words, i, f.bph) & (uint64(1)<<uint(width) - 1)
+}
+
+// checkWords validates packed operand lengths the way Estimate validates
+// full signatures.
+func checkWords(a, b []uint64, words int) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("minhash: packed signature lengths differ: %d vs %d", len(a), len(b))
+	}
+	if len(a) != words {
+		return fmt.Errorf("minhash: packed signature has %d words, family wants %d", len(a), words)
+	}
+	return nil
+}

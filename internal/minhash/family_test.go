@@ -1,0 +1,317 @@
+package minhash
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/set"
+)
+
+// TestConfigNormalize pins the accepted configuration space.
+func TestConfigNormalize(t *testing.T) {
+	good := []Config{
+		{}, {Base: "classic"}, {Base: "superminhash"},
+		{BitsPerHash: 1}, {BitsPerHash: 2}, {BitsPerHash: 4},
+		{BitsPerHash: 8}, {BitsPerHash: 64},
+	}
+	for _, c := range good {
+		n, err := c.Normalize()
+		if err != nil {
+			t.Fatalf("Normalize(%+v): %v", c, err)
+		}
+		if n.Base == "" || n.BitsPerHash == 0 {
+			t.Fatalf("Normalize(%+v) left defaults unresolved: %+v", c, n)
+		}
+	}
+	bad := []Config{
+		{Base: "minwise"}, {BitsPerHash: 3}, {BitsPerHash: 16}, {BitsPerHash: -1},
+	}
+	for _, c := range bad {
+		if _, err := c.Normalize(); err == nil {
+			t.Fatalf("Normalize(%+v) accepted an invalid config", c)
+		}
+	}
+	if !(Config{}).IsClassic64() || (Config{BitsPerHash: 4}).IsClassic64() ||
+		(Config{Base: "superminhash"}).IsClassic64() {
+		t.Fatal("IsClassic64 misclassifies")
+	}
+}
+
+// TestDiffSlotsMatchesNaive checks the word-parallel popcount loop against
+// a per-slot extraction for every supported width.
+func TestDiffSlotsMatchesNaive(t *testing.T) {
+	const k = 100
+	rng := splitmix(12345)
+	full1 := make(Signature, k)
+	full2 := make(Signature, k)
+	for i := range full1 {
+		full1[i] = rng()
+		if i%3 == 0 {
+			full2[i] = full1[i] // force agreements
+		} else {
+			full2[i] = rng()
+		}
+	}
+	for _, bph := range []int{1, 2, 4, 8, 64} {
+		words := PackedWords(k, bph)
+		a := make([]uint64, words)
+		b := make([]uint64, words)
+		PackBits(full1, bph, a)
+		PackBits(full2, bph, b)
+		naive := 0
+		for i := 0; i < k; i++ {
+			if PackedSlot(a, i, bph) != PackedSlot(b, i, bph) {
+				naive++
+			}
+		}
+		if got := diffSlots(a, b, bph); got != naive {
+			t.Fatalf("bph=%d: diffSlots=%d, naive=%d", bph, got, naive)
+		}
+	}
+}
+
+// testSets builds two sets with an exact Jaccard of |inter|/|union|.
+func testSets(inter, only int) (set.Set, set.Set, float64) {
+	a := make([]uint64, 0, inter+only)
+	b := make([]uint64, 0, inter+only)
+	for i := 0; i < inter; i++ {
+		a = append(a, uint64(i))
+		b = append(b, uint64(i))
+	}
+	for i := 0; i < only; i++ {
+		a = append(a, uint64(10_000+i))
+		b = append(b, uint64(20_000+i))
+	}
+	return set.New(a...), set.New(b...), float64(inter) / float64(inter+2*only)
+}
+
+// TestFamilyEstimateConcentration checks every family's debiased estimate
+// lands within its own Eps95 of the true Jaccard on a moderately similar
+// pair (a single draw; the bound holds with 95% confidence and the seeds
+// are fixed, so this is deterministic).
+func TestFamilyEstimateConcentration(t *testing.T) {
+	const k = 256
+	sa, sb, truth := testSets(60, 20)
+	for _, cfg := range []Config{
+		{}, {BitsPerHash: 8}, {BitsPerHash: 4}, {BitsPerHash: 2}, {BitsPerHash: 1},
+		{Base: "superminhash"}, {Base: "superminhash", BitsPerHash: 4},
+	} {
+		fam, err := cfg.New(nil, k, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wa := make([]uint64, fam.Words())
+		wb := make([]uint64, fam.Words())
+		fam.Sign(sa, wa)
+		fam.Sign(sb, wb)
+		est, err := fam.Estimate(wa, wb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps := fam.Eps95(sa.Len() + sb.Len())
+		if math.Abs(est-truth) > eps {
+			t.Errorf("%s/b=%d: estimate %.3f is %.3f from truth %.3f, eps95 %.3f",
+				fam.Name(), fam.BitsPerHash(), est, math.Abs(est-truth), truth, eps)
+		}
+		if lo, hi := fam.SimilarityLower(est, eps), fam.SimilarityUpper(est, eps); truth < lo || truth > hi {
+			t.Errorf("%s/b=%d: truth %.3f outside [%.3f, %.3f]", fam.Name(), fam.BitsPerHash(), truth, lo, hi)
+		}
+	}
+}
+
+// TestFamilyIdenticalAndDisjoint pins the estimator endpoints: identical
+// sets estimate 1, disjoint sets estimate (near) 0 after debiasing.
+func TestFamilyIdenticalAndDisjoint(t *testing.T) {
+	const k = 128
+	same := set.New(1, 2, 3, 4, 5, 6, 7, 8, 9)
+	d1 := set.New(100, 101, 102, 103, 104, 105, 106, 107)
+	d2 := set.New(200, 201, 202, 203, 204, 205, 206, 207)
+	for _, cfg := range []Config{
+		{}, {BitsPerHash: 4}, {BitsPerHash: 1},
+		{Base: "superminhash"}, {Base: "superminhash", BitsPerHash: 4},
+	} {
+		fam, err := cfg.New(nil, k, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sign := func(s set.Set) []uint64 {
+			w := make([]uint64, fam.Words())
+			fam.Sign(s, w)
+			return w
+		}
+		if est, _ := fam.Estimate(sign(same), sign(same)); est != 1 {
+			t.Errorf("%s/b=%d: identical sets estimate %.3f, want 1", fam.Name(), fam.BitsPerHash(), est)
+		}
+		est, err := fam.Estimate(sign(d1), sign(d2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est > fam.Eps95(16) {
+			t.Errorf("%s/b=%d: disjoint sets estimate %.3f, want ~0", fam.Name(), fam.BitsPerHash(), est)
+		}
+	}
+}
+
+// TestClassicPackFullAgreesWithSign checks that packing a full classic
+// signature and signing the set directly produce the same packed words —
+// the equivalence Insert and Build rely on to avoid double signing.
+func TestClassicPackFullAgreesWithSign(t *testing.T) {
+	const k = 64
+	perms, err := NewFamily(k, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := set.New(3, 1, 4, 1, 5, 9, 2, 6)
+	full := perms.Sign(s)
+	for _, bph := range []int{1, 2, 4, 8, 64} {
+		fam, err := Config{BitsPerHash: bph}.New(perms, k, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaPack := make([]uint64, fam.Words())
+		if !fam.PackFull(full, viaPack) {
+			t.Fatalf("bph=%d: classic PackFull returned false", bph)
+		}
+		viaSign := make([]uint64, fam.Words())
+		fam.Sign(s, viaSign)
+		for w := range viaPack {
+			if viaPack[w] != viaSign[w] {
+				t.Fatalf("bph=%d word %d: PackFull %#x vs Sign %#x", bph, w, viaPack[w], viaSign[w])
+			}
+		}
+	}
+}
+
+// TestSuperMinHashDeterministicAndSeedSensitive pins that SuperMinHash
+// signing is a pure function of (set, k, seed).
+func TestSuperMinHashDeterministicAndSeedSensitive(t *testing.T) {
+	s := set.New(10, 20, 30, 40, 50)
+	sign := func(seed int64) []uint64 {
+		fam, err := Config{Base: "superminhash"}.New(nil, 64, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := make([]uint64, fam.Words())
+		fam.Sign(s, w)
+		return w
+	}
+	a, b, c := sign(5), sign(5), sign(6)
+	same, diff := true, false
+	for i := range a {
+		same = same && a[i] == b[i]
+		diff = diff || a[i] != c[i]
+	}
+	if !same {
+		t.Fatal("same seed signed differently")
+	}
+	if !diff {
+		t.Fatal("different seeds signed identically")
+	}
+}
+
+// splitmix is a tiny deterministic generator for test vectors.
+func splitmix(seed uint64) func() uint64 {
+	return func() uint64 {
+		seed += 0x9e3779b97f4a7c15
+		z := seed
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+}
+
+// FuzzPackedSignatureRoundTrip fuzzes the pack/extract/compare triangle:
+// for arbitrary coordinate values and every width, PackedSlot must return
+// each coordinate's low bits, and diffSlots must agree with the per-slot
+// comparison.
+func FuzzPackedSignatureRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint64(2), uint64(3), uint64(0xffffffffffffffff), 17)
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0), 1)
+	f.Add(uint64(0xdeadbeef), uint64(0xcafe), uint64(42), uint64(7), 100)
+	f.Fuzz(func(t *testing.T, s1, s2, s3, s4 uint64, k int) {
+		if k < 1 || k > 512 {
+			t.Skip()
+		}
+		rng := splitmix(s1 ^ s2<<1)
+		a := make(Signature, k)
+		b := make(Signature, k)
+		for i := range a {
+			a[i] = rng() ^ s3
+			if rng()%3 == 0 {
+				b[i] = a[i]
+			} else {
+				b[i] = rng() ^ s4
+			}
+		}
+		for _, bph := range []int{1, 2, 4, 8, 64} {
+			words := PackedWords(k, bph)
+			pa := make([]uint64, words)
+			pb := make([]uint64, words)
+			PackBits(a, bph, pa)
+			PackBits(b, bph, pb)
+			mask := uint64(1)<<uint(bph) - 1
+			if bph >= 64 {
+				mask = ^uint64(0)
+			}
+			naive := 0
+			for i := 0; i < k; i++ {
+				if got, want := PackedSlot(pa, i, bph), a[i]&mask; got != want {
+					t.Fatalf("bph=%d slot %d: PackedSlot %#x, want %#x", bph, i, got, want)
+				}
+				if PackedSlot(pa, i, bph) != PackedSlot(pb, i, bph) {
+					naive++
+				}
+			}
+			if got := diffSlots(pa, pb, bph); got != naive {
+				t.Fatalf("bph=%d: diffSlots %d, naive %d", bph, got, naive)
+			}
+			// Packing must be a pure function of the input.
+			pa2 := make([]uint64, words)
+			PackBits(a, bph, pa2)
+			for w := range pa {
+				if pa[w] != pa2[w] {
+					t.Fatalf("bph=%d word %d: repack differs", bph, w)
+				}
+			}
+		}
+	})
+}
+
+// TestFamilyEps95Shapes pins the analytic relationships between the
+// families' confidence half-widths: packing widens classic's bound by
+// 1/(1−2^−b), and SuperMinHash with a small-union hint is at least as
+// tight as classic at the same k.
+func TestFamilyEps95Shapes(t *testing.T) {
+	const k = 128
+	classic := func(bph int) Family {
+		fam, err := Config{BitsPerHash: bph}.New(nil, k, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fam
+	}
+	base := classic(64).Eps95(0)
+	for _, bph := range []int{1, 2, 4, 8} {
+		want := base / (1 - math.Pow(2, -float64(bph)))
+		if got := classic(bph).Eps95(0); math.Abs(got-want) > 1e-12 {
+			t.Errorf("classic b=%d: eps95 %.6f, want %.6f", bph, got, want)
+		}
+	}
+	smh, err := Config{Base: "superminhash"}.New(nil, k, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := smh.Eps95(64); got > base {
+		t.Errorf("superminhash eps95(64) = %.4f exceeds classic %.4f", got, base)
+	}
+	if smh.Eps95(0) > base+1e-12 {
+		t.Errorf("superminhash eps95 without hint should not exceed classic")
+	}
+}
+
+func ExampleConfig_New() {
+	fam, _ := Config{Base: "classic", BitsPerHash: 4}.New(nil, 100, 1)
+	fmt.Println(fam.Words(), fam.SignatureBytes())
+	// Output: 7 56
+}

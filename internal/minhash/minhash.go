@@ -24,33 +24,36 @@ import (
 // mersenne61 is the modulus of the permutation field.
 const mersenne61 = (1 << 61) - 1
 
-// Family is a set of k hash functions approximating min-wise independent
-// permutations. A Family is immutable after construction and safe for
-// concurrent use. Both parties of a comparison must use the same Family
-// (same seed, same k).
-type Family struct {
+// Perms is a bank of k hash functions approximating min-wise independent
+// permutations — the classic k-min signing primitive. A Perms is immutable
+// after construction and safe for concurrent use. Both parties of a
+// comparison must use the same Perms (same seed, same k).
+//
+// Perms was named Family before the signing-family interface (family.go)
+// took that name; the constructors keep their historical names.
+type Perms struct {
 	a, b []uint64 // per-permutation coefficients, a != 0
 	k    int
 }
 
-// NewFamily creates a family of k permutations from a seed. The same
-// (seed, k) always yields the same family.
-func NewFamily(k int, seed int64) (*Family, error) {
+// NewFamily creates a bank of k permutations from a seed. The same
+// (seed, k) always yields the same bank.
+func NewFamily(k int, seed int64) (*Perms, error) {
 	return NewFamilyRand(k, rand.New(rand.NewSource(seed)))
 }
 
-// NewFamilyRand creates a family of k permutations drawing coefficients
+// NewFamilyRand creates a bank of k permutations drawing coefficients
 // from rng. It is the injection point for callers that thread one random
 // stream through a whole pipeline; rng is consumed (k·2 draws) and not
-// retained. Two rngs in the same state yield identical families.
-func NewFamilyRand(k int, rng *rand.Rand) (*Family, error) {
+// retained. Two rngs in the same state yield identical banks.
+func NewFamilyRand(k int, rng *rand.Rand) (*Perms, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("minhash: k must be >= 1, got %d", k)
 	}
 	if rng == nil {
 		return nil, fmt.Errorf("minhash: nil rng")
 	}
-	f := &Family{a: make([]uint64, k), b: make([]uint64, k), k: k}
+	f := &Perms{a: make([]uint64, k), b: make([]uint64, k), k: k}
 	for i := 0; i < k; i++ {
 		a := uint64(rng.Int63n(mersenne61-1)) + 1 // a in [1, p-1]
 		b := uint64(rng.Int63n(mersenne61))       // b in [0, p-1]
@@ -60,7 +63,7 @@ func NewFamilyRand(k int, rng *rand.Rand) (*Family, error) {
 }
 
 // K returns the number of permutations (the signature length).
-func (f *Family) K() int { return f.k }
+func (f *Perms) K() int { return f.k }
 
 // splitmix64 finalizes element ids into well-distributed field inputs.
 // Dense dictionary ids (0, 1, 2, ...) would otherwise correlate across the
@@ -84,7 +87,7 @@ func mulmod61(a, b uint64) uint64 {
 }
 
 // perm applies permutation i to element e.
-func (f *Family) perm(i int, e set.Elem) uint64 {
+func (f *Perms) perm(i int, e set.Elem) uint64 {
 	x := splitmix64(uint64(e)) % mersenne61
 	v := mulmod61(f.a[i], x) + f.b[i]
 	if v >= mersenne61 {
@@ -99,7 +102,7 @@ type Signature []uint64
 
 // Sign computes the signature of s. An empty set gets the all-max signature,
 // which collides with nothing but another empty set.
-func (f *Family) Sign(s set.Set) Signature {
+func (f *Perms) Sign(s set.Set) Signature {
 	sig := make(Signature, f.k)
 	f.SignInto(s, sig)
 	return sig
@@ -108,7 +111,7 @@ func (f *Family) Sign(s set.Set) Signature {
 // SignInto computes the signature of s into dst, which must have length k.
 // It performs no allocations, so hot paths (build workers, query signing)
 // can reuse one buffer per worker. The result is identical to Sign.
-func (f *Family) SignInto(s set.Set, dst Signature) {
+func (f *Perms) SignInto(s set.Set, dst Signature) {
 	if len(dst) != f.k {
 		panic(fmt.Sprintf("minhash: SignInto dst has %d coordinates, family has k=%d", len(dst), f.k))
 	}

@@ -1,0 +1,213 @@
+// SuperMinHash (Ertl, arXiv:1706.05698): a minwise-independent signing
+// family with strictly lower estimator variance than classic k-min for
+// any union size ≥ 2, at the same signature length. Each element runs a
+// partial Fisher–Yates shuffle over the m signature slots driven by its
+// own seeded PRNG stream, assigning slot p[j] the value r_j + j (r_j
+// uniform in [0, 1)); a slot's signature value is the minimum over all
+// elements. Coupling the rank j with the fractional draw makes the m
+// slot values negatively correlated, which is where the variance saving
+// over m independent minima comes from.
+//
+// Values are encoded as integers — word = j<<32 | r32 with r32 the
+// 32-bit fractional draw — so integer comparison IS value comparison,
+// the empty-set signature is all-ones (colliding only with another
+// empty set, like classic), and the low bits are uniform, making the
+// b-bit packing of family.go apply unchanged. The per-element PRNG
+// depends only on (family seed, element id), so signatures are
+// independent of element order and insertion history — the determinism
+// contract every signing path relies on.
+package minhash
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+
+	"repro/internal/set"
+)
+
+// smhInfinity is the encoded "no value yet" sentinel; larger than every
+// real encoded value (j < 2^32 − 1 for any practical m).
+const smhInfinity = ^uint64(0)
+
+// superMinHash is the SuperMinHash family, optionally packed to bph
+// bits/hash via the shared codec.
+type superMinHash struct {
+	k     int
+	bph   int
+	words int
+	seed  uint64
+	pool  sync.Pool // *smhScratch
+}
+
+// smhScratch is one signing workspace. q marks which element (by the
+// monotone counter i) last initialized a p/h slot, so p needs no O(m)
+// reset per element and h no O(m) reset per set beyond the explicit one.
+type smhScratch struct {
+	h []uint64 // encoded slot values, smhInfinity = unset
+	p []int32  // partial Fisher–Yates permutation
+	q []int64  // element counter that initialized p[slot]
+	b []int32  // histogram of floor(h) values, for early termination
+	i int64    // monotone element counter (never reset across sets)
+}
+
+func newSuperMinHash(k, bph int, seed int64) *superMinHash {
+	f := &superMinHash{
+		k:     k,
+		bph:   bph,
+		words: PackedWords(k, bph),
+		// Decorrelate from the classic permutation bank built off the
+		// same build seed.
+		seed: splitmix64(uint64(seed) ^ 0x736d685f66616d31), // "smh_fam1"
+	}
+	f.pool.New = func() any {
+		return &smhScratch{
+			h: make([]uint64, k),
+			p: make([]int32, k),
+			q: make([]int64, k),
+			b: make([]int32, k),
+		}
+	}
+	return f
+}
+
+func (f *superMinHash) Name() string        { return "superminhash" }
+func (f *superMinHash) K() int              { return f.k }
+func (f *superMinHash) BitsPerHash() int    { return f.bph }
+func (f *superMinHash) Words() int          { return f.words }
+func (f *superMinHash) SignatureBytes() int { return f.words * 8 }
+
+// smhRNG is a splitmix64 stream seeded per element.
+type smhRNG struct{ s uint64 }
+
+func (g *smhRNG) next() uint64 {
+	g.s += 0x9e3779b97f4a7c15
+	z := g.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform value in [0, n) by fixed-point multiplication
+// (deterministic, no rejection loop; the 2^-64 bias is irrelevant here).
+func (g *smhRNG) intn(n int) int {
+	hi, _ := bits.Mul64(g.next(), uint64(n))
+	return int(hi)
+}
+
+// Sign computes the packed SuperMinHash signature of s into dst
+// (length Words). Ertl's Algorithm 1 with integer-encoded values.
+func (f *superMinHash) Sign(s set.Set, dst []uint64) {
+	sc := f.pool.Get().(*smhScratch)
+	m := f.k
+	for j := 0; j < m; j++ {
+		sc.h[j] = smhInfinity
+		sc.b[j] = 0
+	}
+	sc.b[m-1] = int32(m)
+	a := m - 1
+	for _, e := range s.Elems() {
+		sc.i++
+		i := sc.i
+		rng := smhRNG{s: f.seed ^ splitmix64(uint64(e))}
+		for j := 0; j <= a; j++ {
+			r32 := uint64(uint32(rng.next()))
+			x := j + rng.intn(m-j)
+			if sc.q[j] != i {
+				sc.q[j] = i
+				sc.p[j] = int32(j)
+			}
+			if sc.q[x] != i {
+				sc.q[x] = i
+				sc.p[x] = int32(x)
+			}
+			sc.p[j], sc.p[x] = sc.p[x], sc.p[j]
+			slot := sc.p[j]
+			val := uint64(j)<<32 | r32
+			if val < sc.h[slot] {
+				jp := int(sc.h[slot] >> 32)
+				if jp > m-1 {
+					jp = m - 1
+				}
+				sc.h[slot] = val
+				if j < jp {
+					sc.b[jp]--
+					sc.b[j]++
+					for a > 0 && sc.b[a] == 0 {
+						a--
+					}
+				}
+			}
+		}
+	}
+	if f.bph >= 64 {
+		copy(dst, sc.h)
+	} else {
+		PackBits(Signature(sc.h), f.bph, dst)
+	}
+	f.pool.Put(sc)
+}
+
+// PackFull is false: SuperMinHash values come from a different stream
+// than the classic permutation bank, so packing a classic signature
+// cannot produce them.
+func (f *superMinHash) PackFull(full Signature, dst []uint64) bool { return false }
+
+func (f *superMinHash) Estimate(a, b []uint64) (float64, error) {
+	if err := checkWords(a, b, f.words); err != nil {
+		return 0, err
+	}
+	return packedEstimate(f.k-diffSlots(a, b, f.bph), f.k, f.bph), nil
+}
+
+// Eps95 tightens the classic Chernoff half-width by the family's
+// variance reduction. Ertl shows Var_smh/Var_classic < 1 for any union
+// size u ≥ 2, vanishing as u grows past m; we approximate the ratio with
+// the finite-population-correction shape 1 − (m−1)/u, floored at 1/4 (a
+// conservative cap on the saving, never claiming better than half the
+// classic width) and capped at 1. With no hint the classic width is
+// used unchanged — never anti-conservative.
+func (f *superMinHash) Eps95(unionHint int) float64 {
+	eps := eps95Base(f.k)
+	if unionHint > 0 {
+		ratio := 1 - float64(f.k-1)/float64(unionHint)
+		if ratio < 0.25 {
+			ratio = 0.25
+		}
+		if ratio > 1 {
+			ratio = 1
+		}
+		eps *= math.Sqrt(ratio)
+	}
+	return packedEps95(eps, f.bph)
+}
+
+func (f *superMinHash) SimilarityLower(est, eps float64) float64 { return clamp01(est - eps) }
+func (f *superMinHash) SimilarityUpper(est, eps float64) float64 { return clamp01(est + eps) }
+
+// Recoverable is false: signature words are (rank, fraction) pairs, not
+// classic min-hashes, so the Hamming-embedding bits cannot be re-derived
+// from storage; callers re-sign classic from the stored set instead.
+func (f *superMinHash) Recoverable(embedBits int) bool { return false }
+
+func (f *superMinHash) Trunc(words []uint64, i, width int) uint64 {
+	panic("minhash: SuperMinHash signatures cannot reproduce embedding bits; check Recoverable first")
+}
+
+// fullScratch pools full-width classic signatures for families that pack
+// at sign time.
+type fullScratch struct{ sig Signature }
+
+var fullPool sync.Pool
+
+func getFullScratch(k int) *fullScratch {
+	if v := fullPool.Get(); v != nil {
+		fs := v.(*fullScratch)
+		if len(fs.sig) == k {
+			return fs
+		}
+	}
+	return &fullScratch{sig: make(Signature, k)}
+}
+
+func putFullScratch(fs *fullScratch) { fullPool.Put(fs) }

@@ -124,14 +124,29 @@ type Inputs struct {
 	Model storage.CostModel
 	// Width is the query range width s2 − s1.
 	Width float64
-	// Eps95 is the Chernoff 95% half-width of the signature estimator.
+	// Eps95 is the 95% half-width of the signing family's estimator (the
+	// Chernoff width under classic-64; tighter under SuperMinHash, wider
+	// under b-bit packing) — so the screen-only gate relaxes or tightens
+	// with the family's actual confidence.
 	Eps95 float64
+	// SigBytesPerSet is the stored signature footprint per set under the
+	// signing family; screen-only charges reading each candidate's packed
+	// signature sequentially from the resident arrays. 0 prices screening
+	// as free (the historical model).
+	SigBytesPerSet int
+	// PageBytes converts signature bytes to page counts (0 selects
+	// DefaultPageBytes).
+	PageBytes int
 	// ScreenWidthFactor gates screen-only: the range must be at least
 	// ScreenWidthFactor × Eps95 wide. 0 selects DefaultScreenWidthFactor.
 	ScreenWidthFactor float64
 	// AllowApproximate permits the ScreenOnly plan at all.
 	AllowApproximate bool
 }
+
+// DefaultPageBytes is the page size assumed when Inputs.PageBytes is zero
+// (storage's default page).
+const DefaultPageBytes = 4096
 
 // DefaultScreenWidthFactor requires a range at least 4 Chernoff
 // half-widths wide before screen-only is considered: an estimate near the
@@ -169,8 +184,19 @@ func Decide(in Inputs) Decision {
 		fi := in.Model.Time(int64(share*(pps-1)), int64(share)+int64(in.ProbeTables))
 		// direct-scan: the whole heap, sequentially. No bucket probes.
 		scan := in.Model.Time(s.ScanPages, 0)
-		// screen-only: bucket probes only — no data pages at all.
-		screen := in.Model.Time(0, int64(in.ProbeTables))
+		// screen-only: bucket probes plus the candidates' packed signatures,
+		// read sequentially from the resident signature arrays — a small
+		// family-dependent term (b-bit packing shrinks it 8–64×) that keeps
+		// the plan comparison honest without data-page fetches.
+		var sigPages int64
+		if in.SigBytesPerSet > 0 {
+			page := in.PageBytes
+			if page <= 0 {
+				page = DefaultPageBytes
+			}
+			sigPages = int64(share*float64(in.SigBytesPerSet)) / int64(page)
+		}
+		screen := in.Model.Time(sigPages, int64(in.ProbeTables))
 		fiTotal += fi
 		scanTotal += scan
 		screenTotal += screen

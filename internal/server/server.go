@@ -205,6 +205,13 @@ type statsResponse struct {
 		Mixed      int64 `json:"mixed"`
 		Cached     int64 `json:"cached"`
 	} `json:"plans"`
+	// Signing reports the configured signing family and its stored
+	// per-set signature footprint.
+	Signing struct {
+		Family               string `json:"family"`
+		BitsPerHash          int    `json:"bitsPerHash"`
+		SignatureBytesPerSet int    `json:"signatureBytesPerSet"`
+	} `json:"signing"`
 	Tuner tunerView `json:"tuner"`
 }
 
@@ -234,6 +241,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Plans.ScreenOnly = s.totals.planScreenOnly.Load()
 	resp.Plans.Mixed = s.totals.planMixed.Load()
 	resp.Plans.Cached = s.totals.planCached.Load()
+	scfg := eng.SigningConfig()
+	resp.Signing.Family = scfg.Base
+	resp.Signing.BitsPerHash = scfg.BitsPerHash
+	resp.Signing.SignatureBytesPerSet = eng.SignatureBytesPerSet()
 	ts := s.ix.TunerState()
 	resp.Tuner = tunerView{
 		Enabled:        ts.Enabled,
@@ -281,20 +292,21 @@ type queryResponse struct {
 
 // queryStatView is the JSON shape of ssr.Stats.
 type queryStatView struct {
-	Candidates        int    `json:"candidates"`
-	Results           int    `json:"results"`
-	Screened          int    `json:"screened,omitempty"`
-	RandomPageReads   int64  `json:"randomPageReads"`
-	SequentialReads   int64  `json:"sequentialPageReads"`
-	SimulatedIOMicros int64  `json:"simulatedIOMicros"`
-	CPUMicros         int64  `json:"cpuMicros"`
-	PlanGeneration    uint64 `json:"planGeneration"`
-	ShardsQueried     int    `json:"shardsQueried"`
-	ShardsPruned      int    `json:"shardsPruned,omitempty"`
-	Plan              string `json:"plan,omitempty"`
-	CacheHits         int    `json:"cacheHits,omitempty"`
-	CacheMisses       int    `json:"cacheMisses,omitempty"`
-	Elapsed           string `json:"elapsed"`
+	Candidates        int     `json:"candidates"`
+	Results           int     `json:"results"`
+	Screened          int     `json:"screened,omitempty"`
+	ScreenedFraction  float64 `json:"screenedFraction,omitempty"`
+	RandomPageReads   int64   `json:"randomPageReads"`
+	SequentialReads   int64   `json:"sequentialPageReads"`
+	SimulatedIOMicros int64   `json:"simulatedIOMicros"`
+	CPUMicros         int64   `json:"cpuMicros"`
+	PlanGeneration    uint64  `json:"planGeneration"`
+	ShardsQueried     int     `json:"shardsQueried"`
+	ShardsPruned      int     `json:"shardsPruned,omitempty"`
+	Plan              string  `json:"plan,omitempty"`
+	CacheHits         int     `json:"cacheHits,omitempty"`
+	CacheMisses       int     `json:"cacheMisses,omitempty"`
+	Elapsed           string  `json:"elapsed"`
 }
 
 func statView(st ssr.Stats, elapsed time.Duration) queryStatView {
@@ -302,6 +314,7 @@ func statView(st ssr.Stats, elapsed time.Duration) queryStatView {
 		Candidates:        st.Candidates,
 		Results:           st.Results,
 		Screened:          st.Screened,
+		ScreenedFraction:  st.ScreenedFraction,
 		RandomPageReads:   st.RandomPageReads,
 		SequentialReads:   st.SequentialPageReads,
 		SimulatedIOMicros: st.SimulatedIOTime.Microseconds(),

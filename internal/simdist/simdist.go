@@ -277,6 +277,19 @@ func SampleSignaturePairs(sigs []minhash.Signature, sample int, bins int, seed i
 // float64, associative far below 2^53), so the result is bit-identical to
 // the serial computation for every worker count.
 func SampleSignaturePairsN(sigs []minhash.Signature, sample, bins int, seed int64, workers int) (*Histogram, error) {
+	return SampleSignaturePairsEst(sigs, sample, bins, seed, workers, minhash.Estimate)
+}
+
+// Estimator turns two stored signatures into a similarity estimate. The
+// default is minhash.Estimate (classic agreement fraction); signing
+// families supply their packed-word estimator.
+type Estimator func(a, b minhash.Signature) (float64, error)
+
+// SampleSignaturePairsEst is SampleSignaturePairsN with the per-pair
+// estimator injected, so D_S can be re-estimated from any signing family's
+// stored signatures. The pair sequence depends only on (n, sample, seed) —
+// never on the estimator.
+func SampleSignaturePairsEst(sigs []minhash.Signature, sample, bins int, seed int64, workers int, est Estimator) (*Histogram, error) {
 	n := len(sigs)
 	if n < 2 {
 		return nil, fmt.Errorf("simdist: need at least 2 signatures, got %d", n)
@@ -299,7 +312,7 @@ func SampleSignaturePairsN(sigs []minhash.Signature, sample, bins int, seed int6
 	}
 	h := NewHistogram(bins)
 	if workers <= 1 {
-		if err := estimatePairs(sigs, pairs, h); err != nil {
+		if err := estimatePairs(sigs, pairs, h, est); err != nil {
 			return nil, err
 		}
 		return h, nil
@@ -314,7 +327,7 @@ func SampleSignaturePairsN(sigs []minhash.Signature, sample, bins int, seed int6
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			errs[w] = estimatePairs(sigs, pairs[lo:hi], parts[w])
+			errs[w] = estimatePairs(sigs, pairs[lo:hi], parts[w], est)
 		}(w, lo, hi)
 	}
 	wg.Wait()
@@ -330,15 +343,14 @@ func SampleSignaturePairsN(sigs []minhash.Signature, sample, bins int, seed int6
 	return h, nil
 }
 
-// estimatePairs records the signature-agreement estimate of every pair
-// into h.
-func estimatePairs(sigs []minhash.Signature, pairs [][2]int, h *Histogram) error {
+// estimatePairs records the estimator's similarity of every pair into h.
+func estimatePairs(sigs []minhash.Signature, pairs [][2]int, h *Histogram, est Estimator) error {
 	for _, p := range pairs {
-		est, err := minhash.Estimate(sigs[p[0]], sigs[p[1]])
+		s, err := est(sigs[p[0]], sigs[p[1]])
 		if err != nil {
 			return err
 		}
-		h.Add(est, 1)
+		h.Add(s, 1)
 	}
 	return nil
 }

@@ -1,0 +1,211 @@
+package ssr
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// signingSweepConfigs is the matrix the cross-family invariants are pinned
+// over: the classic-64 baseline, b-bit packed classic, and SuperMinHash at
+// full and packed widths.
+func signingSweepConfigs() []SigningOptions {
+	return []SigningOptions{
+		{}, // classic-64, the historical layout
+		{Family: "classic", BitsPerHash: 8},
+		{Family: "classic", BitsPerHash: 4},
+		{Family: "classic", BitsPerHash: 1},
+		{Family: "superminhash"},
+		{Family: "superminhash", BitsPerHash: 4},
+	}
+}
+
+func signingLabel(s SigningOptions) string {
+	fam := s.Family
+	if fam == "" {
+		fam = "classic"
+	}
+	bits := s.BitsPerHash
+	if bits == 0 {
+		bits = 64
+	}
+	return fmt.Sprintf("%s/%d", fam, bits)
+}
+
+// TestSigningFamilySweepIdenticalMatches is the tentpole invariant: exact
+// query answers are identical for every signing family at every shard
+// count, because candidate generation and verification never touch the
+// stored (family-governed) representation.
+func TestSigningFamilySweepIdenticalMatches(t *testing.T) {
+	queries := shardSweepQueries()
+	var want [][]Match
+	for _, signing := range signingSweepConfigs() {
+		for _, shards := range []int{1, 3} {
+			opt := goldenSnapshotOptions()
+			opt.Shards = shards
+			opt.Signing = signing
+			ix, err := Build(goldenSnapshotCollection(), opt)
+			if err != nil {
+				t.Fatalf("%s shards=%d: Build: %v", signingLabel(signing), shards, err)
+			}
+			var got [][]Match
+			total := 0
+			for qi, q := range queries {
+				matches, _, err := ix.Query(q, 0.3, 1.0)
+				if err != nil {
+					t.Fatalf("%s shards=%d query %d: %v", signingLabel(signing), shards, qi, err)
+				}
+				got = append(got, matches)
+				total += len(matches)
+			}
+			if total == 0 {
+				t.Fatalf("%s shards=%d: sweep found no matches at all", signingLabel(signing), shards)
+			}
+			if want == nil {
+				want = got
+				continue
+			}
+			for qi := range queries {
+				if fmt.Sprint(got[qi]) != fmt.Sprint(want[qi]) {
+					t.Fatalf("%s shards=%d query %d: matches diverge from classic-64 single-shard answer:\n  got  %v\n  want %v",
+						signingLabel(signing), shards, qi, got[qi], want[qi])
+				}
+			}
+		}
+	}
+}
+
+// TestSigningFamilySnapshotRoundTrip saves and reloads each non-default
+// family: the reload must answer identically, report the same family
+// configuration, and re-serialize byte-for-byte (Save → Load → Save is a
+// fixed point, including the family trailer).
+func TestSigningFamilySnapshotRoundTrip(t *testing.T) {
+	queries := shardSweepQueries()
+	for _, signing := range signingSweepConfigs() {
+		opt := goldenSnapshotOptions()
+		opt.Signing = signing
+		ix, err := Build(goldenSnapshotCollection(), opt)
+		if err != nil {
+			t.Fatalf("%s: Build: %v", signingLabel(signing), err)
+		}
+		var buf bytes.Buffer
+		if err := ix.Save(&buf); err != nil {
+			t.Fatalf("%s: Save: %v", signingLabel(signing), err)
+		}
+		loaded, err := Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: Load: %v", signingLabel(signing), err)
+		}
+		var buf2 bytes.Buffer
+		if err := loaded.Save(&buf2); err != nil {
+			t.Fatalf("%s: re-Save: %v", signingLabel(signing), err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatalf("%s: Save → Load → Save is not a fixed point (%d vs %d bytes)",
+				signingLabel(signing), buf.Len(), buf2.Len())
+		}
+		if got, want := loaded.Internal().SigningConfig(), ix.Internal().SigningConfig(); got != want {
+			t.Fatalf("%s: signing config lost in round trip: %+v vs %+v", signingLabel(signing), got, want)
+		}
+		for qi, q := range queries {
+			m1, s1, err := ix.Query(q, 0.3, 1.0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m2, s2, err := loaded.Query(q, 0.3, 1.0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(m1) != fmt.Sprint(m2) {
+				t.Fatalf("%s query %d: reload answers differ", signingLabel(signing), qi)
+			}
+			if s1.SignatureBytesPerSet != s2.SignatureBytesPerSet {
+				t.Fatalf("%s query %d: SignatureBytesPerSet differs after reload: %d vs %d",
+					signingLabel(signing), qi, s1.SignatureBytesPerSet, s2.SignatureBytesPerSet)
+			}
+		}
+	}
+}
+
+// TestSigningFamilyMutationParity drives the same insert/delete stream
+// through a classic-64 index and each non-default family and requires
+// identical exact answers afterwards — this exercises the non-recoverable
+// Delete path (fetch + re-sign before the store forgets the set) and the
+// packed Insert path.
+func TestSigningFamilyMutationParity(t *testing.T) {
+	queries := shardSweepQueries()
+	mutate := func(ix *Index) error {
+		for i := 0; i < 6; i++ {
+			elems := []string{"e0", "e1", "e2", "e3", fmt.Sprintf("m%d", i)}
+			if _, err := ix.Add(elems...); err != nil {
+				return err
+			}
+		}
+		for _, sid := range []int{3, 17, 60, 121} {
+			if err := ix.Remove(sid); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var want [][]Match
+	for _, signing := range signingSweepConfigs() {
+		opt := goldenSnapshotOptions()
+		opt.Signing = signing
+		ix, err := Build(goldenSnapshotCollection(), opt)
+		if err != nil {
+			t.Fatalf("%s: Build: %v", signingLabel(signing), err)
+		}
+		if err := mutate(ix); err != nil {
+			t.Fatalf("%s: mutating: %v", signingLabel(signing), err)
+		}
+		var got [][]Match
+		for qi, q := range queries {
+			matches, _, err := ix.Query(q, 0.3, 1.0)
+			if err != nil {
+				t.Fatalf("%s query %d: %v", signingLabel(signing), qi, err)
+			}
+			got = append(got, matches)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		for qi := range queries {
+			if fmt.Sprint(got[qi]) != fmt.Sprint(want[qi]) {
+				t.Fatalf("%s query %d: post-mutation matches diverge from classic-64:\n  got  %v\n  want %v",
+					signingLabel(signing), qi, got[qi], want[qi])
+			}
+		}
+	}
+}
+
+// TestSigningStatsSurface checks the public Stats carry the family's
+// screening accounting: ScreenedFraction = Screened/Candidates and a
+// packed family reports the shrunken signature footprint.
+func TestSigningStatsSurface(t *testing.T) {
+	opt := goldenSnapshotOptions()
+	opt.Signing = SigningOptions{Family: "classic", BitsPerHash: 4}
+	ix, err := Build(goldenSnapshotCollection(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k=24 at 4 bits/hash packs into 2 words = 16 bytes; classic-64 would
+	// be 24·8 = 192 — a 12× cut.
+	if got := ix.Internal().SignatureBytesPerSet(); got != 16 {
+		t.Fatalf("SignatureBytesPerSet = %d, want 16", got)
+	}
+	_, stats, err := ix.QueryWithOptions(shardSweepQueries()[0], 0.3, 1.0, QueryOptions{Screen: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SignatureBytesPerSet != 16 {
+		t.Fatalf("Stats.SignatureBytesPerSet = %d, want 16", stats.SignatureBytesPerSet)
+	}
+	if stats.Candidates > 0 {
+		want := float64(stats.Screened) / float64(stats.Candidates)
+		if stats.ScreenedFraction != want {
+			t.Fatalf("ScreenedFraction = %g, want %g", stats.ScreenedFraction, want)
+		}
+	}
+}

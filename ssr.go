@@ -34,6 +34,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/embed"
 	"repro/internal/engine"
+	"repro/internal/minhash"
 	"repro/internal/optimize"
 	"repro/internal/set"
 	"repro/internal/simdist"
@@ -110,6 +111,29 @@ type Options struct {
 	// PlannerPolicy tunes the planner; the zero value selects defaults.
 	// Ignored unless Planner is set.
 	PlannerPolicy PlannerPolicy
+	// Signing selects the signing family for STORED signatures — the
+	// per-set sketches used by screening, similarity estimation, and the
+	// tuner's drift sketch. The Hamming embedding, filter keys, and
+	// candidate generation always use classic full-width min-hashes, so
+	// exact query answers are byte-identical for every family; Signing
+	// trades stored-signature memory against estimator confidence. The
+	// zero value keeps today's classic 64-bit representation.
+	Signing SigningOptions
+}
+
+// SigningOptions configures the signature representation (Options.Signing).
+type SigningOptions struct {
+	// Family is "classic" (k independent min-wise permutations, the
+	// default) or "superminhash" (Ertl's SuperMinHash: one pass per
+	// element, lower estimator variance for small sets — the screen gate
+	// relaxes accordingly).
+	Family string
+	// BitsPerHash stores only the low b bits of each of the k hash values,
+	// packed 64/b to a word (b-bit minwise hashing). Allowed values are
+	// 1, 2, 4, 8, and 64; 0 selects 64 (full width, today's layout). b=4
+	// cuts signature memory 16× while screening with the unbiased b-bit
+	// estimator; the 95% confidence half-width widens by 1/(1−2⁻ᵇ).
+	BitsPerHash int
 }
 
 // Collection accumulates sets before building an index. Elements are
@@ -216,6 +240,14 @@ type Stats struct {
 	// Screened is how many candidates signature screening rejected without
 	// a page fetch (0 unless QueryOptions.Screen is set).
 	Screened int
+	// ScreenedFraction is Screened/Candidates — the share of filter
+	// proposals the signing family's estimator rejected before any page
+	// fetch (0 when there were no candidates or screening was off).
+	ScreenedFraction float64
+	// SignatureBytesPerSet is the stored signature footprint per set under
+	// the index's signing family (k·8 bytes for classic-64, k·b/8 for
+	// b-bit packing).
+	SignatureBytesPerSet int
 	// RandomPageReads and SequentialPageReads count simulated disk I/O.
 	RandomPageReads, SequentialPageReads int64
 	// SimulatedIOTime converts those reads under the default cost model
@@ -325,6 +357,10 @@ func Build(c *Collection, opt Options) (*Index, error) {
 			DistSample:     opt.DistSample,
 			DistSeed:       opt.Seed,
 			Workers:        opt.Workers,
+			Signing: minhash.Config{
+				Base:        opt.Signing.Family,
+				BitsPerHash: opt.Signing.BitsPerHash,
+			},
 		},
 	})
 	if err != nil {
@@ -406,7 +442,7 @@ func (ix *Index) queryOpts(q set.Set, lo, hi float64, opt QueryOptions) ([]Match
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	return convertMatches(matches), convertStats(qs), nil
+	return convertMatches(matches), ix.convertStats(qs), nil
 }
 
 // convertMatches maps internal matches to the public type.
@@ -419,24 +455,29 @@ func convertMatches(matches []core.Match) []Match {
 }
 
 // convertStats maps internal query stats to the public type under the
-// default cost model, carrying the per-shard breakdown through.
-func convertStats(qs engine.QueryStats) Stats {
+// default cost model, carrying the per-shard breakdown through and
+// annotating the signing family's screening behaviour.
+func (ix *Index) convertStats(qs engine.QueryStats) Stats {
 	model := storage.DefaultCostModel()
 	st := Stats{
-		Candidates:          qs.Candidates,
-		Results:             qs.Results,
-		Screened:            qs.Screened,
-		RandomPageReads:     qs.IndexIO.Rand() + qs.FetchIO.Rand(),
-		SequentialPageReads: qs.IndexIO.Seq() + qs.FetchIO.Seq(),
-		SimulatedIOTime:     qs.SimIOTime(model),
-		CPUTime:             qs.CPU,
-		PlanGeneration:      qs.PlanGeneration,
-		ShardsQueried:       qs.ShardsQueried,
-		ShardsPruned:        qs.ShardsPruned,
-		GatherTime:          qs.Gather,
-		PlanChosen:          qs.Plan,
-		CacheHits:           qs.CacheHits,
-		CacheMisses:         qs.CacheMisses,
+		Candidates:           qs.Candidates,
+		Results:              qs.Results,
+		Screened:             qs.Screened,
+		SignatureBytesPerSet: ix.inner.SignatureBytesPerSet(),
+		RandomPageReads:      qs.IndexIO.Rand() + qs.FetchIO.Rand(),
+		SequentialPageReads:  qs.IndexIO.Seq() + qs.FetchIO.Seq(),
+		SimulatedIOTime:      qs.SimIOTime(model),
+		CPUTime:              qs.CPU,
+		PlanGeneration:       qs.PlanGeneration,
+		ShardsQueried:        qs.ShardsQueried,
+		ShardsPruned:         qs.ShardsPruned,
+		GatherTime:           qs.Gather,
+		PlanChosen:           qs.Plan,
+		CacheHits:            qs.CacheHits,
+		CacheMisses:          qs.CacheMisses,
+	}
+	if st.Candidates > 0 {
+		st.ScreenedFraction = float64(st.Screened) / float64(st.Candidates)
 	}
 	for i := range qs.PerShard {
 		ps := &qs.PerShard[i]
@@ -537,7 +578,7 @@ func (ix *Index) QueryBatch(queries []BatchQuery, opt QueryOptions) []BatchResul
 			results[i].Err = r.Err
 			continue
 		}
-		results[i] = BatchResult{Matches: convertMatches(r.Matches), Stats: convertStats(r.Stats)}
+		results[i] = BatchResult{Matches: convertMatches(r.Matches), Stats: ix.convertStats(r.Stats)}
 	}
 	return results
 }
@@ -619,7 +660,7 @@ func (ix *Index) QueryAuto(elements []string, lo, hi float64) ([]Match, RouteInf
 	// Report the path(s) that actually ran: on a sharded index each shard
 	// routes independently, which can differ from the aggregate prediction.
 	info.Path = path
-	return convertMatches(matches), info, convertStats(qs), nil
+	return convertMatches(matches), info, ix.convertStats(qs), nil
 }
 
 // TopK returns the k sets most similar to the query elements, best first
@@ -649,7 +690,7 @@ func (ix *Index) topK(q set.Set, k int) ([]Match, Stats, error) {
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	return convertMatches(matches), convertStats(qs), nil
+	return convertMatches(matches), ix.convertStats(qs), nil
 }
 
 // Remove deletes set sid from the index and collection bookkeeping. The
