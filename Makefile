@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet ssrvet race crash fuzz-smoke bench-json bench-shards bench-drift bench-plan bench-screen check
+.PHONY: all build test vet ssrvet race crash replication fuzz-smoke bench-json bench-shards bench-drift bench-plan bench-screen bench-replica check
 
 all: check
 
@@ -40,6 +40,15 @@ crash:
 	$(GO) test -race ./internal/wal/ ./internal/recovery/
 	$(GO) test -race -run 'Durable|CrashInjection|Sharded' .
 
+# The replication suite under the race detector: wire-codec corruption
+# sweeps, live follower mirroring (incl. stream cuts at swept byte
+# offsets and a local-WAL truncation sweep at EVERY offset), rotation
+# lockstep, retune-triggered resyncs, the hedged router, and the
+# two-process SIGKILL crash/resume harness — each ending in a Save-byte
+# equality check against the primary.
+replication:
+	$(GO) test -race ./internal/replica/
+
 # A bounded run of every fuzz target; regressions in the corpus fail fast.
 FUZZTIME ?= 20s
 fuzz-smoke:
@@ -48,6 +57,7 @@ fuzz-smoke:
 	$(GO) test ./internal/ecc/ -run '^$$' -fuzz FuzzHadamardRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/minhash/ -run '^$$' -fuzz FuzzPackedSignatureRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/wal/ -run '^$$' -fuzz FuzzReplay -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/replica/ -run '^$$' -fuzz FuzzWireDecode -fuzztime $(FUZZTIME)
 	$(GO) test . -run '^$$' -fuzz FuzzLoad -fuzztime $(FUZZTIME)
 
 # The parallel-pipeline benchmark report (build speedup, batched query
@@ -90,5 +100,12 @@ bench-plan:
 # (identicalResults in the JSON).
 bench-screen:
 	$(GO) run ./cmd/ssrbench -exp screen -json -n $(BENCH_N) -queries $(BENCH_QUERIES) -budget $(BENCH_BUDGET) -out BENCH_screen.json
+
+# The replication report: write-to-visible lag percentiles on a live
+# follower, hedged scatter-gather read latency through the router vs
+# direct primary reads, and a byte-identity check over every routed
+# answer (identicalAnswers in the JSON).
+bench-replica:
+	$(GO) run ./cmd/ssrbench -exp replica -json -n $(BENCH_N) -queries $(BENCH_QUERIES) -out BENCH_replica.json
 
 check: build vet test

@@ -14,6 +14,8 @@
 //	                                    # adaptive re-tuning under drift
 //	ssrbench -exp plan -json -out BENCH_plan.json
 //	                                    # cost-based query planner report
+//	ssrbench -exp replica -json -out BENCH_replica.json
+//	                                    # replication lag + hedged-read report
 //
 // The paper's experiments used 200,000-set collections; the defaults here
 // are laptop-scale but preserve the reported shapes. Raise -n and -queries
@@ -30,12 +32,13 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/planbench"
+	"repro/internal/replbench"
 	"repro/internal/shardbench"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig6a, fig6b, fig7a, fig7b, filtercurve, rltradeoff, placement, allocation, intervals, dfigain, embedding, profile, bench, drift, shards, plan, screen, all")
+		exp      = flag.String("exp", "all", "experiment: fig6a, fig6b, fig7a, fig7b, filtercurve, rltradeoff, placement, allocation, intervals, dfigain, embedding, profile, bench, drift, shards, plan, screen, replica, all")
 		n        = flag.Int("n", 0, "collection size per dataset (0 = default)")
 		queries  = flag.Int("queries", 0, "number of random queries (0 = default)")
 		budget   = flag.Int("budget", 0, "hash-table budget override (0 = per-experiment default)")
@@ -70,6 +73,13 @@ func main() {
 		MinHashes: *k,
 		Seed:      *seed,
 	}
+	replCfg := replbench.Config{
+		N:         *n,
+		Queries:   *queries,
+		Budget:    *budget,
+		MinHashes: *k,
+		Seed:      *seed,
+	}
 	out := io.Writer(os.Stdout)
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
@@ -98,6 +108,8 @@ func main() {
 			rep, err = shardbench.Run(os.Stderr, shardCfg)
 		case "plan":
 			rep, err = planbench.Run(os.Stderr, planCfg)
+		case "replica":
+			rep, err = replbench.Run(os.Stderr, replCfg)
 		case "drift":
 			rep, err = experiments.Drift(os.Stderr, cfg)
 		case "screen":
@@ -117,14 +129,14 @@ func main() {
 		}
 		return
 	}
-	if err := run(out, strings.ToLower(*exp), cfg, shardCfg, planCfg, *sstar); err != nil {
+	if err := run(out, strings.ToLower(*exp), cfg, shardCfg, planCfg, replCfg, *sstar); err != nil {
 		fmt.Fprintf(os.Stderr, "ssrbench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 // run dispatches one experiment (or all of them) to w.
-func run(w io.Writer, exp string, cfg experiments.Config, shardCfg shardbench.Config, planCfg planbench.Config, sstar float64) error {
+func run(w io.Writer, exp string, cfg experiments.Config, shardCfg shardbench.Config, planCfg planbench.Config, replCfg replbench.Config, sstar float64) error {
 	// The sharded-engine stress bench runs for minutes and mutates durable
 	// scratch directories, so it is invoked by name only — never as part
 	// of "all". The planner bench is likewise name-only: it is a report,
@@ -141,6 +153,12 @@ func run(w io.Writer, exp string, cfg experiments.Config, shardCfg shardbench.Co
 	// like the planner bench.
 	if exp == "screen" {
 		_, err := experiments.Screen(w, cfg)
+		return err
+	}
+	// The replication bench spins up live HTTP nodes and a follower
+	// mirror; name-only, like the other system-level benches.
+	if exp == "replica" {
+		_, err := replbench.Run(w, replCfg)
 		return err
 	}
 	type job struct {
@@ -173,7 +191,7 @@ func run(w io.Writer, exp string, cfg experiments.Config, shardCfg shardbench.Co
 		for i, j := range jobs {
 			names[i] = j.name
 		}
-		return fmt.Errorf("unknown experiment %q (have: %s, shards, plan, screen, all)", exp, strings.Join(names, ", "))
+		return fmt.Errorf("unknown experiment %q (have: %s, shards, plan, screen, replica, all)", exp, strings.Join(names, ", "))
 	}
 	for i, j := range jobs {
 		if i > 0 {

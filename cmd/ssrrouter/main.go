@@ -1,0 +1,105 @@
+// Command ssrrouter fronts one primary and any number of followers as a
+// single read/write endpoint: writes forward to the primary, reads are
+// hedged across every caught-up backend (first answer wins), and batch
+// queries scatter positionally over the ready set and gather back in
+// order. Because followers mirror the primary byte for byte and report
+// ready only when caught up, any backend's answer is the answer.
+//
+// Usage:
+//
+//	ssrserver -wal /data/primary -addr :8080 &
+//	ssrserver -follow http://localhost:8080 -wal /data/f1 -addr :8081 &
+//	ssrrouter -primary http://localhost:8080 -follower http://localhost:8081 -addr :8090
+//	curl -s -X POST localhost:8090/query -d '{"elements":["a","b"],"lo":0.5,"hi":1.0}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/replica"
+)
+
+// followerList collects repeated -follower flags.
+type followerList []string
+
+func (f *followerList) String() string { return strings.Join(*f, ",") }
+
+func (f *followerList) Set(v string) error {
+	for _, u := range strings.Split(v, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			*f = append(*f, u)
+		}
+	}
+	return nil
+}
+
+func main() {
+	var followers followerList
+	var (
+		addr       = flag.String("addr", ":8090", "listen address")
+		primary    = flag.String("primary", "", "primary base URL (required; all writes land here)")
+		hedgeDelay = flag.Duration("hedge-delay", 20*time.Millisecond, "fire a duplicate read at the next ready backend after this long")
+		probeEvery = flag.Duration("probe-interval", time.Second, "backend /readyz probe period")
+		timeout    = flag.Duration("timeout", 30*time.Second, "per-request upstream timeout")
+
+		readHeaderTimeout = flag.Duration("read-header-timeout", 5*time.Second, "time limit for reading a request's headers")
+		readTimeout       = flag.Duration("read-timeout", 30*time.Second, "time limit for reading an entire request, body included")
+		writeTimeout      = flag.Duration("write-timeout", 60*time.Second, "time limit for writing a response")
+		idleTimeout       = flag.Duration("idle-timeout", 2*time.Minute, "keep-alive limit for idle connections")
+
+		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
+	)
+	flag.Var(&followers, "follower", "follower base URL (repeatable, or comma-separated)")
+	flag.Parse()
+
+	if *primary == "" {
+		log.Fatal("ssrrouter: -primary is required")
+	}
+	rt := replica.NewRouter(replica.RouterOptions{
+		Primary:    *primary,
+		Followers:  followers,
+		HedgeDelay: *hedgeDelay,
+		ProbeEvery: *probeEvery,
+		Timeout:    *timeout,
+	})
+	log.Printf("routing %s + %d follower(s) on %s", *primary, len(followers), *addr)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           rt,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := <-stop
+		log.Printf("received %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("ssrrouter: draining requests: %v", err)
+		}
+		if err := rt.Close(); err != nil {
+			log.Printf("ssrrouter: stopping prober: %v", err)
+		}
+	}()
+
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("ssrrouter: %v", err)
+	}
+	<-done
+}

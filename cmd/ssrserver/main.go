@@ -20,6 +20,13 @@
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // drain (bounded by -shutdown-timeout) and, when durability is enabled, a
 // final checkpoint is flushed so the next start skips log replay.
+//
+// Replication: a durable index (-wal) automatically serves the /replica/*
+// stream endpoints, making it a primary any follower can tail. A follower
+// runs with -follow http://primary:8080 plus its own -wal directory: it
+// bootstraps from the primary's newest checkpoints, tails the WAL stream,
+// serves reads only (mutations get 403), and reports ready on /readyz
+// once its replication lag is within -lag-bound bytes.
 package main
 
 import (
@@ -35,6 +42,7 @@ import (
 	"time"
 
 	ssr "repro"
+	"repro/internal/replica"
 	"repro/internal/server"
 	"repro/internal/textio"
 )
@@ -62,6 +70,14 @@ func main() {
 		autotuneEvery = flag.Duration("autotune-interval", 30*time.Second, "drift evaluation period under -autotune")
 		autotuneDrift = flag.Float64("autotune-drift", 0, "drift threshold (max CDF distance) that triggers a retune; 0 = default 0.15")
 
+		follow   = flag.String("follow", "", "follower mode: primary base URL to mirror (requires -wal for the local mirror)")
+		lagBound = flag.Int64("lag-bound", 1<<20, "follower readiness bound: /readyz reports ready once replication lag is within this many bytes")
+
+		readHeaderTimeout = flag.Duration("read-header-timeout", 5*time.Second, "time limit for reading a request's headers")
+		readTimeout       = flag.Duration("read-timeout", 30*time.Second, "time limit for reading an entire request, body included")
+		writeTimeout      = flag.Duration("write-timeout", 60*time.Second, "time limit for writing a response (replication streams extend their own deadline per frame)")
+		idleTimeout       = flag.Duration("idle-timeout", 2*time.Minute, "keep-alive limit for idle connections")
+
 		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
 	)
 	flag.Parse()
@@ -70,23 +86,78 @@ func main() {
 		log.Fatal("ssrserver: -wal and -snapshot are mutually exclusive (the durability directory has its own checkpoints)")
 	}
 
-	signing := ssr.SigningOptions{Family: *signFam, BitsPerHash: *signBits}
-	ix, err := openIndex(*data, *snapshot, *walDir, *walSync, *walSyncEvery, *walCkptBytes, *walPrealloc, *budget, *recall, *k, *seed, *shards, signing)
-	if err != nil {
-		log.Fatalf("ssrserver: %v", err)
-	}
-	if *autotune {
-		policy := ssr.TunePolicy{CheckEvery: *autotuneEvery, DriftThreshold: *autotuneDrift, Seed: *seed}
-		if err := ix.EnableAutoTune(policy); err != nil {
-			log.Fatalf("ssrserver: enabling auto-tune: %v", err)
+	var handler http.Handler
+	var closeNode func() error
+	if *follow != "" {
+		if *walDir == "" {
+			log.Fatal("ssrserver: -follow requires -wal <dir> for the local mirror")
 		}
-		log.Printf("auto-tune enabled (interval %v); tuner state on GET /stats", *autotuneEvery)
+		mode, err := ssr.ParseSyncMode(*walSync)
+		if err != nil {
+			log.Fatalf("ssrserver: %v", err)
+		}
+		fol, err := replica.StartFollower(context.Background(), replica.FollowerOptions{
+			Dir:     *walDir,
+			Primary: *follow,
+			Durable: ssr.DurableOptions{
+				Sync:          mode,
+				SyncEvery:     *walSyncEvery,
+				PreallocBytes: *walPrealloc,
+			},
+			LagBoundBytes: *lagBound,
+		})
+		if err != nil {
+			log.Fatalf("ssrserver: starting follower: %v", err)
+		}
+		closeNode = fol.Close
+		handler = server.NewWithConfig(nil, server.Config{
+			Role:     "follower",
+			ReadOnly: true,
+			Index:    fol.Index,
+			Readiness: func() (bool, map[string]any) {
+				st := fol.Status()
+				return st.CaughtUp, map[string]any{
+					"connected": st.Connected,
+					"lagBytes":  st.LagBytes,
+					"caughtUp":  st.CaughtUp,
+					"resyncs":   st.Resyncs,
+				}
+			},
+		})
+		log.Printf("following %s into %s", *follow, *walDir)
+	} else {
+		signing := ssr.SigningOptions{Family: *signFam, BitsPerHash: *signBits}
+		ix, err := openIndex(*data, *snapshot, *walDir, *walSync, *walSyncEvery, *walCkptBytes, *walPrealloc, *budget, *recall, *k, *seed, *shards, signing)
+		if err != nil {
+			log.Fatalf("ssrserver: %v", err)
+		}
+		if *autotune {
+			policy := ssr.TunePolicy{CheckEvery: *autotuneEvery, DriftThreshold: *autotuneDrift, Seed: *seed}
+			if err := ix.EnableAutoTune(policy); err != nil {
+				log.Fatalf("ssrserver: enabling auto-tune: %v", err)
+			}
+			log.Printf("auto-tune enabled (interval %v); tuner state on GET /stats", *autotuneEvery)
+		}
+		closeNode = ix.Close
+		cfg := server.Config{}
+		if *walDir != "" {
+			// A durable index is a primary: serve the replication stream.
+			repl, err := replica.NewHandler(ix, replica.HandlerOptions{})
+			if err != nil {
+				log.Fatalf("ssrserver: replication handler: %v", err)
+			}
+			cfg.Role, cfg.Replication = "primary", repl
+		}
+		handler = server.NewWithConfig(ix, cfg)
+		log.Printf("serving %d sets on %s", ix.Internal().Len(), *addr)
 	}
-	log.Printf("serving %d sets on %s", ix.Internal().Len(), *addr)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(ix),
-		ReadHeaderTimeout: 5 * time.Second,
+		Handler:           handler,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
 
 	// Graceful shutdown: stop accepting, drain in-flight requests, then
@@ -103,7 +174,7 @@ func main() {
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Printf("ssrserver: draining requests: %v", err)
 		}
-		if err := ix.Close(); err != nil {
+		if err := closeNode(); err != nil {
 			log.Printf("ssrserver: closing index: %v", err)
 		}
 	}()

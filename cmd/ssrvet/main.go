@@ -92,6 +92,7 @@ var suite = []scopedAnalyzer{
 			"repro/internal/recovery",
 			"repro/internal/engine",
 			"repro/internal/tuner",
+			"repro/internal/replica",
 			"repro/cmd",
 		)(path)
 	}},

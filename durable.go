@@ -99,20 +99,33 @@ var ErrNoDurableState = errors.New("ssr: durability directory holds no state")
 // throughput comes from.
 const manifestName = "MANIFEST"
 
-// durableManifest is the JSON body of the MANIFEST file.
+// durableManifest is the JSON body of the MANIFEST file. Version gates
+// the whole image format: a reader refuses versions it does not know
+// (the image was written by a newer release and may rely on invariants
+// this code predates) but tolerates unknown FIELDS within a known
+// version, so additive evolution needs no version bump.
 type durableManifest struct {
 	Version    int   `json:"version"`
 	Shards     int   `json:"shards"`
 	RouterSeed int64 `json:"router_seed"`
 }
 
+// manifestVersion is what this release writes; manifestMaxVersion is the
+// newest version it can read. They are equal today — the constants exist
+// so a future writer bump is one edit and the reader-side error below
+// stays honest.
+const (
+	manifestVersion    = 1
+	manifestMaxVersion = 1
+)
+
 func shardDirPath(dir string, si int) string {
 	return filepath.Join(dir, fmt.Sprintf("shard-%03d", si))
 }
 
-// readManifest returns the parsed manifest, or nil when the directory has
-// none (the legacy single-shard layout, or no state at all).
-func readManifest(dir string) (*durableManifest, error) {
+// readRawManifest returns the MANIFEST bytes, or nil when the directory
+// has none (the legacy single-shard layout, or no state at all).
+func readRawManifest(dir string) ([]byte, error) {
 	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
@@ -120,17 +133,33 @@ func readManifest(dir string) (*durableManifest, error) {
 		}
 		return nil, fmt.Errorf("ssr: reading durable manifest: %w", err)
 	}
+	return raw, nil
+}
+
+// parseManifest validates raw MANIFEST bytes.
+func parseManifest(raw []byte) (*durableManifest, error) {
 	var man durableManifest
 	if err := json.Unmarshal(raw, &man); err != nil {
 		return nil, fmt.Errorf("ssr: parsing durable manifest: %w", err)
 	}
-	if man.Version != 1 {
-		return nil, fmt.Errorf("ssr: unsupported durable manifest version %d", man.Version)
+	if man.Version < 1 || man.Version > manifestMaxVersion {
+		return nil, fmt.Errorf("ssr: durable manifest version %d is not supported (this build reads versions 1 through %d; the image was written by a newer release — upgrade this binary, it cannot safely interpret the layout)",
+			man.Version, manifestMaxVersion)
 	}
 	if man.Shards < 2 || man.Shards > engine.MaxShards {
 		return nil, fmt.Errorf("ssr: durable manifest shard count %d out of range [2, %d]", man.Shards, engine.MaxShards)
 	}
 	return &man, nil
+}
+
+// readManifest returns the parsed manifest, or nil when the directory has
+// none (the legacy single-shard layout, or no state at all).
+func readManifest(dir string) (*durableManifest, error) {
+	raw, err := readRawManifest(dir)
+	if err != nil || raw == nil {
+		return nil, err
+	}
+	return parseManifest(raw)
 }
 
 // writeManifest persists the manifest atomically (write-temp + rename), as
@@ -167,6 +196,12 @@ type durableShard struct {
 type durable struct {
 	closed atomic.Bool
 	shards []*durableShard
+	dir    string
+	// repl tracks in-flight sid reservations for the replication
+	// watermark; src is the lazily created ReplicationSource handle.
+	repl    replTracker
+	srcOnce sync.Once
+	src     *ReplicationSource
 }
 
 // HasDurableState reports whether dir already holds durable index state —
@@ -325,7 +360,7 @@ func OpenDurable(dir string, opt DurableOptions) (*Index, error) {
 	if !found {
 		return nil, errors.Join(ErrNoDurableState, log.Close())
 	}
-	ix.dur = &durable{shards: []*durableShard{{log: log}}}
+	ix.dur = &durable{shards: []*durableShard{{log: log}}, dir: dir}
 	return ix, nil
 }
 
@@ -529,7 +564,7 @@ func openDurableSharded(dir string, man durableManifest, opt DurableOptions) (*I
 	for si, l := range logs {
 		shards[si] = &durableShard{log: l}
 	}
-	ix.dur = &durable{shards: shards}
+	ix.dur = &durable{shards: shards, dir: dir}
 	return ix, nil
 }
 
@@ -576,7 +611,7 @@ func CreateDurable(dir string, c *Collection, bopt Options, dopt DurableOptions)
 		if err := log.Checkpoint(); err != nil {
 			return nil, errors.Join(err, log.Close())
 		}
-		ix.dur = &durable{shards: []*durableShard{{log: log}}}
+		ix.dur = &durable{shards: []*durableShard{{log: log}}, dir: dir}
 		return enableTune(ix)
 	}
 	n := ix.inner.NumShards()
@@ -612,7 +647,7 @@ func CreateDurable(dir string, c *Collection, bopt Options, dopt DurableOptions)
 			return nil, fmt.Errorf("ssr: checkpointing shard %d: %w", si, err)
 		}
 	}
-	if err := writeManifest(dir, durableManifest{Version: 1, Shards: n, RouterSeed: ix.inner.RouterSeed()}); err != nil {
+	if err := writeManifest(dir, durableManifest{Version: manifestVersion, Shards: n, RouterSeed: ix.inner.RouterSeed()}); err != nil {
 		closeAll()
 		return nil, err
 	}
@@ -620,7 +655,7 @@ func CreateDurable(dir string, c *Collection, bopt Options, dopt DurableOptions)
 	for si, l := range logs {
 		shards[si] = &durableShard{log: l}
 	}
-	ix.dur = &durable{shards: shards}
+	ix.dur = &durable{shards: shards, dir: dir}
 	return enableTune(ix)
 }
 
@@ -657,11 +692,20 @@ func (d *durable) add(ix *Index, elements []string) (int, error) {
 	}
 	// Sharded: reserve the global sid first so the owning shard is known
 	// before any lane is locked; then apply and log under that one lane.
+	// The replication tracker brackets the reservation: its entry is
+	// registered before the sid exists (bounded below by the allocation
+	// frontier read here first) and retired once the record is logged or
+	// the insert abandoned, so the watermark never advances past an
+	// insert that is reserved but not yet durable.
 	s := ix.coll.intern(elements)
+	tok := d.repl.begin(uint32(ix.inner.NumAllocated()))
 	g, si, err := ix.inner.ReserveInsert()
 	if err != nil {
+		d.repl.settle(tok)
 		return 0, err
 	}
+	d.repl.assign(tok, g)
+	defer d.repl.settle(tok)
 	sh := d.shards[si]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -712,6 +756,9 @@ func (ix *Index) Checkpoint() error {
 	if ix.dur == nil {
 		return fmt.Errorf("ssr: index is not durable (no checkpoint target)")
 	}
+	if ix.replica {
+		return fmt.Errorf("ssr: %w (rotations follow the primary's stream)", ErrReplicaReadOnly)
+	}
 	if ix.dur.closed.Load() {
 		return errClosed()
 	}
@@ -749,7 +796,13 @@ func (ix *Index) Close() error {
 	var errs []error
 	for si, sh := range d.shards {
 		sh.mu.Lock()
-		ckptErr := sh.log.Checkpoint()
+		// A follower never rotates on its own: its generation chain must
+		// stay in lockstep with the primary's, so Close leaves the live
+		// segment as the recovery tail instead of cutting a checkpoint.
+		var ckptErr error
+		if !ix.replica {
+			ckptErr = sh.log.Checkpoint()
+		}
 		closeErr := sh.log.Close()
 		sh.mu.Unlock()
 		if ckptErr != nil {

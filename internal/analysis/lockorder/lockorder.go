@@ -117,6 +117,15 @@ func Repo() Config {
 			{Name: "collection", Mutexes: []string{
 				"repro.Collection.mu",
 			}},
+			// Replication leaves: the watermark tracker is bracketed
+			// around engine reservations but never holds its mutex across
+			// another acquisition (the allocation frontier is read before
+			// locking), and the source's subscriber registry only does
+			// non-blocking sends under its mutex.
+			{Name: "replication", Mutexes: []string{
+				"repro.replTracker.mu",
+				"repro.ReplicationSource.mu",
+			}},
 		},
 		Methods: map[string]string{
 			// Retunes serialize on the tune mutex before touching any

@@ -1,0 +1,116 @@
+package recovery
+
+// Replication-facing accessors: a primary node serves its generation
+// chain to followers, so the chain's position, file names, and seal
+// verification need stable entry points outside this package.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Position returns the live segment's generation and logical size — the
+// resume token a tailing reader holds. Offset excludes preallocation
+// padding, so every byte below it is a durable, frame-aligned prefix.
+func (l *Log) Position() (gen uint64, offset int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.w == nil {
+		return l.seq, 0
+	}
+	return l.seq, l.w.Size()
+}
+
+// Dir returns the durability directory this log lives in.
+func (l *Log) Dir() string { return l.opt.Dir }
+
+// WALFilePath names the log segment of generation gen in this directory.
+// The file may have been compacted away; callers handle os.ErrNotExist.
+func (l *Log) WALFilePath(gen uint64) string {
+	return walPath(l.opt.Dir, gen)
+}
+
+// CheckpointFilePath names the sealed checkpoint of generation gen.
+func (l *Log) CheckpointFilePath(gen uint64) string {
+	return checkpointPath(l.opt.Dir, gen)
+}
+
+// SetNotify installs fn, called after every successful Append and after
+// every checkpoint rotation (automatic or explicit). It runs with the
+// log's internal mutex held, so it must not block and must not call back
+// into the Log — post a flag or a non-blocking channel send and return.
+func (l *Log) SetNotify(fn func()) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.notify = fn
+}
+
+// NewestCheckpoint scans dir for the highest-generation checkpoint whose
+// seal verifies, returning its generation. found is false when the
+// directory holds no intact checkpoint.
+func NewestCheckpoint(dir string) (gen uint64, found bool, err error) {
+	cps, _, err := scanDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, false, nil
+		}
+		return 0, false, err
+	}
+	for i := len(cps) - 1; i >= 0; i-- {
+		if VerifyCheckpoint(checkpointPath(dir, cps[i])) == nil {
+			return cps[i], true, nil
+		}
+	}
+	return 0, false, nil
+}
+
+// VerifyCheckpoint checks the seal (magic, length footer, CRC32C) of the
+// checkpoint at path without interpreting its payload. A nil return means
+// the file is a complete, uncorrupted snapshot artifact — safe to ship to
+// a follower byte-for-byte.
+func VerifyCheckpoint(path string) error {
+	return loadCheckpoint(path, func(io.Reader) error { return nil })
+}
+
+// ImportCheckpoint writes a checkpoint fetched from elsewhere into the
+// chain at generation gen, verifying the seal before publishing. The
+// write is crash-atomic like a locally produced snapshot: temp file,
+// fsync, rename, directory fsync. It is a bootstrap primitive — the
+// directory should hold no live Log.
+func ImportCheckpoint(dir string, gen uint64, r io.Reader) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("recovery: creating %s: %w", dir, err)
+	}
+	path := checkpointPath(dir, gen)
+	tmp := path + ".import"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("recovery: creating import temp: %w", err)
+	}
+	fail := func(err error) error {
+		cerr := f.Close()
+		rerr := os.Remove(tmp)
+		if os.IsNotExist(rerr) {
+			rerr = nil
+		}
+		return errors.Join(err, cerr, rerr)
+	}
+	if _, err := io.Copy(f, r); err != nil {
+		return fail(fmt.Errorf("recovery: copying imported checkpoint: %w", err))
+	}
+	if err := f.Sync(); err != nil {
+		return fail(fmt.Errorf("recovery: syncing imported checkpoint: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		return errors.Join(fmt.Errorf("recovery: closing imported checkpoint: %w", err), os.Remove(tmp))
+	}
+	if err := VerifyCheckpoint(tmp); err != nil {
+		return errors.Join(fmt.Errorf("recovery: imported checkpoint failed verification: %w", err), os.Remove(tmp))
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return errors.Join(fmt.Errorf("recovery: publishing imported checkpoint: %w", err), os.Remove(tmp))
+	}
+	return syncDir(dir)
+}

@@ -114,12 +114,13 @@ func (o Options) withDefaults() Options {
 // higher layers additionally order Append calls against their own state
 // mutations.
 type Log struct {
-	mu   sync.Mutex
-	opt  Options
-	h    Hooks
-	seq  uint64
-	w    *wal.Writer // nil until the first checkpoint exists
-	comp error       // pending automatic-compaction failure, surfaced on Close
+	mu     sync.Mutex
+	opt    Options
+	h      Hooks
+	seq    uint64
+	w      *wal.Writer // nil until the first checkpoint exists
+	comp   error       // pending automatic-compaction failure, surfaced on Close
+	notify func()      // optional post-append/post-checkpoint signal (see SetNotify)
 }
 
 // checkpointPath / walPath name generation files. The fixed-width decimal
@@ -398,6 +399,9 @@ func (l *Log) Append(rec wal.Record) error {
 			l.comp = nil
 		}
 	}
+	if l.notify != nil {
+		l.notify()
+	}
 	return nil
 }
 
@@ -444,7 +448,11 @@ func (l *Log) checkpointLocked() error {
 		closeErr = old.Close()
 	}
 	// 5. Compact generations older than the retention window.
-	return errors.Join(closeErr, l.compactLocked())
+	err = errors.Join(closeErr, l.compactLocked())
+	if l.notify != nil {
+		l.notify()
+	}
+	return err
 }
 
 // compactLocked removes generations older than seq-Keep.

@@ -1,0 +1,346 @@
+// Package replbench measures the replication subsystem end to end: the
+// write-to-visible replication lag of a live follower tailing a durable
+// primary, and the latency of hedged scatter-gather reads through the
+// router against direct primary reads — with a byte-identity check that
+// every routed answer matches the primary's, whichever backend won the
+// hedge. It lives outside internal/experiments for the same reason
+// shardbench does: it exercises the public ssr package through real
+// HTTP nodes.
+package replbench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"time"
+
+	ssr "repro"
+	"repro/internal/replica"
+	"repro/internal/server"
+)
+
+// Config scales the benchmark. Zero values select laptop-scale defaults.
+type Config struct {
+	// N is the seeded collection size on the primary.
+	N int
+	// Writes is the number of lag-probed writes (each timed from Add on
+	// the primary to visibility on the follower).
+	Writes int
+	// Queries is the number of timed reads per mode (hedged, direct).
+	Queries int
+	// Budget is the hash-table budget; MinHashes the signature length.
+	Budget    int
+	MinHashes int
+	// Shards is the primary's durable shard count.
+	Shards int
+	// HedgeDelay is the router's hedge trigger.
+	HedgeDelay time.Duration
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.N <= 0 {
+		c.N = 1500
+	}
+	if c.Writes <= 0 {
+		c.Writes = 150
+	}
+	if c.Queries <= 0 {
+		c.Queries = 200
+	}
+	if c.Budget <= 0 {
+		c.Budget = 64
+	}
+	if c.MinHashes <= 0 {
+		c.MinHashes = 16
+	}
+	if c.Shards <= 0 {
+		c.Shards = 2
+	}
+	if c.HedgeDelay <= 0 {
+		c.HedgeDelay = 5 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// Report is the JSON document `ssrbench -exp replica -json` emits.
+type Report struct {
+	Sets    int `json:"sets"`
+	Shards  int `json:"shards"`
+	Writes  int `json:"writes"`
+	Queries int `json:"queries"`
+
+	// Replication lag: wall time from a primary Add returning to the
+	// write being visible (and fully settled) on the follower.
+	LagP50Micros float64 `json:"lagP50Micros"`
+	LagP99Micros float64 `json:"lagP99Micros"`
+
+	// Hedged reads through the router vs direct primary reads.
+	HedgedP50Micros float64 `json:"hedgedP50Micros"`
+	HedgedP99Micros float64 `json:"hedgedP99Micros"`
+	DirectP50Micros float64 `json:"directP50Micros"`
+	DirectP99Micros float64 `json:"directP99Micros"`
+	// HedgesFired is how many secondary attempts the router launched
+	// across the read workload.
+	HedgesFired uint64 `json:"hedgesFired"`
+	// IdenticalAnswers is true when every routed answer was byte-equal
+	// to the primary's direct answer for the same query.
+	IdenticalAnswers bool `json:"identicalAnswers"`
+}
+
+// percentile returns the p-quantile of sorted durations in microseconds.
+func percentile(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return float64(sorted[i].Nanoseconds()) / 1e3
+}
+
+func sortedLat(lat []time.Duration) []time.Duration {
+	out := append([]time.Duration(nil), lat...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// elems generates a small overlapping element set for index i.
+func elems(i int) []string {
+	out := make([]string, 0, 6)
+	for j := 0; j < 6; j++ {
+		out = append(out, fmt.Sprintf("e-%d", i*3+j))
+	}
+	return out
+}
+
+// Run executes the benchmark, prints a human-readable summary to w, and
+// returns the structured report.
+func Run(w io.Writer, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	primaryDir, err := os.MkdirTemp("", "replbench-primary-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(primaryDir)
+	followerDir, err := os.MkdirTemp("", "replbench-follower-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(followerDir)
+
+	c := ssr.NewCollection()
+	for i := 0; i < cfg.N; i++ {
+		c.Add(elems(rng.Intn(cfg.N))...)
+	}
+	ix, err := ssr.CreateDurable(primaryDir, c, ssr.Options{
+		Budget: cfg.Budget, MinHashes: cfg.MinHashes, Seed: cfg.Seed, Shards: cfg.Shards,
+	}, ssr.DurableOptions{Sync: ssr.SyncNever})
+	if err != nil {
+		return nil, err
+	}
+	defer ix.Close()
+
+	// The primary node serves the full HTTP surface with the replication
+	// stream mounted; the follower mirrors it and serves reads.
+	h, err := replica.NewHandler(ix, replica.HandlerOptions{Heartbeat: 20 * time.Millisecond})
+	if err != nil {
+		return nil, err
+	}
+	primarySrv := httptest.NewServer(server.NewWithConfig(ix, server.Config{Role: "primary", Replication: h}))
+	defer primarySrv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	fol, err := replica.StartFollower(ctx, replica.FollowerOptions{
+		Dir: followerDir, Primary: primarySrv.URL,
+		Heartbeat: 20 * time.Millisecond, ReconnectBackoff: 20 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer fol.Close()
+
+	waitUntil := func(what string, cond func() bool) error {
+		deadline := time.Now().Add(30 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("replbench: timed out waiting for %s", what)
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+		return nil
+	}
+	mirrored := func(target int) func() bool {
+		return func() bool {
+			st := fol.Status()
+			return st.Connected && st.CaughtUp && st.LagBytes == 0 &&
+				fol.Index().Internal().Len() == target
+		}
+	}
+	if err := waitUntil("initial catch-up", mirrored(ix.Internal().Len())); err != nil {
+		return nil, err
+	}
+
+	rep := &Report{Sets: cfg.N, Shards: cfg.Shards, Writes: cfg.Writes, Queries: cfg.Queries}
+
+	// Phase 1 — replication lag: time each write from the primary's Add
+	// returning to the follower having fully settled it.
+	lags := make([]time.Duration, 0, cfg.Writes)
+	for i := 0; i < cfg.Writes; i++ {
+		start := time.Now()
+		if _, err := ix.Add(elems(cfg.N + i)...); err != nil {
+			return nil, err
+		}
+		if err := waitUntil("write visibility", mirrored(ix.Internal().Len())); err != nil {
+			return nil, err
+		}
+		lags = append(lags, time.Since(start))
+	}
+	sl := sortedLat(lags)
+	rep.LagP50Micros = percentile(sl, 0.50)
+	rep.LagP99Micros = percentile(sl, 0.99)
+
+	// Phase 2 — hedged vs direct reads. The follower node fronts the live
+	// mirror; the router hedges across both.
+	followerSrv := httptest.NewServer(server.NewWithConfig(nil, server.Config{
+		Role: "follower", ReadOnly: true, Index: fol.Index,
+		Readiness: func() (bool, map[string]any) {
+			st := fol.Status()
+			return st.CaughtUp, map[string]any{"lagBytes": st.LagBytes}
+		},
+	}))
+	defer followerSrv.Close()
+	rt := replica.NewRouter(replica.RouterOptions{
+		Primary:    primarySrv.URL,
+		Followers:  []string{followerSrv.URL},
+		HedgeDelay: cfg.HedgeDelay,
+		ProbeEvery: 10 * time.Millisecond,
+	})
+	defer rt.Close()
+	routerSrv := httptest.NewServer(rt)
+	defer routerSrv.Close()
+
+	routerState := func() (ready int, hedges uint64, err error) {
+		resp, err := http.Get(routerSrv.URL + "/router/status")
+		if err != nil {
+			return 0, 0, err
+		}
+		defer resp.Body.Close()
+		var st struct {
+			Backends []struct {
+				Ready bool `json:"ready"`
+			} `json:"backends"`
+			Hedges uint64 `json:"hedges"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			return 0, 0, err
+		}
+		for _, b := range st.Backends {
+			if b.Ready {
+				ready++
+			}
+		}
+		return ready, st.Hedges, nil
+	}
+	if err := waitUntil("router readiness", func() bool {
+		n, _, err := routerState()
+		return err == nil && n == 2
+	}); err != nil {
+		return nil, err
+	}
+
+	post := func(url, body string) ([]byte, error) {
+		resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("POST %s: status %d: %s", url, resp.StatusCode, data)
+		}
+		return data, nil
+	}
+	matchesOf := func(body []byte) (json.RawMessage, error) {
+		var r struct {
+			Matches json.RawMessage `json:"matches"`
+		}
+		if err := json.Unmarshal(body, &r); err != nil {
+			return nil, err
+		}
+		return r.Matches, nil
+	}
+
+	queries := make([]string, cfg.Queries)
+	for i := range queries {
+		q, err := json.Marshal(elems(rng.Intn(cfg.N)))
+		if err != nil {
+			return nil, err
+		}
+		queries[i] = fmt.Sprintf(`{"elements":%s,"lo":0.3,"hi":1.0}`, q)
+	}
+
+	identical := true
+	hedgedLat := make([]time.Duration, 0, cfg.Queries)
+	directLat := make([]time.Duration, 0, cfg.Queries)
+	for _, q := range queries {
+		start := time.Now()
+		direct, err := post(primarySrv.URL+"/query", q)
+		if err != nil {
+			return nil, err
+		}
+		directLat = append(directLat, time.Since(start))
+
+		start = time.Now()
+		routed, err := post(routerSrv.URL+"/query", q)
+		if err != nil {
+			return nil, err
+		}
+		hedgedLat = append(hedgedLat, time.Since(start))
+
+		dm, err := matchesOf(direct)
+		if err != nil {
+			return nil, err
+		}
+		rm, err := matchesOf(routed)
+		if err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(dm, rm) {
+			identical = false
+		}
+	}
+	sh, sd := sortedLat(hedgedLat), sortedLat(directLat)
+	rep.HedgedP50Micros = percentile(sh, 0.50)
+	rep.HedgedP99Micros = percentile(sh, 0.99)
+	rep.DirectP50Micros = percentile(sd, 0.50)
+	rep.DirectP99Micros = percentile(sd, 0.99)
+	rep.IdenticalAnswers = identical
+	if _, hedges, err := routerState(); err == nil {
+		rep.HedgesFired = hedges
+	}
+
+	fmt.Fprintf(w, "replication bench: %d sets, %d shards, %d writes, %d reads/mode\n",
+		rep.Sets, rep.Shards, rep.Writes, rep.Queries)
+	fmt.Fprintf(w, "  replication lag   p50 %8.0fµs   p99 %8.0fµs\n", rep.LagP50Micros, rep.LagP99Micros)
+	fmt.Fprintf(w, "  hedged read       p50 %8.0fµs   p99 %8.0fµs   (%d hedges fired)\n",
+		rep.HedgedP50Micros, rep.HedgedP99Micros, rep.HedgesFired)
+	fmt.Fprintf(w, "  direct read       p50 %8.0fµs   p99 %8.0fµs\n", rep.DirectP50Micros, rep.DirectP99Micros)
+	fmt.Fprintf(w, "  identical answers %v\n", rep.IdenticalAnswers)
+	return rep, nil
+}

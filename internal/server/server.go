@@ -6,6 +6,10 @@
 // Endpoints (all JSON):
 //
 //	GET  /healthz              → {"status":"ok","sets":N}
+//	GET  /livez                → liveness: the process answers
+//	GET  /readyz               → readiness: role, plan generation, and —
+//	                             on followers — replication lag; 503
+//	                             until the node should take traffic
 //	GET  /plan                 → the optimizer's layout
 //	GET  /stats                → per-shard set counts, accumulated query
 //	                             counters, and adaptive-tuner state
@@ -40,11 +44,36 @@ import (
 type Server struct {
 	mux *http.ServeMux
 	ix  *ssr.Index
+	cfg Config
 	// mu serializes mutations (Add/Remove); the index itself is safe for
 	// concurrent queries.
 	mu sync.Mutex
 	// totals accumulates query accounting for GET /stats.
 	totals statCounters
+}
+
+// Config shapes a node's serving role. The zero value is a plain
+// standalone read-write node, exactly what New always built.
+type Config struct {
+	// Role labels the node in /readyz ("primary", "follower"; default
+	// "standalone").
+	Role string
+	// ReadOnly rejects mutating endpoints with 403 — the follower stance
+	// (the index itself also refuses, but a typed HTTP answer beats a
+	// surfaced internal error).
+	ReadOnly bool
+	// Readiness decides GET /readyz: ready, plus detail merged into the
+	// response (lag, caught-up, whatever the role knows). Nil means
+	// always ready — liveness and readiness coincide, the standalone
+	// stance.
+	Readiness func() (bool, map[string]any)
+	// Replication, when set, is mounted at /replica/ — the primary's
+	// stream endpoints (internal/replica.Handler).
+	Replication http.Handler
+	// Index, when set, resolves the serving index per request. Follower
+	// mode needs this: a resync swaps in a fresh mirror, and requests
+	// must land on the live one.
+	Index func() *ssr.Index
 }
 
 // statCounters accumulates query accounting across the server's
@@ -93,9 +122,24 @@ func (c *statCounters) record(st ssr.Stats) {
 	}
 }
 
-// New returns a handler serving the given index.
+// New returns a handler serving the given index as a standalone
+// read-write node.
 func New(ix *ssr.Index) *Server {
-	s := &Server{mux: http.NewServeMux(), ix: ix}
+	return NewWithConfig(ix, Config{})
+}
+
+// NewWithConfig returns a handler serving the given index under the
+// given role configuration.
+func NewWithConfig(ix *ssr.Index, cfg Config) *Server {
+	if cfg.Role == "" {
+		cfg.Role = "standalone"
+	}
+	s := &Server{mux: http.NewServeMux(), ix: ix, cfg: cfg}
+	s.mux.HandleFunc("/livez", s.handleLive)
+	s.mux.HandleFunc("/readyz", s.handleReady)
+	if cfg.Replication != nil {
+		s.mux.Handle("/replica/", cfg.Replication)
+	}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/plan", s.handlePlan)
 	s.mux.HandleFunc("/stats", s.handleStats)
@@ -111,6 +155,15 @@ func New(ix *ssr.Index) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// index resolves the serving index: the per-request resolver when the
+// role swaps indexes (followers across resyncs), else the fixed one.
+func (s *Server) index() *ssr.Index {
+	if s.cfg.Index != nil {
+		return s.cfg.Index()
+	}
+	return s.ix
 }
 
 // errorBody is the uniform error payload.
@@ -155,7 +208,54 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "sets": s.ix.Internal().Len()})
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "sets": s.index().Internal().Len()})
+}
+
+// handleLive is pure liveness: the process answers, full stop. Restart
+// decisions key off this; traffic decisions key off /readyz.
+func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+// handleReady is readiness: role, plan generation, and the role's own
+// detail (a follower reports lag and stays 503 until caught up within
+// its bound).
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	ready, detail := true, map[string]any(nil)
+	if s.cfg.Readiness != nil {
+		ready, detail = s.cfg.Readiness()
+	}
+	body := map[string]any{
+		"ready":          ready,
+		"role":           s.cfg.Role,
+		"planGeneration": s.index().TunerState().PlanGeneration,
+	}
+	for k, v := range detail {
+		body[k] = v
+	}
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, body)
+}
+
+// denyReadOnly rejects a mutation on a read-only node; returns true when
+// the request was handled.
+func (s *Server) denyReadOnly(w http.ResponseWriter) bool {
+	if !s.cfg.ReadOnly {
+		return false
+	}
+	writeErr(w, http.StatusForbidden, fmt.Errorf("node is read-only (%s); write to the primary", s.cfg.Role))
+	return true
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
@@ -163,7 +263,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
 		return
 	}
-	writeJSON(w, http.StatusOK, s.ix.Plan())
+	writeJSON(w, http.StatusOK, s.index().Plan())
 }
 
 // tunerView is the JSON shape of ssr.TunerState.
@@ -220,7 +320,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
 		return
 	}
-	eng := s.ix.Internal()
+	eng := s.index().Internal()
 	resp := statsResponse{
 		Sets:      eng.Len(),
 		Shards:    eng.NumShards(),
@@ -245,7 +345,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Signing.Family = scfg.Base
 	resp.Signing.BitsPerHash = scfg.BitsPerHash
 	resp.Signing.SignatureBytesPerSet = eng.SignatureBytesPerSet()
-	ts := s.ix.TunerState()
+	ts := s.index().TunerState()
 	resp.Tuner = tunerView{
 		Enabled:        ts.Enabled,
 		AutoTuning:     ts.AutoTuning,
@@ -344,7 +444,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	matches, stats, err := s.ix.Query(req.Elements, req.Lo, req.Hi)
+	matches, stats, err := s.index().Query(req.Elements, req.Lo, req.Hi)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -364,7 +464,7 @@ func (s *Server) handleQuerySID(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	matches, stats, err := s.ix.QuerySID(req.SID, req.Lo, req.Hi)
+	matches, stats, err := s.index().QuerySID(req.SID, req.Lo, req.Hi)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -429,7 +529,7 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		batch[i] = ssr.BatchQuery{Elements: q.Elements, Lo: q.Lo, Hi: q.Hi}
 	}
 	start := time.Now()
-	results := s.ix.QueryBatch(batch, ssr.QueryOptions{
+	results := s.index().QueryBatch(batch, ssr.QueryOptions{
 		Screen:           req.Screen,
 		ScreenMargin:     req.ScreenMargin,
 		Workers:          req.Workers,
@@ -464,7 +564,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	matches, stats, err := s.ix.TopK(req.Elements, req.K)
+	matches, stats, err := s.index().TopK(req.Elements, req.K)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -483,6 +583,9 @@ func (s *Server) handleSets(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
 		return
 	}
+	if s.denyReadOnly(w) {
+		return
+	}
 	var req addRequest
 	if err := decodeBody(r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -493,7 +596,7 @@ func (s *Server) handleSets(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	sid, err := s.ix.Add(req.Elements...)
+	sid, err := s.index().Add(req.Elements...)
 	s.mu.Unlock()
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
@@ -511,8 +614,11 @@ func (s *Server) handleSetByID(w http.ResponseWriter, r *http.Request) {
 	}
 	switch r.Method {
 	case http.MethodDelete:
+		if s.denyReadOnly(w) {
+			return
+		}
 		s.mu.Lock()
-		err := s.ix.Remove(sid)
+		err := s.index().Remove(sid)
 		s.mu.Unlock()
 		if err != nil {
 			writeErr(w, http.StatusNotFound, err)

@@ -1,0 +1,98 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// ReadFramesAt reads whole verified frames from r starting at byte offset
+// off, never crossing limit (the log's known valid length — the writer's
+// logical size for a live segment, the file size for a sealed one) and
+// returning at most roughly maxBytes of frame data (always at least one
+// frame when one is available). It returns the raw frame bytes exactly as
+// they sit in the log, so a mirror that appends them elsewhere reproduces
+// the byte-identical file, and next — the offset of the first byte not
+// returned.
+//
+// The scan has the same torn-tail tolerance as Replay: a short header, a
+// zero or oversized length field, a frame extending past limit, or a
+// checksum mismatch ends the scan cleanly at the last intact boundary.
+// Only I/O errors are reported. This is the offset-addressable read the
+// replication layer streams from: callers resume from any (offset) token
+// that lies on a frame boundary, which every returned next is.
+func ReadFramesAt(r io.ReaderAt, off, limit int64, maxBytes int) (data []byte, next int64, err error) {
+	if maxBytes <= 0 {
+		maxBytes = 1 << 20
+	}
+	next = off
+	var header [frameHeaderSize]byte
+	for {
+		if next+frameHeaderSize > limit {
+			return data, next, nil
+		}
+		if _, err := r.ReadAt(header[:], next); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return data, next, nil
+			}
+			return data, next, fmt.Errorf("wal: reading frame header at %d: %w", next, err)
+		}
+		length := binary.LittleEndian.Uint32(header[:4])
+		sum := binary.LittleEndian.Uint32(header[4:])
+		if length == 0 || length > MaxFrameSize {
+			return data, next, nil // torn tail or preallocation padding
+		}
+		end := next + frameHeaderSize + int64(length)
+		if end > limit {
+			return data, next, nil // frame not (yet) fully within the valid prefix
+		}
+		frame := make([]byte, frameHeaderSize+length)
+		if _, err := r.ReadAt(frame, next); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return data, next, nil
+			}
+			return data, next, fmt.Errorf("wal: reading frame at %d: %w", next, err)
+		}
+		if crc32.Checksum(frame[frameHeaderSize:], castagnoli) != sum {
+			return data, next, nil // torn write or bit rot
+		}
+		data = append(data, frame...)
+		next = end
+		if len(data) >= maxBytes {
+			return data, next, nil
+		}
+	}
+}
+
+// ReadFramesFile is ReadFramesAt over the log file at path. A missing
+// file reads as empty with os.ErrNotExist surfaced, so callers can
+// distinguish "no more data" from "segment compacted away".
+func ReadFramesFile(path string, off, limit int64, maxBytes int) (data []byte, next int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, off, err
+	}
+	if limit < 0 {
+		fi, err := f.Stat()
+		if err != nil {
+			return nil, off, errors.Join(fmt.Errorf("wal: stat log: %w", err), f.Close())
+		}
+		limit = fi.Size()
+	}
+	data, next, err = ReadFramesAt(f, off, limit, maxBytes)
+	if cerr := f.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("wal: closing log after frame read: %w", cerr)
+	}
+	return data, next, err
+}
+
+// AppendRecordFrame encodes rec as one frame appended to dst — the
+// canonical wire encoding, byte-identical to what Writer.Append puts in
+// the log. The replication layer uses it to reproduce header records
+// locally without re-reading the primary's bytes.
+func AppendRecordFrame(dst []byte, rec Record) []byte {
+	return appendFrame(dst, rec)
+}

@@ -1,0 +1,121 @@
+package ssr
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The MANIFEST version field is the forward-compatibility gate for the
+// whole durable image: a reader must refuse versions it does not know
+// (the image may rely on invariants this code predates) while
+// tolerating unknown FIELDS within a known version, so additive
+// evolution needs no bump. These tests pin both halves of that
+// contract by rewriting a real sharded image's MANIFEST.
+
+// buildShardedDir creates a small sharded durable image and returns its
+// directory with the index closed, ready for MANIFEST surgery.
+func buildShardedDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	ix, err := CreateDurable(dir, bookstore(), durableShardedBuildOpts(3), DurableOptions{Sync: SyncNever})
+	if err != nil {
+		t.Fatalf("CreateDurable: %v", err)
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return dir
+}
+
+// rewriteManifest applies fn to the decoded MANIFEST JSON and writes the
+// result back.
+func rewriteManifest(t *testing.T, dir string, fn func(map[string]any)) {
+	t.Helper()
+	path := filepath.Join(dir, "MANIFEST")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading MANIFEST: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("decoding MANIFEST: %v", err)
+	}
+	fn(doc)
+	out, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatalf("writing MANIFEST: %v", err)
+	}
+}
+
+func TestManifestCurrentVersionRoundTrips(t *testing.T) {
+	dir := buildShardedDir(t)
+	raw, err := os.ReadFile(filepath.Join(dir, "MANIFEST"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man durableManifest
+	if err := json.Unmarshal(raw, &man); err != nil {
+		t.Fatal(err)
+	}
+	if man.Version != manifestVersion {
+		t.Fatalf("freshly written MANIFEST carries version %d, want %d", man.Version, manifestVersion)
+	}
+	re, err := OpenDurable(dir, DurableOptions{Sync: SyncNever})
+	if err != nil {
+		t.Fatalf("OpenDurable: %v", err)
+	}
+	defer re.Close()
+	if re.Shards() != 3 {
+		t.Fatalf("reopened with %d shards, want 3", re.Shards())
+	}
+}
+
+func TestManifestFutureVersionRefused(t *testing.T) {
+	dir := buildShardedDir(t)
+	rewriteManifest(t, dir, func(doc map[string]any) {
+		doc["version"] = 99
+	})
+	_, err := OpenDurable(dir, DurableOptions{Sync: SyncNever})
+	if err == nil {
+		t.Fatal("OpenDurable accepted a version-99 MANIFEST")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "version 99") || !strings.Contains(msg, "newer release") {
+		t.Fatalf("future-version error should name the version and point at the newer release: %v", err)
+	}
+}
+
+func TestManifestMissingVersionRefused(t *testing.T) {
+	// A MANIFEST with no version field decodes as version 0 — below the
+	// supported floor. Such an image was never written by any release of
+	// this code, so refusing it beats guessing.
+	dir := buildShardedDir(t)
+	rewriteManifest(t, dir, func(doc map[string]any) {
+		delete(doc, "version")
+	})
+	if _, err := OpenDurable(dir, DurableOptions{Sync: SyncNever}); err == nil {
+		t.Fatal("OpenDurable accepted a MANIFEST without a version field")
+	}
+}
+
+func TestManifestUnknownFieldsTolerated(t *testing.T) {
+	dir := buildShardedDir(t)
+	rewriteManifest(t, dir, func(doc map[string]any) {
+		doc["x_future_hint"] = "replica-set-7"
+		doc["x_extra"] = []any{1.0, 2.0}
+	})
+	re, err := OpenDurable(dir, DurableOptions{Sync: SyncNever})
+	if err != nil {
+		t.Fatalf("unknown MANIFEST fields within a known version must load: %v", err)
+	}
+	defer re.Close()
+	if re.Shards() != 3 {
+		t.Fatalf("reopened with %d shards, want 3", re.Shards())
+	}
+}

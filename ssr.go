@@ -307,6 +307,10 @@ type Index struct {
 	// tune holds the auto-tuning loop's lifecycle and swap bookkeeping.
 	// See tune.go.
 	tune tuneRuntime
+	// replica marks a replication follower (OpenReplica): external
+	// mutations are rejected and the state changes only through the
+	// replication stream. See replication.go.
+	replica bool
 }
 
 // Build constructs the index over the collection per the paper's pipeline.
@@ -587,6 +591,9 @@ func (ix *Index) QueryBatch(queries []BatchQuery, opt QueryOptions) []BatchResul
 // its sid. The filter-index layout is not re-optimized. On a durable index
 // the insert is logged before it is acknowledged.
 func (ix *Index) Add(elements ...string) (int, error) {
+	if ix.replica {
+		return 0, ErrReplicaReadOnly
+	}
 	if ix.dur != nil {
 		return ix.dur.add(ix, elements)
 	}
@@ -697,6 +704,9 @@ func (ix *Index) topK(q set.Set, k int) ([]Match, Stats, error) {
 // sid is never reused; queries simply stop returning it. On a durable
 // index the delete is logged before it is acknowledged.
 func (ix *Index) Remove(sid int) error {
+	if ix.replica {
+		return ErrReplicaReadOnly
+	}
 	if ix.dur != nil {
 		return ix.dur.remove(ix, sid)
 	}

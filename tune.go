@@ -122,6 +122,12 @@ func (tr *tuneRuntime) noteSwap() {
 // measured drift (an unchanged collection re-derives the identical
 // plan).
 func (ix *Index) Retune() (TuneReport, error) {
+	if ix.replica {
+		// A follower cannot re-derive the primary's plan (the capture cut
+		// is not reproducible from the stream); plan changes arrive by
+		// re-bootstrapping when the primary's generation moves.
+		return TuneReport{}, fmt.Errorf("ssr: %w (plan changes replicate by re-bootstrap)", ErrReplicaReadOnly)
+	}
 	res, err := ix.inner.Retune()
 	rep := TuneReport{Swapped: res.Swapped, Generation: res.Generation, Drift: res.Drift}
 	if err != nil || !res.Swapped {
@@ -144,6 +150,9 @@ func (ix *Index) Retune() (TuneReport, error) {
 // one. Returns an error if auto-tuning is already enabled. Close stops
 // the loop (also on non-durable indexes).
 func (ix *Index) EnableAutoTune(policy TunePolicy) error {
+	if ix.replica {
+		return fmt.Errorf("ssr: %w (followers mirror the primary's plan)", ErrReplicaReadOnly)
+	}
 	ix.tune.mu.Lock()
 	defer ix.tune.mu.Unlock()
 	if ix.tune.auto {
